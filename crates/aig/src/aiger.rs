@@ -1,0 +1,280 @@
+//! AIGER ASCII (`aag`) reader/writer.
+//!
+//! The benchmark circuits in this repository are synthetic stand-ins; the
+//! AIGER format bridge lets users run the *original* ISCAS'85/MCNC
+//! netlists (or anything else ABC can export with `write_aiger -s`)
+//! through the exact same characterize → map → estimate pipeline.
+//!
+//! Only the combinational subset is supported: latches are rejected.
+
+use crate::graph::{Aig, Lit};
+use std::fmt::Write as _;
+
+/// Error produced when parsing an AIGER file fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAigerError {
+    message: String,
+    line: usize,
+}
+
+impl ParseAigerError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        Self {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+/// Serializes an AIG in AIGER ASCII format (`aag`).
+///
+/// Node indices are renumbered densely: inputs first, then AND nodes in
+/// topological order, as the format requires.
+pub fn to_aiger_ascii(aig: &Aig) -> String {
+    use crate::graph::Node;
+    // Map node index -> aiger variable (1-based; 0 is constant false).
+    let mut var_of = vec![0u32; aig.len()];
+    let mut next = 1u32;
+    for &i in aig.input_nodes() {
+        var_of[i as usize] = next;
+        next += 1;
+    }
+    let mut ands = Vec::new();
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let Node::And(a, b) = node {
+            var_of[i] = next;
+            next += 1;
+            ands.push((i, *a, *b));
+        }
+    }
+    let aiger_lit = |l: Lit| -> u32 { 2 * var_of[l.node() as usize] + u32::from(l.is_complement()) };
+    let m = next - 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {m} {} 0 {} {}",
+        aig.input_count(),
+        aig.output_count(),
+        ands.len()
+    );
+    for k in 0..aig.input_count() {
+        let _ = writeln!(out, "{}", 2 * (k as u32 + 1));
+    }
+    for o in aig.output_lits() {
+        let _ = writeln!(out, "{}", aiger_lit(*o));
+    }
+    for (i, a, b) in ands {
+        let lhs = 2 * var_of[i];
+        // AIGER requires lhs > rhs0 >= rhs1.
+        let (r0, r1) = {
+            let x = aiger_lit(a);
+            let y = aiger_lit(b);
+            if x >= y {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        };
+        let _ = writeln!(out, "{lhs} {r0} {r1}");
+    }
+    out
+}
+
+/// Parses an AIGER ASCII (`aag`) file into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed input, latches (sequential
+/// AIGs are out of scope), or forward references.
+pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines().enumerate();
+    let (line_no, header) = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::new("empty file", 0))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::new("expected `aag M I L O A` header", line_no + 1));
+    }
+    let parse = |s: &str, line: usize| -> Result<usize, ParseAigerError> {
+        s.parse()
+            .map_err(|_| ParseAigerError::new(format!("bad number `{s}`"), line))
+    };
+    let m = parse(fields[1], 1)?;
+    let i = parse(fields[2], 1)?;
+    let l = parse(fields[3], 1)?;
+    let o = parse(fields[4], 1)?;
+    let a = parse(fields[5], 1)?;
+    if l != 0 {
+        return Err(ParseAigerError::new("latches are not supported", 1));
+    }
+    if m < i + a {
+        return Err(ParseAigerError::new("header M below I + A", 1));
+    }
+
+    let mut aig = Aig::new();
+    // aiger var -> our literal (positive).
+    let mut lit_of: Vec<Option<Lit>> = vec![None; m + 1];
+    lit_of[0] = Some(Lit::FALSE);
+    let mut input_vars = Vec::with_capacity(i);
+    for k in 0..i {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing input line", k + 2))?;
+        let v = parse(line.trim(), line_no + 1)?;
+        if v % 2 != 0 || v == 0 {
+            return Err(ParseAigerError::new("input literal must be even and nonzero", line_no + 1));
+        }
+        input_vars.push(v / 2);
+    }
+    // Allocate inputs in file order.
+    for &v in &input_vars {
+        if v > m || lit_of[v].is_some() {
+            return Err(ParseAigerError::new("duplicate or out-of-range input", 1));
+        }
+        lit_of[v] = Some(aig.input());
+    }
+    // Output literals (resolve after ANDs are built).
+    let mut output_lits_raw = Vec::with_capacity(o);
+    for k in 0..o {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing output line", i + k + 2))?;
+        output_lits_raw.push((parse(line.trim(), line_no + 1)?, line_no + 1));
+    }
+    // AND definitions.
+    let mut and_defs = Vec::with_capacity(a);
+    for k in 0..a {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::new("missing and line", i + o + k + 2))?;
+        let nums: Vec<&str> = line.split_whitespace().collect();
+        if nums.len() != 3 {
+            return Err(ParseAigerError::new("and line needs three literals", line_no + 1));
+        }
+        let lhs = parse(nums[0], line_no + 1)?;
+        let r0 = parse(nums[1], line_no + 1)?;
+        let r1 = parse(nums[2], line_no + 1)?;
+        if lhs % 2 != 0 {
+            return Err(ParseAigerError::new("and lhs must be even", line_no + 1));
+        }
+        and_defs.push((lhs / 2, r0, r1, line_no + 1));
+    }
+    // Build ANDs; AIGER guarantees topological order (lhs > rhs).
+    for (var, r0, r1, line_no) in and_defs {
+        let resolve = |raw: usize| -> Result<Lit, ParseAigerError> {
+            let v = raw / 2;
+            let base = lit_of
+                .get(v)
+                .copied()
+                .flatten()
+                .ok_or_else(|| ParseAigerError::new(format!("undefined literal {raw}"), line_no))?;
+            Ok(if raw % 2 == 1 { base.not() } else { base })
+        };
+        let fa = resolve(r0)?;
+        let fb = resolve(r1)?;
+        if var > m || lit_of[var].is_some() {
+            return Err(ParseAigerError::new("duplicate or out-of-range and", line_no));
+        }
+        lit_of[var] = Some(aig.and(fa, fb));
+    }
+    for (raw, line_no) in output_lits_raw {
+        let v = raw / 2;
+        let base = lit_of
+            .get(v)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {raw}"), line_no))?;
+        aig.output(if raw % 2 == 1 { base.not() } else { base });
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::equivalent;
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, c.not());
+        aig.output(f);
+        aig.output(x.not());
+        aig
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let aig = sample_aig();
+        let text = to_aiger_ascii(&aig);
+        let parsed = from_aiger_ascii(&text).expect("own output parses");
+        assert_eq!(parsed.input_count(), aig.input_count());
+        assert_eq!(parsed.output_count(), aig.output_count());
+        assert!(equivalent(&aig, &parsed, 0xA1A2, 32));
+    }
+
+    #[test]
+    fn parses_handwritten_and_gate() {
+        // AND of two inputs, straight from the AIGER spec examples.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = from_aiger_ascii(text).expect("valid aag");
+        assert_eq!(aig.input_count(), 2);
+        assert_eq!(aig.and_count(), 1);
+        let out = crate::sim::evaluate(&aig, &[true, true]);
+        assert_eq!(out, vec![true]);
+        let out = crate::sim::evaluate(&aig, &[true, false]);
+        assert_eq!(out, vec![false]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 4 2 1 1 1\n2\n4\n6 8\n8\n8 2 4\n";
+        assert!(from_aiger_ascii(text).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_aiger_ascii("").is_err());
+        assert!(from_aiger_ascii("aig 1 1 0 1 0\n2\n2\n").is_err());
+        assert!(from_aiger_ascii("aag 1 1 0 1\n2\n2\n").is_err());
+        // Odd input literal.
+        assert!(from_aiger_ascii("aag 1 1 0 1 0\n3\n2\n").is_err());
+        // Undefined output.
+        assert!(from_aiger_ascii("aag 1 1 0 1 0\n2\n8\n").is_err());
+    }
+
+    #[test]
+    fn constant_outputs_serialize() {
+        let mut aig = Aig::new();
+        let _ = aig.input();
+        aig.output(Lit::TRUE);
+        let text = to_aiger_ascii(&aig);
+        let parsed = from_aiger_ascii(&text).expect("parses");
+        assert_eq!(crate::sim::evaluate(&parsed, &[false]), vec![true]);
+    }
+
+    #[test]
+    fn benchmark_roundtrip() {
+        // A real generated circuit survives the round trip.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..6).map(|_| aig.input()).collect();
+        let p = aig.xor_many(&xs);
+        let q = aig.and_many(&xs[..3]);
+        let f = aig.mux(p, q, xs[5]);
+        aig.output(f);
+        let text = to_aiger_ascii(&aig);
+        let parsed = from_aiger_ascii(&text).expect("parses");
+        assert!(equivalent(&aig, &parsed, 99, 16));
+    }
+}

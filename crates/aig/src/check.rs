@@ -1,0 +1,163 @@
+//! Combinational equivalence checking by simulation: exhaustive when the
+//! input count is small, random otherwise.
+
+use crate::graph::Aig;
+use crate::sim::simulate64;
+
+/// Checks whether two AIGs compute the same outputs.
+///
+/// With ≤ 16 inputs the check is exhaustive (sound and complete); beyond
+/// that, `rounds` words of 64 random patterns are simulated, making a
+/// `false` answer definitive and a `true` answer probabilistic — the usual
+/// simulation-based CEC trade-off, sufficient for the synthetic benchmarks
+/// here.
+///
+/// # Panics
+///
+/// Panics if the two AIGs disagree on input or output counts.
+pub fn equivalent(a: &Aig, b: &Aig, seed: u64, rounds: usize) -> bool {
+    assert_eq!(a.input_count(), b.input_count(), "input count mismatch");
+    assert_eq!(a.output_count(), b.output_count(), "output count mismatch");
+    let n = a.input_count();
+    if n == 0 {
+        return simulate64(a, &[]) == simulate64(b, &[]);
+    }
+    if n <= 16 {
+        return exhaustive(a, b);
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..rounds {
+        let inputs: Vec<u64> = (0..n).map(|_| next()).collect();
+        if simulate64(a, &inputs) != simulate64(b, &inputs) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustive check over all `2^n` assignments, 64 at a time.
+fn exhaustive(a: &Aig, b: &Aig) -> bool {
+    let n = a.input_count();
+    let total: u64 = 1u64 << n;
+    let mut base = 0u64;
+    while base < total {
+        // Pattern k of this word is assignment (base + k).
+        let inputs: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut w = 0u64;
+                for k in 0..64u64 {
+                    if ((base + k) >> i) & 1 == 1 {
+                        w |= 1 << k;
+                    }
+                }
+                w
+            })
+            .collect();
+        let va = simulate64(a, &inputs);
+        let vb = simulate64(b, &inputs);
+        let valid_bits = (total - base).min(64);
+        let mask = if valid_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << valid_bits) - 1
+        };
+        for (x, y) in va.iter().zip(vb.iter()) {
+            if (x ^ y) & mask != 0 {
+                return false;
+            }
+        }
+        base += 64;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Lit;
+
+    fn xor_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.xor(a, b);
+        aig.output(x);
+        aig
+    }
+
+    #[test]
+    fn equivalent_to_itself() {
+        let a = xor_aig();
+        assert!(equivalent(&a, &a, 1, 4));
+    }
+
+    #[test]
+    fn detects_difference() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.input();
+        let y = b.input();
+        let f = b.and(x, y);
+        b.output(f);
+        assert!(!equivalent(&a, &b, 1, 4));
+    }
+
+    #[test]
+    fn demorgan_forms_are_equivalent() {
+        // !(a & b) == !a | !b.
+        let mut lhs = Aig::new();
+        let a = lhs.input();
+        let b = lhs.input();
+        let nand = lhs.and(a, b).not();
+        lhs.output(nand);
+
+        let mut rhs = Aig::new();
+        let x = rhs.input();
+        let y = rhs.input();
+        let or = rhs.or(x.not(), y.not());
+        rhs.output(or);
+        assert!(equivalent(&lhs, &rhs, 3, 4));
+    }
+
+    #[test]
+    fn exhaustive_catches_single_minterm_difference() {
+        // Two 10-input functions differing in exactly one assignment.
+        let build = |tweak: bool| {
+            let mut aig = Aig::new();
+            let xs: Vec<Lit> = (0..10).map(|_| aig.input()).collect();
+            let all = aig.and_many(&xs);
+            let f = if tweak {
+                let extra = aig.xor_many(&xs);
+                let not_any = aig.or_many(&xs).not();
+                let bump = aig.and(extra.not(), not_any);
+                aig.or(all, bump)
+            } else {
+                all
+            };
+            aig.output(f);
+            aig
+        };
+        let a = build(false);
+        let b = build(true);
+        assert!(!equivalent(&a, &b, 1, 4));
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut a = Aig::new();
+        let _ = a.input();
+        a.output(Lit::TRUE);
+        let mut b = Aig::new();
+        let x = b.input();
+        let one = b.or(x, x.not());
+        b.output(one);
+        assert!(equivalent(&a, &b, 9, 4));
+    }
+}

@@ -1,0 +1,287 @@
+//! K-feasible priority-cut enumeration with cut truth tables.
+//!
+//! Both the technology mapper (k = 6) and the refactoring pass (k = 4)
+//! enumerate cuts with this module. Each cut carries the function of the
+//! node's positive output over the cut leaves.
+
+use crate::graph::{Aig, Lit, Node};
+use logic::TruthTable;
+
+/// A cut: sorted leaf nodes plus the root function over them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted node indices of the leaves.
+    pub leaves: Vec<u32>,
+    /// Function of the root's positive output over the leaves (variable
+    /// `i` = leaf `i`).
+    pub tt: TruthTable,
+}
+
+impl Cut {
+    /// The trivial cut of a node: the node itself.
+    pub fn trivial(node: u32) -> Self {
+        Cut {
+            leaves: vec![node],
+            tt: TruthTable::var(1, 0),
+        }
+    }
+
+    /// Whether this cut's leaves are a subset of another's (dominance).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.len() <= other.leaves.len()
+            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Cut enumeration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CutConfig {
+    /// Maximum leaves per cut (≤ 6).
+    pub k: usize,
+    /// Maximum stored cuts per node (priority cap; the trivial cut is
+    /// always kept in addition).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        Self { k: 6, max_cuts: 8 }
+    }
+}
+
+/// Enumerates cuts for every node. Index = node index; constant and input
+/// nodes get only their trivial cut (inputs) or nothing (constant).
+pub fn enumerate_cuts(aig: &Aig, config: CutConfig) -> Vec<Vec<Cut>> {
+    assert!(config.k >= 2 && config.k <= 6, "cut width must be in 2..=6");
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
+    for (idx, node) in aig.nodes().iter().enumerate() {
+        let cuts = match node {
+            Node::Const => Vec::new(),
+            Node::Input(_) => vec![Cut::trivial(idx as u32)],
+            Node::And(a, b) => {
+                let mut cuts = Vec::new();
+                merge_fanin_cuts(*a, *b, &all, config, &mut cuts);
+                prune(&mut cuts, config.max_cuts);
+                cuts.push(Cut::trivial(idx as u32));
+                cuts
+            }
+        };
+        all.push(cuts);
+    }
+    all
+}
+
+/// Merges the fanin cut sets of an AND node.
+fn merge_fanin_cuts(a: Lit, b: Lit, all: &[Vec<Cut>], config: CutConfig, out: &mut Vec<Cut>) {
+    let ca = &all[a.node() as usize];
+    let cb = &all[b.node() as usize];
+    for cut_a in ca {
+        for cut_b in cb {
+            if let Some(cut) = merge(a, cut_a, b, cut_b, config.k) {
+                if !out.iter().any(|c| c == &cut) {
+                    out.push(cut);
+                }
+            }
+        }
+    }
+}
+
+/// Merges two fanin cuts into a cut of the AND node, or `None` if the
+/// union exceeds `k` leaves.
+fn merge(a: Lit, cut_a: &Cut, b: Lit, cut_b: &Cut, k: usize) -> Option<Cut> {
+    // Union of sorted leaf lists.
+    let mut leaves = Vec::with_capacity(cut_a.leaves.len() + cut_b.leaves.len());
+    let (mut i, mut j) = (0, 0);
+    while i < cut_a.leaves.len() || j < cut_b.leaves.len() {
+        let next = match (cut_a.leaves.get(i), cut_b.leaves.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        leaves.push(next);
+        if leaves.len() > k {
+            return None;
+        }
+    }
+    let n = leaves.len();
+    let ta = expand(cut_a.tt, &cut_a.leaves, &leaves, n);
+    let tb = expand(cut_b.tt, &cut_b.leaves, &leaves, n);
+    let fa = if a.is_complement() { !ta } else { ta };
+    let fb = if b.is_complement() { !tb } else { tb };
+    Some(Cut {
+        leaves,
+        tt: fa & fb,
+    })
+}
+
+/// Re-expresses `tt` (over `from` leaves) over the `to` leaf superset.
+fn expand(tt: TruthTable, from: &[u32], to: &[u32], n: usize) -> TruthTable {
+    let mut positions = [0usize; 6];
+    for (i, leaf) in from.iter().enumerate() {
+        positions[i] = to
+            .binary_search(leaf)
+            .expect("every source leaf is in the merged set");
+    }
+    TruthTable::from_fn(n, |assignment| {
+        let mut local = [false; 6];
+        for (i, &p) in positions.iter().enumerate().take(from.len()) {
+            local[i] = assignment[p];
+        }
+        tt.eval(&local[..from.len()])
+    })
+}
+
+/// Keeps at most `max` cuts, preferring small leaf counts and dropping
+/// dominated cuts.
+fn prune(cuts: &mut Vec<Cut>, max: usize) {
+    cuts.sort_by_key(|c| c.leaves.len());
+    let mut kept: Vec<Cut> = Vec::with_capacity(max);
+    for cut in cuts.drain(..) {
+        if kept.len() >= max {
+            break;
+        }
+        if kept.iter().any(|k| k.dominates(&cut)) {
+            continue;
+        }
+        kept.push(cut);
+    }
+    *cuts = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_functions_match_simulation() {
+        // f = (a & b) ^ c: check every non-trivial cut's truth table by
+        // evaluating the AIG directly.
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let ab = aig.and(a, b);
+        let f = aig.xor(ab, c);
+        aig.output(f);
+        let cuts = enumerate_cuts(&aig, CutConfig { k: 4, max_cuts: 8 });
+        let root = f.node() as usize;
+        assert!(!cuts[root].is_empty());
+        for cut in &cuts[root] {
+            for m in 0..(1usize << cut.leaves.len()) {
+                // Build a full input assignment consistent with leaf values.
+                // Leaves here are always PIs or internal nodes; we only
+                // check cuts whose leaves are all PIs.
+                if !cut.leaves.iter().all(|&l| {
+                    matches!(aig.node(l), crate::graph::Node::Input(_))
+                }) {
+                    continue;
+                }
+                let mut inputs = vec![false; 3];
+                for (i, &leaf) in cut.leaves.iter().enumerate() {
+                    if let crate::graph::Node::Input(k) = aig.node(leaf) {
+                        inputs[k as usize] = (m >> i) & 1 == 1;
+                    }
+                }
+                // The cut's tt describes the node's *positive* output; the
+                // registered output literal may be complemented.
+                let expected = crate::sim::evaluate(&aig, &inputs)[0] ^ f.is_complement();
+                // Only full-support cuts determine the output uniquely.
+                if cut.leaves.len() == 3 {
+                    assert_eq!(cut.tt.eval_index(m), expected, "cut {:?} minterm {m}", cut.leaves);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_global_cut() {
+        // A 4-input function must have a cut whose leaves are the 4 PIs.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..4).map(|_| aig.input()).collect();
+        let l = aig.and(xs[0], xs[1]);
+        let r = aig.and(xs[2], xs[3]);
+        let f = aig.or(l, r);
+        aig.output(f);
+        let cuts = enumerate_cuts(&aig, CutConfig { k: 4, max_cuts: 8 });
+        let root_cuts = &cuts[f.node() as usize];
+        let pi_nodes: Vec<u32> = aig.input_nodes().to_vec();
+        let global = root_cuts
+            .iter()
+            .find(|c| c.leaves == pi_nodes)
+            .expect("global cut should exist");
+        // f = (x0&x1) | (x2&x3); `or` returns a complemented literal, so
+        // the node's positive function is the complement.
+        let a = TruthTable::var(4, 0);
+        let b = TruthTable::var(4, 1);
+        let c = TruthTable::var(4, 2);
+        let d = TruthTable::var(4, 3);
+        let expected = (a & b) | (c & d);
+        let node_fn = if f.is_complement() { !expected } else { expected };
+        assert_eq!(global.tt, node_fn);
+    }
+
+    #[test]
+    fn respects_k_limit() {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..8).map(|_| aig.input()).collect();
+        let f = aig.and_many(&xs);
+        aig.output(f);
+        let cuts = enumerate_cuts(&aig, CutConfig { k: 4, max_cuts: 8 });
+        for node_cuts in &cuts {
+            for cut in node_cuts {
+                assert!(cut.leaves.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_pruning() {
+        let a = Cut {
+            leaves: vec![1, 2],
+            tt: TruthTable::var(2, 0),
+        };
+        let b = Cut {
+            leaves: vec![1, 2, 3],
+            tt: TruthTable::var(3, 0),
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn complemented_edges_fold_into_cut_tt() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let f = aig.and(a.not(), b);
+        aig.output(f);
+        let cuts = enumerate_cuts(&aig, CutConfig::default());
+        let root = &cuts[f.node() as usize];
+        let pi_cut = root
+            .iter()
+            .find(|c| c.leaves.len() == 2)
+            .expect("2-leaf cut");
+        let ta = TruthTable::var(2, 0);
+        let tb = TruthTable::var(2, 1);
+        assert_eq!(pi_cut.tt, !ta & tb);
+    }
+}

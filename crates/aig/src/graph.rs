@@ -1,0 +1,411 @@
+//! The and-inverter graph: nodes, literals, structural hashing, builders.
+
+use std::collections::HashMap;
+
+/// A literal: an AIG node reference with a complement bit in bit 0.
+///
+/// `Lit(0)` is constant false, `Lit(1)` constant true.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: u32, complement: bool) -> Self {
+        Lit((node << 1) | u32::from(complement))
+    }
+
+    /// The node this literal refers to.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal (`!x`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Lit(self.0 ^ 1)
+    }
+
+    /// This literal with its complement bit forced off.
+    pub fn regular(self) -> Self {
+        Lit(self.0 & !1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// One AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// The constant-false node (always node 0).
+    Const,
+    /// Primary input (with its input ordinal).
+    Input(u32),
+    /// Two-input AND of two literals (ordered `a.0 <= b.0`).
+    And(Lit, Lit),
+}
+
+/// A structurally hashed and-inverter graph.
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<u32>,
+    outputs: Vec<Lit>,
+    strash: HashMap<(u32, u32), u32>,
+}
+
+impl Aig {
+    /// Creates an empty AIG (just the constant node).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Const],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Adds a primary input, returning its (positive) literal.
+    pub fn input(&mut self) -> Lit {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::Input(self.inputs.len() as u32));
+        self.inputs.push(idx);
+        Lit::new(idx, false)
+    }
+
+    /// Registers `lit` as the next primary output.
+    pub fn output(&mut self, lit: Lit) {
+        debug_assert!((lit.node() as usize) < self.nodes.len(), "dangling literal");
+        self.outputs.push(lit);
+    }
+
+    /// AND of two literals, with constant folding, trivial-case reduction
+    /// and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant / trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&n) = self.strash.get(&(x.0, y.0)) {
+            return Lit::new(n, false);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::And(x, y));
+        self.strash.insert((x.0, y.0), idx);
+        Lit::new(idx, false)
+    }
+
+    /// OR via DeMorgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR built from three ANDs (the standard AIG decomposition).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let ab = self.and(a, b.not());
+        let ba = self.and(a.not(), b);
+        self.or(ab, ba)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).not()
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let st = self.and(sel, t);
+        let se = self.and(sel.not(), e);
+        self.or(st, se)
+    }
+
+    /// Conjunction of many literals (balanced).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::TRUE,
+            [x] => *x,
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.and_many(&lits[..mid]);
+                let r = self.and_many(&lits[mid..]);
+                self.and(l, r)
+            }
+        }
+    }
+
+    /// Disjunction of many literals (balanced).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let inv: Vec<Lit> = lits.iter().map(|l| l.not()).collect();
+        self.and_many(&inv).not()
+    }
+
+    /// XOR of many literals (balanced parity tree).
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::FALSE,
+            [x] => *x,
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.xor_many(&lits[..mid]);
+                let r = self.xor_many(&lits[mid..]);
+                self.xor(l, r)
+            }
+        }
+    }
+
+    /// All nodes (index 0 is the constant).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: u32) -> Node {
+        self.nodes[idx as usize]
+    }
+
+    /// Primary-input node indices, in input order.
+    pub fn input_nodes(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Primary-output literals, in output order.
+    pub fn output_lits(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND nodes (the synthesis cost metric).
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(_, _)))
+            .count()
+    }
+
+    /// Total node count including constant and inputs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the AIG has no nodes besides the constant.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Logic level (depth in AND nodes) of every node.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::And(a, b) = n {
+                level[i] = 1 + level[a.node() as usize].max(level[b.node() as usize]);
+            }
+        }
+        level
+    }
+
+    /// Depth of the network: maximum level over outputs.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .map(|l| levels[l.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fanout count per node (edges from AND fanins and outputs).
+    pub fn fanouts(&self) -> Vec<u32> {
+        let mut fan = vec![0u32; self.nodes.len()];
+        for n in &self.nodes {
+            if let Node::And(a, b) = n {
+                fan[a.node() as usize] += 1;
+                fan[b.node() as usize] += 1;
+            }
+        }
+        for o in &self.outputs {
+            fan[o.node() as usize] += 1;
+        }
+        fan
+    }
+
+    /// Rebuilds the AIG keeping only logic reachable from the outputs
+    /// (removes dangling nodes); input count and order are preserved.
+    pub fn cleanup(&self) -> Aig {
+        let mut out = Aig::new();
+        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        map[0] = Some(Lit::FALSE);
+        // Inputs must all exist in the copy, in order.
+        for &i in &self.inputs {
+            let lit = out.input();
+            map[i as usize] = Some(lit);
+        }
+        // Mark reachable nodes.
+        let mut needed = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|l| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if needed[n as usize] {
+                continue;
+            }
+            needed[n as usize] = true;
+            if let Node::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        // Copy in topological (index) order.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !needed[i] || map[i].is_some() {
+                continue;
+            }
+            if let Node::And(a, b) = n {
+                let la = map[a.node() as usize].expect("fanin precedes node");
+                let lb = map[b.node() as usize].expect("fanin precedes node");
+                let fa = if a.is_complement() { la.not() } else { la };
+                let fb = if b.is_complement() { lb.not() } else { lb };
+                map[i] = Some(out.and(fa, fb));
+            }
+        }
+        for o in &self.outputs {
+            let l = map[o.node() as usize].expect("outputs are reachable");
+            out.output(if o.is_complement() { l.not() } else { l });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let l = Lit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_complement());
+        assert_eq!((!l).node(), 5);
+        assert!(!(!l).is_complement());
+        assert_eq!(l.regular(), Lit::new(5, false));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.not()), Lit::FALSE);
+        assert_eq!(aig.and_count(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_uses_three_ands() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let _ = aig.xor(a, b);
+        assert_eq!(aig.and_count(), 3);
+    }
+
+    #[test]
+    fn depth_and_levels() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.output(abc);
+        assert_eq!(aig.depth(), 2);
+        let levels = aig.levels();
+        assert_eq!(levels[ab.node() as usize], 1);
+        assert_eq!(levels[abc.node() as usize], 2);
+    }
+
+    #[test]
+    fn cleanup_drops_dangling() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let used = aig.and(a, b);
+        let _dangling = aig.and(a, b.not());
+        aig.output(used);
+        assert_eq!(aig.and_count(), 2);
+        let clean = aig.cleanup();
+        assert_eq!(clean.and_count(), 1);
+        assert_eq!(clean.input_count(), 2);
+        assert_eq!(clean.output_count(), 1);
+    }
+
+    #[test]
+    fn many_input_builders() {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..5).map(|_| aig.input()).collect();
+        let all = aig.and_many(&xs);
+        let any = aig.or_many(&xs);
+        let parity = aig.xor_many(&xs);
+        aig.output(all);
+        aig.output(any);
+        aig.output(parity);
+        // Spot-check with simulation in sim.rs tests; here check structure.
+        assert!(aig.and_count() >= 4 + 4 + 4 * 3);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        assert_eq!(aig.xor_many(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.and(a, b);
+        let y = aig.and(x, a.not());
+        aig.output(x);
+        aig.output(y);
+        let fan = aig.fanouts();
+        assert_eq!(fan[a.node() as usize], 2);
+        assert_eq!(fan[x.node() as usize], 2); // y + output
+    }
+}

@@ -1,0 +1,54 @@
+//! Structurally hashed and-inverter graphs (AIGs) with logic-synthesis
+//! passes — the "ABC `resyn2rs`" substitute of the paper's §4 flow.
+//!
+//! The paper synthesizes benchmark circuits with ABC before technology
+//! mapping. What mapping quality actually depends on is (a) a reasonably
+//! compact multi-level network and (b) cut enumeration over it; this crate
+//! provides both:
+//!
+//! * [`Aig`] — the network: constant node, primary inputs, two-input AND
+//!   nodes with complemented edges, structural hashing and standard
+//!   builders (`and`, `or`, `xor`, `mux`, adders via callers);
+//! * [`balance()`](crate::balance::balance) — delay-oriented AND-tree
+//!   rebalancing;
+//! * [`refactor()`](crate::refactor::refactor) — cut-based resynthesis via
+//!   irredundant SOPs, accepted only when it shrinks the network;
+//! * [`synthesize()`](crate::synth::synthesize) — the `resyn2rs`-style
+//!   script combining the passes with revert-on-regression;
+//! * [`sim`] — 64-way bit-parallel simulation;
+//! * [`check`] — equivalence checking (exhaustive for small
+//!   input counts, random otherwise).
+//!
+//! # Example
+//!
+//! ```
+//! use aig::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let sum = aig.xor(a, b);
+//! let carry = aig.and(a, b);
+//! aig.output(sum);
+//! aig.output(carry);
+//! assert_eq!(aig.input_count(), 2);
+//! assert!(aig.and_count() >= 4); // XOR costs 3 ANDs, carry 1
+//! ```
+
+pub mod aiger;
+pub mod balance;
+pub mod check;
+pub mod cuts;
+pub mod graph;
+pub mod refactor;
+pub mod sim;
+pub mod synth;
+
+pub use aiger::{from_aiger_ascii, to_aiger_ascii};
+pub use balance::balance;
+pub use check::equivalent;
+pub use cuts::{enumerate_cuts, Cut, CutConfig};
+pub use graph::{Aig, Lit};
+pub use refactor::refactor;
+pub use sim::simulate64;
+pub use synth::synthesize;

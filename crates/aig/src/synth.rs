@@ -1,0 +1,124 @@
+//! The `resyn2rs`-style synthesis script: interleaved balancing and
+//! refactoring with revert-on-regression.
+
+use crate::balance::balance;
+use crate::graph::Aig;
+use crate::refactor::refactor;
+
+/// Synthesizes an AIG: cleanup, then alternating balance/refactor rounds.
+///
+/// Every step is accepted only if it improves the (depth, size) objective
+/// lexicographically the way ABC's scripts do in aggregate: `balance` must
+/// not worsen size by more than it helps depth, `refactor` must strictly
+/// reduce the AND count. Two rounds suffice to reach a fixpoint on the
+/// benchmark set.
+///
+/// # Example
+///
+/// ```
+/// use aig::{Aig, synthesize, equivalent};
+///
+/// let mut aig = Aig::new();
+/// let xs: Vec<_> = (0..6).map(|_| aig.input()).collect();
+/// let mut acc = xs[0];
+/// for &x in &xs[1..] {
+///     acc = aig.and(acc, x); // deliberately serial
+/// }
+/// aig.output(acc);
+/// let opt = synthesize(&aig);
+/// assert!(opt.depth() < aig.depth());
+/// assert!(equivalent(&aig, &opt, 7, 32));
+/// ```
+pub fn synthesize(aig: &Aig) -> Aig {
+    let mut best = aig.cleanup();
+    for _round in 0..2 {
+        let balanced = balance(&best);
+        if accept_balance(&best, &balanced) {
+            best = balanced;
+        }
+        let refactored = refactor(&best);
+        if refactored.and_count() < best.and_count() {
+            best = refactored;
+        }
+    }
+    // Final balance for depth.
+    let balanced = balance(&best);
+    if accept_balance(&best, &balanced) {
+        best = balanced;
+    }
+    best
+}
+
+/// Accepts a balanced candidate when it helps depth without an outsized
+/// size regression, or shrinks at equal depth.
+fn accept_balance(current: &Aig, candidate: &Aig) -> bool {
+    let (d0, n0) = (current.depth(), current.and_count());
+    let (d1, n1) = (candidate.depth(), candidate.and_count());
+    if d1 < d0 {
+        n1 <= n0 + n0 / 5
+    } else {
+        d1 == d0 && n1 <= n0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::equivalent;
+    use crate::graph::Lit;
+
+    #[test]
+    fn synthesis_preserves_function() {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..10).map(|_| aig.input()).collect();
+        // Mix of structures: parity, majority-ish, chains.
+        let parity = aig.xor_many(&xs[..6]);
+        let mut chain = xs[6];
+        for &x in &xs[7..] {
+            chain = aig.or(chain, x);
+        }
+        let t1 = aig.and(xs[0], xs[5]);
+        let mixed = aig.mux(parity, chain, t1);
+        aig.output(parity);
+        aig.output(chain);
+        aig.output(mixed);
+        let opt = synthesize(&aig);
+        assert!(equivalent(&aig, &opt, 0xA5, 64));
+        assert!(opt.and_count() <= aig.and_count());
+        assert!(opt.depth() <= aig.depth());
+    }
+
+    #[test]
+    fn synthesis_never_grows() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        // Redundant logic: (a&b)|(a&!b) = a.
+        let t1 = aig.and(a, b);
+        let t2 = aig.and(a, b.not());
+        let f = aig.or(t1, t2);
+        let g = aig.and(f, c);
+        aig.output(g);
+        let opt = synthesize(&aig);
+        assert!(equivalent(&aig, &opt, 77, 16));
+        assert!(
+            opt.and_count() < aig.and_count(),
+            "redundancy should be removed: {} vs {}",
+            opt.and_count(),
+            aig.and_count()
+        );
+    }
+
+    #[test]
+    fn idempotent_fixpoint() {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..5).map(|_| aig.input()).collect();
+        let f = aig.xor_many(&xs);
+        aig.output(f);
+        let once = synthesize(&aig);
+        let twice = synthesize(&once);
+        assert_eq!(once.and_count(), twice.and_count());
+        assert_eq!(once.depth(), twice.depth());
+    }
+}

@@ -1,0 +1,146 @@
+//! The Table-1 benchmark catalog: the 12 circuits, in the paper's row
+//! order, with their functional descriptions.
+
+use crate::alu::{alu_control_circuit, alu_selector_circuit, dedicated_alu_circuit};
+use crate::des::des_circuit;
+use crate::ecc::{sec_circuit, sec_ded_circuit};
+use crate::logicblocks::{i10_circuit, i8_circuit, t481_circuit};
+use crate::multiplier::multiplier_circuit;
+use aig::Aig;
+
+/// A named benchmark with its paper row metadata.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Paper circuit name (e.g. `C6288`).
+    pub name: &'static str,
+    /// The paper's "Function" column.
+    pub function: &'static str,
+    /// The generated stand-in network.
+    pub aig: Aig,
+}
+
+/// Builds all 12 Table-1 benchmarks in row order.
+///
+/// # Example
+///
+/// ```
+/// let rows = bench_circuits::table1_benchmarks();
+/// assert_eq!(rows.len(), 12);
+/// assert_eq!(rows[5].name, "C6288");
+/// ```
+pub fn table1_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "C2670",
+            function: "ALU and control",
+            aig: alu_control_circuit(16),
+        },
+        Benchmark {
+            name: "C1908",
+            function: "Error correcting",
+            aig: sec_ded_circuit(16),
+        },
+        Benchmark {
+            name: "C3540",
+            function: "ALU and control",
+            aig: alu_control_circuit(32),
+        },
+        Benchmark {
+            name: "dalu",
+            function: "Dedicated ALU",
+            aig: dedicated_alu_circuit(64),
+        },
+        Benchmark {
+            name: "C7552",
+            function: "ALU and control",
+            aig: alu_control_circuit(44),
+        },
+        Benchmark {
+            name: "C6288",
+            function: "Multiplier",
+            aig: multiplier_circuit(16),
+        },
+        Benchmark {
+            name: "C5315",
+            function: "ALU and selector",
+            aig: alu_selector_circuit(36),
+        },
+        Benchmark {
+            name: "des",
+            function: "Data encryption",
+            aig: des_circuit(),
+        },
+        Benchmark {
+            name: "i10",
+            function: "Logic",
+            aig: i10_circuit(),
+        },
+        Benchmark {
+            name: "t481",
+            function: "Logic",
+            aig: t481_circuit(),
+        },
+        Benchmark {
+            name: "i8",
+            function: "Logic",
+            aig: i8_circuit(),
+        },
+        Benchmark {
+            name: "C1355",
+            function: "Error correcting",
+            aig: sec_circuit(32),
+        },
+    ]
+}
+
+/// Builds a single benchmark by its paper name.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    table1_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_in_paper_order() {
+        let rows = table1_benchmarks();
+        let names: Vec<&str> = rows.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "C2670", "C1908", "C3540", "dalu", "C7552", "C6288", "C5315", "des", "i10",
+                "t481", "i8", "C1355"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let b = benchmark_by_name("C6288").expect("C6288 exists");
+        assert_eq!(b.function, "Multiplier");
+        assert!(benchmark_by_name("C9999").is_none());
+    }
+
+    #[test]
+    fn all_benchmarks_are_nontrivial() {
+        for b in table1_benchmarks() {
+            assert!(b.aig.and_count() > 50, "{} too small", b.name);
+            assert!(b.aig.output_count() > 0, "{} has no outputs", b.name);
+        }
+    }
+
+    #[test]
+    fn xor_rich_rows_are_the_multiplier_and_ecc() {
+        // Sanity: the multiplier dwarfs the others (as in the paper).
+        let rows = table1_benchmarks();
+        let sizes: Vec<(&str, usize)> =
+            rows.iter().map(|b| (b.name, b.aig.and_count())).collect();
+        let c6288 = sizes.iter().find(|(n, _)| *n == "C6288").expect("row").1;
+        for (name, size) in &sizes {
+            if *name != "C6288" && *name != "des" {
+                assert!(c6288 > *size, "C6288 ({c6288}) should exceed {name} ({size})");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Array multiplier — the C6288 stand-in (the paper's most XOR-rich
+//! benchmark, with the largest generalized-library wins).
+
+use crate::words::{full_adder, ripple_add, Word};
+use aig::{Aig, Lit};
+
+/// Builds an `n × n` carry-save array multiplier returning the `2n`-bit
+/// product. Partial-product columns are reduced with full/half adders
+/// (3:2 compression, the structure of the real C6288) and the final two
+/// rows are merged with a ripple adder.
+pub fn multiplier(aig: &mut Aig, a: &Word, b: &Word) -> Word {
+    assert_eq!(a.len(), b.len(), "multiplier width mismatch");
+    let n = a.len();
+    let width = 2 * n;
+    // Column-wise partial products.
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); width];
+    for (i, &bi) in b.0.iter().enumerate() {
+        for (j, &aj) in a.0.iter().enumerate() {
+            columns[i + j].push(aig.and(aj, bi));
+        }
+    }
+    // Carry-save reduction: compress every column to ≤2 bits.
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<Lit>> = vec![Vec::new(); width];
+        for (c, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, carry) = full_adder(aig, col[i], col[i + 1], col[i + 2]);
+                next[c].push(s);
+                if c + 1 < width {
+                    next[c + 1].push(carry);
+                }
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                // Half adder.
+                let s = aig.xor(col[i], col[i + 1]);
+                let carry = aig.and(col[i], col[i + 1]);
+                next[c].push(s);
+                if c + 1 < width {
+                    next[c + 1].push(carry);
+                }
+            } else if col.len() - i == 1 {
+                next[c].push(col[i]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition of the two remaining rows.
+    let row0 = Word(
+        columns
+            .iter()
+            .map(|c| c.first().copied().unwrap_or(Lit::FALSE))
+            .collect(),
+    );
+    let row1 = Word(
+        columns
+            .iter()
+            .map(|c| c.get(1).copied().unwrap_or(Lit::FALSE))
+            .collect(),
+    );
+    let (sum, _) = ripple_add(aig, &row0, &row1, Lit::FALSE);
+    sum
+}
+
+/// The complete benchmark circuit: inputs, multiplier, product outputs.
+pub fn multiplier_circuit(bits: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = Word::inputs(&mut aig, bits);
+    let b = Word::inputs(&mut aig, bits);
+    let p = multiplier(&mut aig, &a, &b);
+    p.output(&mut aig);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::evaluate;
+
+    #[test]
+    fn four_bit_products_are_exact() {
+        let aig = multiplier_circuit(4);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push((x >> i) & 1 == 1);
+                }
+                for i in 0..4 {
+                    inputs.push((y >> i) & 1 == 1);
+                }
+                let out = evaluate(&aig, &inputs);
+                let got = out
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+                assert_eq!(got, x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_and_interface() {
+        let aig = multiplier_circuit(8);
+        assert_eq!(aig.input_count(), 16);
+        assert_eq!(aig.output_count(), 16);
+        assert!(aig.and_count() > 300, "8×8 array should be sizeable");
+    }
+}

@@ -1,0 +1,336 @@
+//! Word-level construction helpers over AIGs: the datapath building blocks
+//! shared by all benchmark generators.
+
+use aig::{Aig, Lit};
+
+/// A little-endian vector of literals (bit 0 first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Word(pub Vec<Lit>);
+
+impl Word {
+    /// Allocates `bits` fresh primary inputs.
+    pub fn inputs(aig: &mut Aig, bits: usize) -> Self {
+        Word((0..bits).map(|_| aig.input()).collect())
+    }
+
+    /// A constant word.
+    pub fn constant(value: u64, bits: usize) -> Self {
+        Word(
+            (0..bits)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Width in bits.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the word is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Bit accessor.
+    pub fn bit(&self, i: usize) -> Lit {
+        self.0[i]
+    }
+
+    /// Registers every bit as a primary output.
+    pub fn output(&self, aig: &mut Aig) {
+        for &b in &self.0 {
+            aig.output(b);
+        }
+    }
+}
+
+/// Full adder: returns (sum, carry).
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let c1 = aig.and(a, b);
+    let c2 = aig.and(axb, cin);
+    let cout = aig.or(c1, c2);
+    (sum, cout)
+}
+
+/// Ripple-carry addition; returns (sum, carry-out).
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn ripple_add(aig: &mut Aig, a: &Word, b: &Word, cin: Lit) -> (Word, Lit) {
+    assert_eq!(a.len(), b.len(), "adder width mismatch");
+    let mut carry = cin;
+    let mut bits = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c) = full_adder(aig, a.bit(i), b.bit(i), carry);
+        bits.push(s);
+        carry = c;
+    }
+    (Word(bits), carry)
+}
+
+/// Two's-complement subtraction `a - b`; returns (difference, borrow-free
+/// carry-out).
+pub fn ripple_sub(aig: &mut Aig, a: &Word, b: &Word) -> (Word, Lit) {
+    let nb = Word(b.0.iter().map(|l| l.not()).collect());
+    ripple_add(aig, a, &nb, Lit::TRUE)
+}
+
+/// Bitwise map over two words.
+pub fn bitwise(aig: &mut Aig, a: &Word, b: &Word, mut f: impl FnMut(&mut Aig, Lit, Lit) -> Lit) -> Word {
+    assert_eq!(a.len(), b.len(), "bitwise width mismatch");
+    Word(
+        a.0.iter()
+            .zip(b.0.iter())
+            .map(|(&x, &y)| f(aig, x, y))
+            .collect(),
+    )
+}
+
+/// 2:1 word multiplexer: `sel ? t : e`.
+pub fn mux_word(aig: &mut Aig, sel: Lit, t: &Word, e: &Word) -> Word {
+    assert_eq!(t.len(), e.len(), "mux width mismatch");
+    Word(
+        t.0.iter()
+            .zip(e.0.iter())
+            .map(|(&x, &y)| aig.mux(sel, x, y))
+            .collect(),
+    )
+}
+
+/// Selects one of `options` by a binary select word (mux tree).
+///
+/// # Panics
+///
+/// Panics if `options` is empty or the select word is too narrow.
+pub fn select(aig: &mut Aig, sel: &Word, options: &[Word]) -> Word {
+    assert!(!options.is_empty(), "empty selector options");
+    assert!(
+        1usize << sel.len() >= options.len(),
+        "select word too narrow"
+    );
+    let mut layer: Vec<Word> = options.to_vec();
+    for &s in &sel.0 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(mux_word(aig, s, &pair[1], &pair[0]));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+        if layer.len() == 1 {
+            break;
+        }
+    }
+    layer.swap_remove(0)
+}
+
+/// Equality comparator: 1 iff `a == b`.
+pub fn equal(aig: &mut Aig, a: &Word, b: &Word) -> Lit {
+    let diffs: Vec<Lit> = a
+        .0
+        .iter()
+        .zip(b.0.iter())
+        .map(|(&x, &y)| aig.xnor(x, y))
+        .collect();
+    aig.and_many(&diffs)
+}
+
+/// Unsigned less-than comparator: 1 iff `a < b`.
+pub fn less_than(aig: &mut Aig, a: &Word, b: &Word) -> Lit {
+    // a < b ⇔ borrow out of a - b.
+    let (_, carry) = ripple_sub(aig, a, b);
+    carry.not()
+}
+
+/// Parity (XOR-reduce) of a word.
+pub fn parity(aig: &mut Aig, a: &Word) -> Lit {
+    aig.xor_many(&a.0)
+}
+
+/// OR-reduce: 1 iff any bit set.
+pub fn any(aig: &mut Aig, a: &Word) -> Lit {
+    aig.or_many(&a.0)
+}
+
+/// Logical shift left by a constant, keeping width.
+pub fn shift_left(a: &Word, by: usize) -> Word {
+    let mut bits = vec![Lit::FALSE; by.min(a.len())];
+    bits.extend(a.0.iter().take(a.len().saturating_sub(by)).copied());
+    Word(bits)
+}
+
+/// Builds an arbitrary truth table over up to six literals (Shannon
+/// expansion into muxes; structural hashing shares cofactors).
+pub fn from_truth_table(aig: &mut Aig, tt: logic::TruthTable, inputs: &[Lit]) -> Lit {
+    assert_eq!(inputs.len(), tt.n_vars(), "truth-table arity mismatch");
+    build_tt(aig, tt, inputs, tt.n_vars())
+}
+
+fn build_tt(aig: &mut Aig, tt: logic::TruthTable, inputs: &[Lit], top: usize) -> Lit {
+    if tt.is_zero() {
+        return Lit::FALSE;
+    }
+    if tt.is_one() {
+        return Lit::TRUE;
+    }
+    let var = (0..top).rev().find(|&v| tt.depends_on(v)).expect("non-constant");
+    let hi = build_tt(aig, tt.cofactor1(var), inputs, var);
+    let lo = build_tt(aig, tt.cofactor0(var), inputs, var);
+    aig.mux(inputs[var], hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::evaluate;
+
+    fn eval_word(values: &[bool]) -> u64 {
+        values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    #[test]
+    fn adder_adds() {
+        let mut aig = Aig::new();
+        let a = Word::inputs(&mut aig, 4);
+        let b = Word::inputs(&mut aig, 4);
+        let (sum, carry) = ripple_add(&mut aig, &a, &b, Lit::FALSE);
+        sum.output(&mut aig);
+        aig.output(carry);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push((x >> i) & 1 == 1);
+                }
+                for i in 0..4 {
+                    inputs.push((y >> i) & 1 == 1);
+                }
+                let out = evaluate(&aig, &inputs);
+                let got = eval_word(&out[..4]) | ((out[4] as u64) << 4);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_subtracts_mod_16() {
+        let mut aig = Aig::new();
+        let a = Word::inputs(&mut aig, 4);
+        let b = Word::inputs(&mut aig, 4);
+        let (diff, _) = ripple_sub(&mut aig, &a, &b);
+        diff.output(&mut aig);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push((x >> i) & 1 == 1);
+                }
+                for i in 0..4 {
+                    inputs.push((y >> i) & 1 == 1);
+                }
+                let out = evaluate(&aig, &inputs);
+                assert_eq!(eval_word(&out), (x.wrapping_sub(y)) & 0xF, "{x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let mut aig = Aig::new();
+        let a = Word::inputs(&mut aig, 3);
+        let b = Word::inputs(&mut aig, 3);
+        let eq = equal(&mut aig, &a, &b);
+        let lt = less_than(&mut aig, &a, &b);
+        aig.output(eq);
+        aig.output(lt);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push((x >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    inputs.push((y >> i) & 1 == 1);
+                }
+                let out = evaluate(&aig, &inputs);
+                assert_eq!(out[0], x == y, "eq {x},{y}");
+                assert_eq!(out[1], x < y, "lt {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn selector_picks_option() {
+        let mut aig = Aig::new();
+        let options: Vec<Word> = (0..4).map(|_| Word::inputs(&mut aig, 2)).collect();
+        let sel = Word::inputs(&mut aig, 2);
+        let picked = select(&mut aig, &sel, &options);
+        picked.output(&mut aig);
+        // options values: o0=00,o1=01,o2=10,o3=11 patterns chosen per test.
+        for s in 0..4usize {
+            let mut inputs = vec![false; 10];
+            // Give option k the value k.
+            for k in 0..4 {
+                inputs[2 * k] = k & 1 == 1;
+                inputs[2 * k + 1] = k & 2 == 2;
+            }
+            inputs[8] = s & 1 == 1;
+            inputs[9] = s & 2 == 2;
+            let out = evaluate(&aig, &inputs);
+            assert_eq!(eval_word(&out), s as u64, "select {s}");
+        }
+    }
+
+    #[test]
+    fn parity_and_any() {
+        let mut aig = Aig::new();
+        let a = Word::inputs(&mut aig, 5);
+        let p = parity(&mut aig, &a);
+        let o = any(&mut aig, &a);
+        aig.output(p);
+        aig.output(o);
+        for x in 0..32u64 {
+            let inputs: Vec<bool> = (0..5).map(|i| (x >> i) & 1 == 1).collect();
+            let out = evaluate(&aig, &inputs);
+            assert_eq!(out[0], x.count_ones() % 2 == 1, "parity {x}");
+            assert_eq!(out[1], x != 0, "any {x}");
+        }
+    }
+
+    #[test]
+    fn truth_table_builder() {
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = (0..4).map(|_| aig.input()).collect();
+        let tt = logic::TruthTable::from_bits(4, 0x6996); // 4-bit parity
+        let f = from_truth_table(&mut aig, tt, &inputs);
+        aig.output(f);
+        for m in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(evaluate(&aig, &bits)[0], tt.eval_index(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn shift_left_keeps_width() {
+        let w = Word::constant(0b0110, 4);
+        let s = shift_left(&w, 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.bit(0), Lit::FALSE);
+        assert_eq!(s.bit(1), w.bit(0));
+    }
+}

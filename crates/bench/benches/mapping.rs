@@ -1,0 +1,29 @@
+//! Criterion bench: technology mapping (cut enumeration + NPN matching +
+//! covering) of a Table-1 benchmark onto each of the three libraries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gate_lib::GateFamily;
+
+fn bench_mapping(c: &mut Criterion) {
+    let aig = bench_circuits::benchmark_by_name("C1355")
+        .expect("C1355 exists")
+        .aig;
+    let synthesized = aig::synthesize(&aig);
+    let mut group = c.benchmark_group("techmap_c1355");
+    group.sample_size(10);
+    for family in GateFamily::ALL {
+        let lib = charlib::characterize_library(family);
+        group.bench_function(family.label(), |b| {
+            b.iter(|| techmap::map_aig(&synthesized, &lib))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.bench_function("resyn_c1355", |b| b.iter(|| aig::synthesize(&aig)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

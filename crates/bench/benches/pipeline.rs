@@ -1,0 +1,47 @@
+//! Criterion bench: the full per-circuit Table-1 pipeline (synthesize →
+//! map → time → power-estimate) and its power-simulation inner loop.
+
+use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gate_lib::GateFamily;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let aig = bench_circuits::benchmark_by_name("C1908")
+        .expect("C1908 exists")
+        .aig;
+    let synthesized = aig::synthesize(&aig);
+    let config = PipelineConfig {
+        patterns: 1 << 13,
+        ..PipelineConfig::default()
+    };
+    let mut group = c.benchmark_group("pipeline_c1908");
+    group.sample_size(10);
+    for family in GateFamily::ALL {
+        let lib = charlib::characterize_library(family);
+        group.bench_function(family.label(), |b| {
+            b.iter(|| evaluate_circuit(&synthesized, &lib, &config))
+        });
+    }
+    group.finish();
+
+    // The random-pattern power-simulation loop in isolation.
+    let lib = charlib::characterize_library(GateFamily::CntfetGeneralized);
+    let mapped = techmap::map_aig(&synthesized, &lib);
+    let mut group = c.benchmark_group("power_simulation");
+    group.sample_size(10);
+    group.bench_function("c1908_8k_patterns", |b| {
+        b.iter(|| power_est::simulate_activity(&mapped, &lib, 1 << 13, 5))
+    });
+    group.finish();
+
+    // Library characterization (the Fig. 5 flow).
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("generalized_46_cells", |b| {
+        b.iter(|| charlib::characterize_library(GateFamily::CntfetGeneralized))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

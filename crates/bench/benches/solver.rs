@@ -1,0 +1,58 @@
+//! Criterion bench: the spice-lite DC solver on the leakage circuits the
+//! characterization flow runs (the inner loop of the Fig. 5 "HSPICE" box).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use device::{Polarity, TechParams};
+use spice_lite::{Circuit, GROUND};
+
+fn nor3_leakage_circuit(tech: &TechParams, inputs: [bool; 3]) -> Circuit {
+    let nfet = tech.model(Polarity::N);
+    let pfet = tech.model(Polarity::P);
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource("VDD", vdd, GROUND, tech.vdd);
+    let mut gates = Vec::new();
+    for (i, &bit) in inputs.iter().enumerate() {
+        let g = ckt.node(format!("in{i}"));
+        ckt.add_vsource(format!("VIN{i}"), g, GROUND, if bit { tech.vdd } else { 0.0 });
+        gates.push(g);
+    }
+    let out = ckt.node("out");
+    // Pull-up: three series pFETs; pull-down: three parallel nFETs.
+    let m1 = ckt.node("m1");
+    let m2 = ckt.node("m2");
+    ckt.add_transistor("MP0", pfet, m1, gates[0], vdd);
+    ckt.add_transistor("MP1", pfet, m2, gates[1], m1);
+    ckt.add_transistor("MP2", pfet, out, gates[2], m2);
+    for (i, &g) in gates.iter().enumerate() {
+        ckt.add_transistor(format!("MN{i}"), nfet, out, g, GROUND);
+    }
+    ckt
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let tech = TechParams::cmos_32nm();
+    let mut group = c.benchmark_group("spice_lite_dc");
+    group.sample_size(30);
+    group.bench_function("nor3_parallel_leak", |b| {
+        let ckt = nor3_leakage_circuit(&tech, [false, false, false]);
+        b.iter(|| ckt.solve_dc().expect("converges"))
+    });
+    group.bench_function("nor3_series_leak", |b| {
+        let ckt = nor3_leakage_circuit(&tech, [true, true, true]);
+        b.iter(|| ckt.solve_dc().expect("converges"))
+    });
+    group.bench_function("pattern_simulator_cold", |b| {
+        use charlib::{LeakageSimulator, OffPattern};
+        let d = OffPattern::Device;
+        let pattern = OffPattern::series([d.clone(), OffPattern::parallel([d.clone(), d])]);
+        b.iter(|| {
+            let mut sim = LeakageSimulator::new(tech.clone());
+            sim.ioff(&pattern)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

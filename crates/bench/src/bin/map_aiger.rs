@@ -1,0 +1,60 @@
+//! Runs an external AIGER ASCII (`aag`) circuit through the full
+//! pipeline — the bridge for evaluating the *original* ISCAS'85/MCNC
+//! netlists (export them from ABC with `&write_aiger -s` or `write_aiger`)
+//! instead of this repository's synthetic stand-ins.
+//!
+//! ```text
+//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag
+//! ```
+
+use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
+use charlib::characterize_library;
+use gate_lib::GateFamily;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: map_aiger <circuit.aag> [--patterns N]");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let aig = aig::from_aiger_ascii(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "{path}: {} inputs, {} outputs, {} AND nodes",
+        aig.input_count(),
+        aig.output_count(),
+        aig.and_count()
+    );
+    let synthesized = aig::synthesize(&aig);
+    println!(
+        "after synthesis: {} AND nodes, depth {}",
+        synthesized.and_count(),
+        synthesized.depth()
+    );
+    let mut config = PipelineConfig::default();
+    if let Some(p) = bench::patterns_arg() {
+        config.patterns = p;
+    }
+    println!(
+        "\n{:<22} {:>7} {:>10} {:>10} {:>10} {:>12}",
+        "library", "gates", "delay", "P_D", "P_T", "EDP (J·s)"
+    );
+    for family in GateFamily::ALL {
+        let library = characterize_library(family);
+        let r = evaluate_circuit(&synthesized, &library, &config);
+        println!(
+            "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
+            family.label(),
+            r.gates,
+            format!("{}", r.delay),
+            format!("{}", r.power.dynamic),
+            format!("{}", r.total_power()),
+            r.edp().value(),
+        );
+    }
+}

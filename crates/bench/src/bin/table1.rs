@@ -1,0 +1,40 @@
+//! Regenerates **Table 1** of the paper: logic synthesis and technology
+//! mapping of 12 benchmarks with the three libraries.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1            # 64 K patterns
+//! cargo run --release -p bench --bin table1 -- --paper # 640 K (paper)
+//! cargo run --release -p bench --bin table1 -- --patterns 16384
+//! ```
+
+use ambipolar::experiments::{table1, Table1Config};
+use ambipolar::pipeline::PipelineConfig;
+
+fn main() {
+    let mut config = if bench::has_flag("--paper") {
+        Table1Config::paper()
+    } else {
+        Table1Config::quick()
+    };
+    if let Some(p) = bench::patterns_arg() {
+        config.pipeline = PipelineConfig {
+            patterns: p,
+            ..config.pipeline
+        };
+    }
+    eprintln!(
+        "running Table 1 with {} random patterns per circuit...",
+        config.pipeline.patterns
+    );
+    let started = std::time::Instant::now();
+    let table = table1(&config);
+    println!("{table}");
+    println!();
+    println!("Paper reference (averages): generalized 1145 gates / 64 ps / 19.84 µW PD / 0.23 µW PS / 23.05 µW PT / 1.59e-24 EDP");
+    println!("                            conventional 1462 / 89 / 29.25 / 0.33 / 33.97 / 3.85;  CMOS 1511 / 452 / 42.35 / 4.55 / 53.70 / 31.04");
+    println!("Paper improvements vs CMOS: generalized 24.2% gates, 7.1x delay, 53.4% PD, 94.5% PS, 57.1% PT, 19.5x EDP");
+    println!("                            conventional 3.2% gates, 5.1x delay, 30.9% PD, 92.7% PS, 36.7% PT, 8.1x EDP");
+    eprintln!("total runtime: {:?}", started.elapsed());
+}

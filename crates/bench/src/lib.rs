@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary regenerates one artifact of the paper (see `DESIGN.md` §4):
+//!
+//! * `table1` — Table 1 (12 benchmarks × 3 libraries);
+//! * `gate_library` — the §4 gate-level library comparison;
+//! * `patterns` — the §3.2 I_off pattern census;
+//! * `fig4_leakage` — the Fig. 4 stack-effect study;
+//! * `ablation_psc` — sensitivity of P_T to the P_SC = 0.15·P_D conjecture;
+//! * `ablation_patterns` — pattern classification vs exhaustive leakage.
+
+/// Returns true when the given flag is present on the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Reads `--patterns N` from the command line, if present.
+pub fn patterns_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--patterns")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,53 @@
+//! Power characterization of logic-gate libraries — the paper's §3
+//! methodology (Fig. 5 flow).
+//!
+//! For every gate in a library this crate computes the four power
+//! components of eq. (1)–(5):
+//!
+//! * **P_D** — dynamic power `α·C·f·V²` from the activity factor and the
+//!   fanout-3 load assumption;
+//! * **P_SC** — short-circuit power, the `0.15·P_D` conjecture of Nose &
+//!   Sakurai adopted by the paper;
+//! * **P_S** — static (sub-threshold) power, input-vector dependent,
+//!   computed with the **I_off pattern classification** of §3.2: every
+//!   input vector maps to a canonical series/parallel pattern of
+//!   off-transistors, only distinct patterns are simulated at circuit
+//!   level ([`spice_lite`]), and per-gate leakage is the average over
+//!   vectors;
+//! * **P_G** — gate-tunnelling power, evaluated with the same
+//!   pattern-based machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use charlib::characterize_library;
+//! use gate_lib::GateFamily;
+//!
+//! let lib = characterize_library(GateFamily::CntfetGeneralized);
+//! let inv = lib.find("INV").expect("INV exists");
+//! // Static power is orders of magnitude below dynamic power at 1 GHz.
+//! let p = inv.power_summary();
+//! assert!(p.dynamic.value() > 10.0 * p.static_sub.value());
+//! ```
+
+pub mod characterize;
+pub mod genlib;
+pub mod leakage;
+pub mod pattern;
+pub mod spice_export;
+pub mod topology;
+
+pub use characterize::{characterize_library, CharacterizedGate, CharacterizedLibrary, PowerSummary};
+pub use leakage::LeakageSimulator;
+pub use pattern::OffPattern;
+pub use spice_export::gate_to_spice;
+pub use topology::{gate_off_patterns, on_device_count};
+
+/// Operating frequency assumed throughout the paper's evaluation (1 GHz).
+pub const OPERATING_FREQUENCY_HZ: f64 = 1.0e9;
+
+/// Fanout assumed for gate-level load capacitance (paper §4).
+pub const FANOUT: usize = 3;
+
+/// The short-circuit conjecture P_SC ≈ 0.15 · P_D (Nose & Sakurai).
+pub const SHORT_CIRCUIT_FRACTION: f64 = 0.15;

@@ -1,0 +1,165 @@
+//! SPICE-deck export of library cells: renders a gate's transistor-level
+//! netlist (the schematic of Fig. 3) as a `.subckt`, so the cells can be
+//! inspected or re-simulated outside this workspace.
+//!
+//! Ambipolar devices print with an explicit polarity-gate terminal tied to
+//! the configuring rail; transmission gates expand into their
+//! opposite-polarity device pair exactly as in Fig. 2.
+
+use gate_lib::{Gate, Literal, SpNetwork};
+use std::fmt::Write as _;
+
+/// Renders a cell as a SPICE subcircuit.
+///
+/// Terminals: `vdd vss` plus pins `a b c …` (and their dual-rail
+/// complements `a_n b_n …` when the cell uses them) and output `y`.
+pub fn gate_to_spice(gate: &Gate) -> String {
+    let mut out = String::new();
+    let pins: Vec<String> = (0..gate.n_inputs)
+        .map(|v| ((b'a' + v as u8) as char).to_string())
+        .collect();
+    let _ = writeln!(
+        out,
+        "* {} — {} transistors, f = {}",
+        gate.name,
+        gate.transistor_count(),
+        gate.function
+    );
+    let _ = writeln!(out, ".subckt {} vdd vss {} y", gate.name, pins.join(" "));
+    let mut counter = 0usize;
+    let mut internal = 0usize;
+    // Core output node: `y` directly, or the inverter input.
+    let core_out = if gate.output_inverter { "y_core" } else { "y" }.to_owned();
+    emit_network(&mut out, &gate.pull_up, "vdd", &core_out, true, &mut counter, &mut internal);
+    emit_network(&mut out, &gate.pull_down, &core_out, "vss", false, &mut counter, &mut internal);
+    if gate.output_inverter {
+        let _ = writeln!(out, "MP{counter} y {core_out} vdd vdd pfet");
+        let _ = writeln!(out, "MN{} y {core_out} vss vss nfet", counter + 1);
+    }
+    let _ = writeln!(out, ".ends {}", gate.name);
+    out
+}
+
+fn lit_node(lit: Literal) -> String {
+    let name = (b'a' + lit.var) as char;
+    if lit.positive {
+        name.to_string()
+    } else {
+        format!("{name}_n")
+    }
+}
+
+fn emit_network(
+    out: &mut String,
+    net: &SpNetwork,
+    top: &str,
+    bottom: &str,
+    is_pull_up: bool,
+    counter: &mut usize,
+    internal: &mut usize,
+) {
+    match net {
+        SpNetwork::Transistor { gate, polarity } => {
+            let model = match polarity {
+                device::Polarity::N => "nfet",
+                device::Polarity::P => "pfet",
+            };
+            let bulk = if is_pull_up { "vdd" } else { "vss" };
+            let _ = writeln!(
+                out,
+                "M{} {top} {} {bottom} {bulk} {model}",
+                *counter,
+                lit_node(*gate)
+            );
+            *counter += 1;
+        }
+        SpNetwork::TransmissionGate { a, b } => {
+            // The complementary ambipolar pair of Fig. 2: polarity gates
+            // carry `a`/`a'`, conventional gates `b`/`b'`.
+            let _ = writeln!(
+                out,
+                "XA{} {top} {} {} {bottom} ambipolar ; PG={}",
+                *counter,
+                lit_node(*b),
+                lit_node(*a),
+                lit_node(*a)
+            );
+            let _ = writeln!(
+                out,
+                "XA{} {top} {} {} {bottom} ambipolar ; PG={}",
+                *counter + 1,
+                lit_node(b.complement()),
+                lit_node(a.complement()),
+                lit_node(a.complement())
+            );
+            *counter += 2;
+        }
+        SpNetwork::Series(xs) => {
+            let mut upper = top.to_owned();
+            for (i, x) in xs.iter().enumerate() {
+                let lower = if i + 1 == xs.len() {
+                    bottom.to_owned()
+                } else {
+                    *internal += 1;
+                    format!("int{}", *internal)
+                };
+                emit_network(out, x, &upper, &lower, is_pull_up, counter, internal);
+                upper = lower;
+            }
+        }
+        SpNetwork::Parallel(xs) => {
+            for x in xs {
+                emit_network(out, x, top, bottom, is_pull_up, counter, internal);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gate_lib::{generate_library, GateFamily};
+
+    #[test]
+    fn nand2_deck_has_four_devices() {
+        let lib = generate_library(GateFamily::Cmos);
+        let nand = lib.iter().find(|g| g.name == "NAND2").expect("NAND2");
+        let deck = gate_to_spice(nand);
+        assert!(deck.contains(".subckt NAND2 vdd vss a b y"));
+        assert_eq!(deck.matches("nfet").count(), 2);
+        assert_eq!(deck.matches("pfet").count(), 2);
+        assert!(deck.contains(".ends NAND2"));
+    }
+
+    #[test]
+    fn gnand2_deck_expands_tgs() {
+        let lib = generate_library(GateFamily::CntfetGeneralized);
+        let gnand = lib.iter().find(|g| g.name == "GNAND2").expect("GNAND2");
+        let deck = gate_to_spice(gnand);
+        // 4 TGs (2 PU + 2 PD) × 2 devices each.
+        assert_eq!(deck.matches("ambipolar").count(), 8);
+        // Dual-rail complement nodes appear.
+        assert!(deck.contains("a_n") || deck.contains("b_n"));
+    }
+
+    #[test]
+    fn two_stage_cells_emit_the_inverter() {
+        let lib = generate_library(GateFamily::Cmos);
+        let and2 = lib.iter().find(|g| g.name == "AND2").expect("AND2");
+        let deck = gate_to_spice(and2);
+        assert!(deck.contains("y_core"), "core node present:\n{deck}");
+        // 4 core + 2 inverter devices.
+        let devices = deck.matches("nfet").count() + deck.matches("pfet").count();
+        assert_eq!(devices, 6);
+    }
+
+    #[test]
+    fn every_cell_exports_without_panic() {
+        for family in GateFamily::ALL {
+            for gate in generate_library(family) {
+                let deck = gate_to_spice(&gate);
+                assert!(deck.contains(&format!(".ends {}", gate.name)));
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The gate topology analyzer of Fig. 5: maps every input vector of a gate
+//! onto its off-current pattern and counts conducting devices.
+//!
+//! Given an input vector, each element of the non-driving network is
+//! classified on/off; on-elements become shorts (negligible resistance per
+//! §3.2), off-elements shorted by parallel on-paths vanish, and what
+//! remains is the canonical [`OffPattern`] through which the gate leaks.
+
+use crate::pattern::OffPattern;
+use gate_lib::{Gate, SpNetwork};
+
+/// Result of reducing a network under a concrete input vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Reduction {
+    /// The (sub)network conducts: it behaves as a short circuit.
+    Short,
+    /// The (sub)network is blocking; the off-pattern carries the leakage.
+    Off(OffPattern),
+}
+
+/// Reduces a series/parallel network to its off-pattern under `inputs`.
+fn reduce(net: &SpNetwork, inputs: &[bool]) -> Reduction {
+    match net {
+        SpNetwork::Transistor { .. } => {
+            if net.conducts(inputs) {
+                Reduction::Short
+            } else {
+                Reduction::Off(OffPattern::Device)
+            }
+        }
+        SpNetwork::TransmissionGate { .. } => {
+            if net.conducts(inputs) {
+                Reduction::Short
+            } else {
+                // Both devices of the pair are off, in parallel — the
+                // paper's observation that TG leakage is twice a single
+                // transistor's.
+                Reduction::Off(OffPattern::parallel([OffPattern::Device, OffPattern::Device]))
+            }
+        }
+        SpNetwork::Series(xs) => {
+            let mut off_children = Vec::new();
+            for x in xs {
+                match reduce(x, inputs) {
+                    Reduction::Short => {}
+                    Reduction::Off(p) => off_children.push(p),
+                }
+            }
+            if off_children.is_empty() {
+                Reduction::Short
+            } else {
+                Reduction::Off(OffPattern::series(off_children))
+            }
+        }
+        SpNetwork::Parallel(xs) => {
+            let mut off_children = Vec::new();
+            for x in xs {
+                match reduce(x, inputs) {
+                    // One conducting branch shorts the whole group.
+                    Reduction::Short => return Reduction::Short,
+                    Reduction::Off(p) => off_children.push(p),
+                }
+            }
+            Reduction::Off(OffPattern::parallel(off_children))
+        }
+    }
+}
+
+/// The off-patterns a gate leaks through for one input vector: the blocked
+/// core network plus one single-device pattern per (internal or output)
+/// inverter.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the gate's input count, or if the
+/// gate is non-complementary (its blocked network conducts).
+pub fn gate_off_patterns(gate: &Gate, inputs: &[bool]) -> Vec<OffPattern> {
+    assert_eq!(inputs.len(), gate.n_inputs, "input vector arity mismatch");
+    let core_out = gate.pull_up.conducts(inputs);
+    // The non-driving network: PU conducts when core = 1, so the blocked
+    // network is PD in that case, and vice versa.
+    let blocked = if core_out { &gate.pull_down } else { &gate.pull_up };
+    let mut patterns = Vec::with_capacity(2);
+    match reduce(blocked, inputs) {
+        Reduction::Off(p) => patterns.push(p),
+        Reduction::Short => panic!(
+            "gate {}: blocked network conducts under {:?}",
+            gate.name, inputs
+        ),
+    }
+    // Every inverter (output or internal complement-generation) has exactly
+    // one off device regardless of its input value.
+    let inverters = usize::from(gate.output_inverter) + gate.internal_inverter_count();
+    for _ in 0..inverters {
+        patterns.push(OffPattern::Device);
+    }
+    patterns
+}
+
+/// Counts conducting transistors for one input vector (used for the
+/// gate-tunnelling estimate: on-devices see the full gate bias).
+///
+/// A conducting transmission gate contributes one on-device (of its pair);
+/// inverters always contribute exactly one.
+pub fn on_device_count(gate: &Gate, inputs: &[bool]) -> usize {
+    fn count(net: &SpNetwork, inputs: &[bool]) -> usize {
+        match net {
+            SpNetwork::Transistor { .. } => usize::from(net.conducts(inputs)),
+            SpNetwork::TransmissionGate { .. } => usize::from(net.conducts(inputs)),
+            SpNetwork::Series(xs) | SpNetwork::Parallel(xs) => {
+                xs.iter().map(|x| count(x, inputs)).sum()
+            }
+        }
+    }
+    let inverters = usize::from(gate.output_inverter) + gate.internal_inverter_count();
+    count(&gate.pull_up, inputs) + count(&gate.pull_down, inputs) + inverters
+}
+
+/// Iterates all input vectors of a gate as boolean slices.
+pub fn input_vectors(n_inputs: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0..(1usize << n_inputs)).map(move |i| (0..n_inputs).map(|k| (i >> k) & 1 == 1).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gate_lib::{GateFamily, Literal};
+
+    fn nor3_like() -> Gate {
+        // The paper's Fig. 4 example is a 3-input NOR; our library caps
+        // parallel groups at two, so build it directly for the test
+        // (validation of the composition rule is skipped via struct build).
+        let pd = SpNetwork::parallel([
+            SpNetwork::parallel([SpNetwork::nfet(0), SpNetwork::nfet(1)]),
+            SpNetwork::nfet(2),
+        ]);
+        let pu = pd.dual();
+        Gate {
+            name: "NOR3".into(),
+            family: GateFamily::Cmos,
+            n_inputs: 3,
+            function: pu.condition(3),
+            pull_up: pu,
+            pull_down: pd,
+            output_inverter: false,
+        }
+    }
+
+    #[test]
+    fn nor3_all_zero_gives_three_parallel_offs() {
+        // Fig. 4(a): input [0 0 0] → output 1 → PD blocked: three parallel
+        // off transistors.
+        let gate = nor3_like();
+        let patterns = gate_off_patterns(&gate, &[false, false, false]);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(
+            patterns[0],
+            OffPattern::parallel([OffPattern::Device, OffPattern::Device, OffPattern::Device])
+        );
+    }
+
+    #[test]
+    fn nor3_all_one_gives_three_series_offs() {
+        // Fig. 4(b): input [1 1 1] → output 0 → PU blocked: three series
+        // off transistors.
+        let gate = nor3_like();
+        let patterns = gate_off_patterns(&gate, &[true, true, true]);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].series_depth(), 3);
+        assert_eq!(patterns[0].device_count(), 3);
+    }
+
+    #[test]
+    fn nor3_partial_vectors_share_pattern() {
+        // §3.2: NOR3 with [1 1 0] and [1 0 1] generate the same pattern.
+        let gate = nor3_like();
+        let p110 = gate_off_patterns(&gate, &[true, true, false]);
+        let p101 = gate_off_patterns(&gate, &[true, false, true]);
+        assert_eq!(p110, p101);
+    }
+
+    #[test]
+    fn nand2_pattern_census() {
+        let lib = gate_lib::generate_library(GateFamily::Cmos);
+        let nand = lib.iter().find(|g| g.name == "NAND2").expect("NAND2");
+        // [0 0]: out 1, PD blocked: two series offs.
+        let p = gate_off_patterns(nand, &[false, false]);
+        assert_eq!(p[0], OffPattern::series([OffPattern::Device, OffPattern::Device]));
+        // [1 1]: out 0, PU blocked: two parallel offs.
+        let p = gate_off_patterns(nand, &[true, true]);
+        assert_eq!(p[0], OffPattern::parallel([OffPattern::Device, OffPattern::Device]));
+        // [1 0]: out 1, PD has one on (a) and one off (b): single device.
+        let p = gate_off_patterns(nand, &[true, false]);
+        assert_eq!(p[0], OffPattern::Device);
+    }
+
+    #[test]
+    fn off_tg_counts_double_leakage() {
+        let lib = gate_lib::generate_library(GateFamily::CntfetGeneralized);
+        let xnor = lib.iter().find(|g| g.name == "XNOR2").expect("XNOR2");
+        // [0 0]: a⊕b = 0 → output 1 → PD (TG on a⊕b) blocked: both
+        // devices off in parallel.
+        let p = gate_off_patterns(xnor, &[false, false]);
+        assert_eq!(p[0], OffPattern::parallel([OffPattern::Device, OffPattern::Device]));
+    }
+
+    #[test]
+    fn inverters_add_single_device_patterns() {
+        let lib = gate_lib::generate_library(GateFamily::Cmos);
+        let and2 = lib.iter().find(|g| g.name == "AND2").expect("AND2");
+        let p = gate_off_patterns(and2, &[true, true]);
+        // Core blocked network + output inverter device.
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1], OffPattern::Device);
+        let xor2 = lib.iter().find(|g| g.name == "XOR2").expect("XOR2");
+        let p = gate_off_patterns(xor2, &[false, true]);
+        // Core + two internal inverters.
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn on_device_counts() {
+        let lib = gate_lib::generate_library(GateFamily::Cmos);
+        let nand = lib.iter().find(|g| g.name == "NAND2").expect("NAND2");
+        // [1 1]: PD both on (2), PU both off (0).
+        assert_eq!(on_device_count(nand, &[true, true]), 2);
+        // [0 0]: PD 0, PU both on (2).
+        assert_eq!(on_device_count(nand, &[false, false]), 2);
+        // [1 0]: PD one on, PU one on.
+        assert_eq!(on_device_count(nand, &[true, false]), 2);
+    }
+
+    #[test]
+    fn tg_literal_variants_classify_consistently() {
+        // An XNOR-passing TG must produce the same off pattern as the
+        // XOR-passing one when blocked.
+        let tg_xor = SpNetwork::tg(Literal::pos(0), Literal::pos(1));
+        let tg_xnor = SpNetwork::tg(Literal::pos(0), Literal::neg(1));
+        let r1 = reduce(&tg_xor, &[false, false]);
+        let r2 = reduce(&tg_xnor, &[true, false]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn input_vector_enumeration() {
+        let vs: Vec<_> = input_vectors(2).collect();
+        assert_eq!(vs.len(), 4);
+        assert_eq!(vs[0], vec![false, false]);
+        assert_eq!(vs[3], vec![true, true]);
+    }
+}

@@ -1,0 +1,28 @@
+//! The experiment pipeline reproducing the DATE 2010 study *Power
+//! Consumption of Logic Circuits in Ambipolar Carbon Nanotube Technology*
+//! (Ben Jamaa, Mohanram, De Micheli).
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`pipeline`] — synthesize → map → time → estimate for one circuit and
+//!   one gate family;
+//! * [`experiments`] — the paper's artifacts: [Table 1](experiments::table1)
+//!   (12 benchmarks × 3 families), the gate-level library comparison of §4,
+//!   the I_off pattern census of §3.2, and the Fig. 4 stack-effect study.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ambipolar::experiments::{table1, Table1Config};
+//!
+//! let table = table1(&Table1Config::quick());
+//! println!("{table}");
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use experiments::{
+    fig4_study, gate_library_comparison, pattern_census, table1, Table1, Table1Config,
+};
+pub use pipeline::{evaluate_circuit, CircuitResult, PipelineConfig};

@@ -1,0 +1,141 @@
+//! The per-circuit evaluation pipeline: synthesize once, then map, time
+//! and power-estimate against a characterized library.
+
+use aig::Aig;
+use charlib::CharacterizedLibrary;
+use device::{EnergyDelay, Power, Time};
+use power_est::{estimate_power, simulate_activity, PowerBreakdown};
+use techmap::{critical_path, map_aig, MappedNetlist};
+
+/// Pipeline knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Random patterns for power estimation (the paper uses 640 K).
+    pub patterns: usize,
+    /// Operating frequency, hertz (paper: 1 GHz).
+    pub frequency_hz: f64,
+    /// Simulation seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            patterns: 1 << 16,
+            frequency_hz: charlib::OPERATING_FREQUENCY_HZ,
+            seed: 0xDA7E_2010,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's full setting: 640 K random patterns.
+    pub fn paper() -> Self {
+        Self {
+            patterns: 640 * 1024,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything Table 1 reports for one circuit × one family.
+#[derive(Clone, Debug)]
+pub struct CircuitResult {
+    /// Mapped gate count (the "No." column).
+    pub gates: usize,
+    /// Critical-path delay.
+    pub delay: Time,
+    /// Power breakdown (P_D, P_SC, P_S, P_G).
+    pub power: PowerBreakdown,
+    /// Total cell area, m².
+    pub area: f64,
+    /// Total transistors.
+    pub transistors: usize,
+}
+
+impl CircuitResult {
+    /// Total power P_T.
+    pub fn total_power(&self) -> Power {
+        self.power.total()
+    }
+
+    /// Energy–delay product (P_T/f · delay).
+    pub fn edp(&self) -> EnergyDelay {
+        self.power.edp(self.delay)
+    }
+}
+
+/// Maps and evaluates an already-synthesized AIG against one library.
+pub fn evaluate_circuit(
+    synthesized: &Aig,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> CircuitResult {
+    let mapped = map_aig(synthesized, library);
+    evaluate_mapped(&mapped, library, config)
+}
+
+/// Evaluates an existing mapped netlist (exposed for reuse by benches).
+pub fn evaluate_mapped(
+    mapped: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> CircuitResult {
+    let sta = critical_path(mapped, library);
+    let activity = simulate_activity(mapped, library, config.patterns, config.seed);
+    let power = estimate_power(mapped, library, &activity, config.frequency_hz);
+    CircuitResult {
+        gates: mapped.gate_count(),
+        delay: sta.critical,
+        power,
+        area: mapped.area(library),
+        transistors: mapped.transistor_count(library),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlib::characterize_library;
+    use gate_lib::GateFamily;
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let aig = bench_circuits::benchmark_by_name("C1355").expect("C1355").aig;
+        let synthesized = aig::synthesize(&aig);
+        assert!(aig::equivalent(&aig, &synthesized, 3, 32));
+        let config = PipelineConfig {
+            patterns: 4096,
+            ..PipelineConfig::default()
+        };
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let r = evaluate_circuit(&synthesized, &lib, &config);
+            assert!(r.gates > 50, "{family}: gates {}", r.gates);
+            assert!(r.delay.value() > 0.0);
+            assert!(r.total_power().value() > 0.0);
+            assert!(r.edp().value() > 0.0);
+            assert!(r.area > 0.0);
+            assert!(r.transistors > r.gates);
+        }
+    }
+
+    #[test]
+    fn ecc_prefers_generalized_library() {
+        // C1355 is an XOR-dominated circuit: the generalized library must
+        // win on gates, delay and power simultaneously.
+        let aig = bench_circuits::benchmark_by_name("C1355").expect("C1355").aig;
+        let synthesized = aig::synthesize(&aig);
+        let config = PipelineConfig {
+            patterns: 8192,
+            ..PipelineConfig::default()
+        };
+        let gen = characterize_library(GateFamily::CntfetGeneralized);
+        let conv = characterize_library(GateFamily::CntfetConventional);
+        let r_gen = evaluate_circuit(&synthesized, &gen, &config);
+        let r_conv = evaluate_circuit(&synthesized, &conv, &config);
+        assert!(r_gen.gates < r_conv.gates, "{} vs {}", r_gen.gates, r_conv.gates);
+        assert!(r_gen.delay.value() < r_conv.delay.value());
+        assert!(r_gen.total_power().value() < r_conv.total_power().value());
+    }
+}

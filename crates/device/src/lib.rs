@@ -1,0 +1,45 @@
+//! Compact behavioural device models for the DATE 2010 ambipolar-CNTFET
+//! power study.
+//!
+//! The paper evaluates leakage with HSPICE using the Stanford MOSFET-like
+//! CNTFET model (emulating ambipolar devices as a parallel n/p pair, after
+//! O'Connor et al.) and takes 32 nm bulk-CMOS unit quantities from the ITRS
+//! MASTAR tool. Neither tool is redistributable, so this crate provides
+//! first-order compact models that reproduce the *unit quantities the paper
+//! actually consumes*:
+//!
+//! * sub-threshold leakage with drain-induced barrier lowering (the stack
+//!   effect of Fig. 4 emerges from the model, it is not hard-coded);
+//! * gate-tunnelling leakage (≈10 % of sub-threshold for CMOS, <1 % for
+//!   CNTFETs thanks to the high-κ gate stack);
+//! * unit gate/drain/source capacitances (CNTFET inverter input capacitance
+//!   36 aF vs 52 aF for CMOS — the paper's §4 numbers);
+//! * on-resistance consistent with the 5× intrinsic speed advantage of
+//!   CNTFETs reported by Deng et al. (ISSCC'07) and used by the paper.
+//!
+//! The central types are [`TechParams`] (a named technology point),
+//! [`CompactModel`] (a unipolar transistor I–V model) and
+//! [`AmbipolarCntfet`] (the double-gate device whose polarity gate selects
+//! n- or p-type behaviour, Fig. 1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use device::{TechParams, Polarity};
+//!
+//! let cnt = TechParams::cntfet_32nm();
+//! let nfet = cnt.model(Polarity::N);
+//! // Off-state leakage at Vgs = 0, Vds = VDD is the calibrated unit I_off.
+//! let ioff = nfet.ids(0.0, cnt.vdd, 0.0);
+//! assert!((ioff / cnt.ioff_unit - 1.0).abs() < 0.05);
+//! ```
+
+pub mod ambipolar;
+pub mod model;
+pub mod tech;
+pub mod units;
+
+pub use ambipolar::{AmbipolarCntfet, PolarityConfig};
+pub use model::{CompactModel, Polarity};
+pub use tech::{TechKind, TechParams};
+pub use units::{Capacitance, Current, Energy, EnergyDelay, Frequency, Power, Time, Voltage};

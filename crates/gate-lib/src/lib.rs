@@ -1,0 +1,43 @@
+//! The static ambipolar-CNTFET transmission-gate library of the paper
+//! (designed in Ben Jamaa et al., DATE'09, the paper's ref. \[3\]) plus the two comparison
+//! families.
+//!
+//! Three gate families are generated:
+//!
+//! * [`GateFamily::CntfetGeneralized`] — the 46-gate ambipolar library:
+//!   complementary pull-up/pull-down networks built from fixed-polarity
+//!   ambipolar CNTFETs and transmission gates (each TG conducts iff
+//!   `a ⊕ b = 1`, Fig. 2), so every literal slot of a classic gate can be
+//!   *generalized* to an XOR of two inputs (e.g. the generalized NAND
+//!   `!((A⊕C)&(B⊕D))`, Fig. 3);
+//! * [`GateFamily::CntfetConventional`] — the same conventional gate set as
+//!   CMOS, built from unipolar-configured CNTFETs;
+//! * [`GateFamily::Cmos`] — 32 nm bulk CMOS standard cells.
+//!
+//! Construction rule (paper §2.2): no more than two transmission gates or
+//! transistors in series or parallel within a pull-up/pull-down network.
+//!
+//! # Example
+//!
+//! ```
+//! use gate_lib::{GateFamily, generate_library};
+//!
+//! let lib = generate_library(GateFamily::CntfetGeneralized);
+//! assert_eq!(lib.len(), 46); // the paper's library size
+//! let gnand = lib.iter().find(|g| g.name == "GNAND2").expect("GNAND2 exists");
+//! assert_eq!(gnand.n_inputs, 4);
+//! ```
+
+pub mod dynamic;
+pub mod expressive;
+pub mod family;
+pub mod gate;
+pub mod generate;
+pub mod network;
+
+pub use family::GateFamily;
+pub use gate::Gate;
+pub use generate::generate_library;
+pub use network::{Literal, SpNetwork};
+pub use dynamic::DynamicGnor;
+pub use expressive::library_expressive_power;

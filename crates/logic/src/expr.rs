@@ -1,0 +1,339 @@
+//! A small Boolean expression AST with a text parser.
+//!
+//! Used to declare gate functions readably, e.g. the generalized NAND of the
+//! paper is `!( (a^c) & (b^d) )`. Variables are single letters `a`–`f`
+//! mapping to truth-table variables 0–5.
+//!
+//! Grammar (precedence low → high): `|`, `^`, `&`, unary `!`, parentheses.
+
+use std::fmt;
+
+use crate::truthtable::TruthTable;
+
+/// A Boolean expression over at most six variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant false/true.
+    Const(bool),
+    /// Variable by index (0–5, printed `a`–`f`).
+    Var(u8),
+    /// Logical complement.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand constructor for a variable.
+    pub fn var(v: u8) -> Self {
+        Expr::Var(v)
+    }
+
+    /// Logical complement of `self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Conjunction with `rhs`.
+    pub fn and(self, rhs: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction with `rhs`.
+    pub fn or(self, rhs: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Exclusive or with `rhs`.
+    pub fn xor(self, rhs: Expr) -> Self {
+        Expr::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// Highest variable index referenced, plus one (zero for constants).
+    pub fn arity(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(v) => *v as usize + 1,
+            Expr::Not(e) => e.arity(),
+            Expr::And(l, r) | Expr::Or(l, r) | Expr::Xor(l, r) => l.arity().max(r.arity()),
+        }
+    }
+
+    /// Evaluates under an assignment (indexing by variable number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is out of range of `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => assignment[*v as usize],
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(l, r) => l.eval(assignment) && r.eval(assignment),
+            Expr::Or(l, r) => l.eval(assignment) || r.eval(assignment),
+            Expr::Xor(l, r) => l.eval(assignment) ^ r.eval(assignment),
+        }
+    }
+
+    /// Converts to a truth table over `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars` is smaller than [`Expr::arity`] or exceeds six.
+    pub fn to_truth_table(&self, n_vars: usize) -> TruthTable {
+        assert!(n_vars >= self.arity(), "truth table arity below expression arity");
+        TruthTable::from_fn(n_vars, |v| self.eval(v))
+    }
+
+    /// Parses an expression from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] on malformed input or variables beyond `f`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use logic::Expr;
+    ///
+    /// # fn main() -> Result<(), logic::expr::ParseExprError> {
+    /// let gnand = Expr::parse("!((a^c)&(b^d))")?;
+    /// assert_eq!(gnand.arity(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, ParseExprError> {
+        let tokens: Vec<char> = text.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut parser = Parser { tokens, pos: 0 };
+        let e = parser.parse_or()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(ParseExprError::trailing(parser.pos));
+        }
+        Ok(e)
+    }
+}
+
+/// Error produced when parsing a Boolean expression fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExprError {
+    message: String,
+    position: usize,
+}
+
+impl ParseExprError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        Self {
+            message: message.into(),
+            position,
+        }
+    }
+
+    fn trailing(position: usize) -> Self {
+        Self::new("unexpected trailing input", position)
+    }
+
+    /// Character offset (whitespace stripped) where the error occurred.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at position {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+struct Parser {
+    tokens: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_xor()?;
+        while self.peek() == Some('|') || self.peek() == Some('+') {
+            self.bump();
+            let rhs = self.parse_xor()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some('^') {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = lhs.xor(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some('&') || self.peek() == Some('*') {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some('!') => {
+                self.bump();
+                Ok(self.parse_unary()?.not())
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseExprError> {
+        let pos = self.pos;
+        match self.bump() {
+            Some('(') => {
+                let e = self.parse_or()?;
+                if self.bump() != Some(')') {
+                    return Err(ParseExprError::new("expected closing parenthesis", self.pos));
+                }
+                Ok(self.parse_postfix(e))
+            }
+            Some('0') => Ok(Expr::Const(false)),
+            Some('1') => Ok(Expr::Const(true)),
+            Some(c @ 'a'..='f') => Ok(self.parse_postfix(Expr::Var(c as u8 - b'a'))),
+            Some(c) => Err(ParseExprError::new(format!("unexpected character `{c}`"), pos)),
+            None => Err(ParseExprError::new("unexpected end of input", pos)),
+        }
+    }
+
+    /// Postfix `'` complement, as in `a'` or `(a&b)'`.
+    fn parse_postfix(&mut self, mut e: Expr) -> Expr {
+        while self.peek() == Some('\'') {
+            self.bump();
+            e = e.not();
+        }
+        e
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `{:#}` (alternate) parenthesizes binary operators, which is how
+        // sub-expressions are always rendered — precedence-safe output.
+        let parenthesize = f.alternate() && matches!(self, Expr::And(..) | Expr::Or(..) | Expr::Xor(..));
+        if parenthesize {
+            f.write_str("(")?;
+        }
+        match self {
+            Expr::Const(c) => write!(f, "{}", u8::from(*c))?,
+            Expr::Var(v) => write!(f, "{}", (b'a' + v) as char)?,
+            Expr::Not(e) => write!(f, "!{e:#}")?,
+            Expr::And(l, r) => write!(f, "{l:#}&{r:#}")?,
+            Expr::Or(l, r) => write!(f, "{l:#}|{r:#}")?,
+            Expr::Xor(l, r) => write!(f, "{l:#}^{r:#}")?,
+        }
+        if parenthesize {
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truthtable::TruthTable;
+
+    #[test]
+    fn parses_generalized_nand() {
+        let e = Expr::parse("!((a^c)&(b^d))").expect("valid expression");
+        let t = e.to_truth_table(4);
+        let a = TruthTable::var(4, 0);
+        let b = TruthTable::var(4, 1);
+        let c = TruthTable::var(4, 2);
+        let d = TruthTable::var(4, 3);
+        assert_eq!(t, !((a ^ c) & (b ^ d)));
+    }
+
+    #[test]
+    fn precedence_or_lowest() {
+        let e = Expr::parse("a|b&c").expect("valid expression");
+        let t = e.to_truth_table(3);
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        assert_eq!(t, a | (b & c));
+    }
+
+    #[test]
+    fn postfix_complement() {
+        let e = Expr::parse("a'&b").expect("valid expression");
+        let t = e.to_truth_table(2);
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        assert_eq!(t, !a & b);
+    }
+
+    #[test]
+    fn plus_and_star_aliases() {
+        let e1 = Expr::parse("a+b*c").expect("valid expression");
+        let e2 = Expr::parse("a|b&c").expect("valid expression");
+        assert_eq!(e1.to_truth_table(3), e2.to_truth_table(3));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(
+            Expr::parse("0").expect("valid").to_truth_table(1),
+            TruthTable::zero(1)
+        );
+        assert_eq!(
+            Expr::parse("1").expect("valid").to_truth_table(1),
+            TruthTable::one(1)
+        );
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(Expr::parse("a&&b").is_err());
+        assert!(Expr::parse("(a|b").is_err());
+        assert!(Expr::parse("a b").is_err());
+        assert!(Expr::parse("z").is_err());
+        assert!(Expr::parse("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let e = Expr::parse("!((a^c)&(b^d))|e").expect("valid expression");
+        let shown = e.to_string();
+        let re = Expr::parse(&shown).expect("display output parses");
+        assert_eq!(re.to_truth_table(5), e.to_truth_table(5));
+    }
+
+    #[test]
+    fn arity_tracks_max_var() {
+        assert_eq!(Expr::parse("a^f").expect("valid").arity(), 6);
+        assert_eq!(Expr::parse("1").expect("valid").arity(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! NPN canonization of Boolean functions.
+//!
+//! Two functions are NPN-equivalent when one can be obtained from the other
+//! by Negating inputs, Permuting inputs, and/or Negating the output. The
+//! technology mapper matches cut functions against library gates per NPN
+//! class, which is what lets generalized ambipolar gates (with embedded XOR
+//! inputs) absorb both polarities of a sub-function.
+//!
+//! Canonization here is exhaustive over the declared variable count, which is
+//! exact and fast enough for the ≤6-variable cuts used in mapping (callers
+//! cache results keyed by the raw truth-table bits).
+
+use crate::truthtable::TruthTable;
+
+/// An NPN transform: flip the masked inputs, then permute (result variable
+/// `k` reads pre-permutation variable `perm[k]`), then optionally complement
+/// the output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// Number of variables the transform acts on.
+    pub n_vars: u8,
+    /// Bit `v` set means input variable `v` is complemented before permuting.
+    pub input_flips: u8,
+    /// `perm[k]` is the pre-permutation variable feeding post-permutation
+    /// slot `k`. Only the first `n_vars` entries are meaningful.
+    pub perm: [u8; 6],
+    /// Whether the output is complemented.
+    pub output_flip: bool,
+}
+
+impl std::fmt::Debug for NpnTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NpnTransform(flips={:#b}, perm={:?}, out={})",
+            self.input_flips,
+            &self.perm[..self.n_vars as usize],
+            self.output_flip
+        )
+    }
+}
+
+impl NpnTransform {
+    /// The identity transform on `n_vars` variables.
+    pub fn identity(n_vars: usize) -> Self {
+        let mut perm = [0u8; 6];
+        for (k, p) in perm.iter_mut().enumerate() {
+            *p = k as u8;
+        }
+        Self {
+            n_vars: n_vars as u8,
+            input_flips: 0,
+            perm,
+            output_flip: false,
+        }
+    }
+
+    /// Applies the transform to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table arity does not match the transform arity.
+    pub fn apply(&self, t: TruthTable) -> TruthTable {
+        assert_eq!(t.n_vars(), self.n_vars as usize, "transform arity mismatch");
+        let n = self.n_vars as usize;
+        let mut t = t;
+        for v in 0..n {
+            if (self.input_flips >> v) & 1 == 1 {
+                t = t.flip_var(v);
+            }
+        }
+        let perm: Vec<usize> = self.perm[..n].iter().map(|&p| p as usize).collect();
+        t = t.permute(&perm);
+        if self.output_flip {
+            t = !t;
+        }
+        t
+    }
+
+    /// The composition `self ∘ other`: applying the result equals applying
+    /// `other` first and then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    #[allow(clippy::needless_range_loop)] // index pairs two arrays
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.n_vars, other.n_vars, "transform arity mismatch");
+        let n = self.n_vars as usize;
+        // self.apply(other.apply(f)): flips move through other's
+        // permutation; permutations compose; output flips xor.
+        let mut flips = other.input_flips;
+        for k in 0..n {
+            if (self.input_flips >> k) & 1 == 1 {
+                flips ^= 1 << other.perm[k];
+            }
+        }
+        let mut perm = [0u8; 6];
+        for k in 0..n {
+            perm[k] = other.perm[self.perm[k] as usize];
+        }
+        Self {
+            n_vars: self.n_vars,
+            input_flips: flips,
+            perm,
+            output_flip: self.output_flip ^ other.output_flip,
+        }
+    }
+
+    /// The inverse transform, satisfying
+    /// `t.inverse().apply(t.apply(f)) == f` for every `f`.
+    #[allow(clippy::needless_range_loop)] // index pairs two arrays
+    pub fn inverse(&self) -> Self {
+        let n = self.n_vars as usize;
+        let mut perm_inv = [0u8; 6];
+        for k in 0..n {
+            perm_inv[self.perm[k] as usize] = k as u8;
+        }
+        let mut flips = 0u8;
+        for k in 0..n {
+            if (self.input_flips >> k) & 1 == 1 {
+                flips |= 1 << perm_inv[k];
+            }
+        }
+        Self {
+            n_vars: self.n_vars,
+            input_flips: flips,
+            perm: perm_inv,
+            output_flip: self.output_flip,
+        }
+    }
+}
+
+/// The result of canonizing a function: the class representative and the
+/// transform that maps the *original* function onto it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NpnCanon {
+    /// The NPN class representative (minimal packed bits over the class).
+    pub canonical: TruthTable,
+    /// Transform with `transform.apply(original) == canonical`.
+    pub transform: NpnTransform,
+}
+
+/// Computes the NPN canonical representative of `t` by exhaustive search
+/// over input flips, input permutations, and output phase.
+///
+/// The representative is the NPN-equivalent table with minimal packed bits;
+/// it is identical for every member of the class.
+///
+/// # Example
+///
+/// ```
+/// use logic::{TruthTable, npn::npn_canon};
+///
+/// let a = TruthTable::var(2, 0);
+/// let b = TruthTable::var(2, 1);
+/// let nand = !(a & b);
+/// let nor = !(a | b);
+/// // NAND and NOR are NPN-equivalent (flip both inputs + output).
+/// assert_eq!(npn_canon(nand).canonical, npn_canon(nor).canonical);
+/// ```
+pub fn npn_canon(t: TruthTable) -> NpnCanon {
+    let n = t.n_vars();
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    let mut perm = [0u8; 6];
+    for (k, p) in perm.iter_mut().enumerate() {
+        *p = k as u8;
+    }
+    let mut indices: Vec<u8> = (0..n as u8).collect();
+    permutations(&mut indices, 0, &mut |perm_slice| {
+        let mut perm_arr = [0u8; 6];
+        perm_arr[..n].copy_from_slice(perm_slice);
+        for flips in 0..(1u16 << n) {
+            let tr = NpnTransform {
+                n_vars: n as u8,
+                input_flips: flips as u8,
+                perm: perm_arr,
+                output_flip: false,
+            };
+            let cand = tr.apply(t);
+            for out in [false, true] {
+                let cand = if out { !cand } else { cand };
+                let tr = NpnTransform {
+                    output_flip: out,
+                    ..tr
+                };
+                match &best {
+                    Some((b, _)) if b.bits() <= cand.bits() => {}
+                    _ => best = Some((cand, tr)),
+                }
+            }
+        }
+    });
+    let (canonical, transform) = best.expect("at least the identity transform is evaluated");
+    NpnCanon {
+        canonical,
+        transform,
+    }
+}
+
+/// Heap's-algorithm-style permutation enumeration over `items[at..]`.
+fn permutations(items: &mut [u8], at: usize, visit: &mut impl FnMut(&[u8])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permutations(items, at + 1, visit);
+        items.swap(at, i);
+    }
+    if items.is_empty() {
+        visit(items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt2(f: impl Fn(bool, bool) -> bool) -> TruthTable {
+        TruthTable::from_fn(2, |v| f(v[0], v[1]))
+    }
+
+    #[test]
+    fn nand_nor_share_class() {
+        let nand = tt2(|a, b| !(a && b));
+        let nor = tt2(|a, b| !(a || b));
+        let and = tt2(|a, b| a && b);
+        let or = tt2(|a, b| a || b);
+        let c = npn_canon(nand).canonical;
+        assert_eq!(npn_canon(nor).canonical, c);
+        assert_eq!(npn_canon(and).canonical, c);
+        assert_eq!(npn_canon(or).canonical, c);
+    }
+
+    #[test]
+    fn xor_class_is_distinct_from_and_class() {
+        let xor = tt2(|a, b| a ^ b);
+        let and = tt2(|a, b| a && b);
+        assert_ne!(npn_canon(xor).canonical, npn_canon(and).canonical);
+    }
+
+    #[test]
+    fn transform_maps_original_to_canonical() {
+        let f = TruthTable::from_fn(3, |v| (v[0] && v[1]) || (!v[0] && v[2]));
+        let c = npn_canon(f);
+        assert_eq!(c.transform.apply(f), c.canonical);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = TruthTable::from_fn(4, |v| (v[0] ^ v[1]) && (v[2] || !v[3]));
+        let c = npn_canon(f);
+        assert_eq!(c.transform.inverse().apply(c.canonical), f);
+    }
+
+    #[test]
+    fn canonization_is_class_invariant() {
+        // Apply a bunch of ad-hoc NPN transforms; the canonical form must
+        // never change.
+        let f = TruthTable::from_fn(3, |v| (v[0] && v[1]) ^ v[2]);
+        let base = npn_canon(f).canonical;
+        let variants = [
+            f.flip_var(0),
+            f.flip_var(2).flip_var(1),
+            !f,
+            f.permute(&[2, 0, 1]),
+            (!f.flip_var(1)).permute(&[1, 2, 0]),
+        ];
+        for v in variants {
+            assert_eq!(npn_canon(v).canonical, base);
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let f = TruthTable::from_fn(3, |v| v[0] || (v[1] && v[2]));
+        assert_eq!(NpnTransform::identity(3).apply(f), f);
+    }
+
+    #[test]
+    fn canonical_of_constant_is_constant() {
+        let z = TruthTable::zero(3);
+        assert_eq!(npn_canon(z).canonical, z);
+        let one = TruthTable::one(3);
+        // Constant one canonizes to constant zero via output flip.
+        assert_eq!(npn_canon(one).canonical, z);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let f = TruthTable::from_fn(4, |v| (v[0] ^ v[1]) | (v[2] && v[3]));
+        // Two arbitrary transforms.
+        let t1 = NpnTransform {
+            n_vars: 4,
+            input_flips: 0b0101,
+            perm: [2, 0, 3, 1, 0, 0],
+            output_flip: true,
+        };
+        let t2 = NpnTransform {
+            n_vars: 4,
+            input_flips: 0b1010,
+            perm: [1, 3, 0, 2, 0, 0],
+            output_flip: false,
+        };
+        let seq = t2.apply(t1.apply(f));
+        let composed = t2.compose(&t1).apply(f);
+        assert_eq!(seq, composed);
+        // And in the other order.
+        let seq = t1.apply(t2.apply(f));
+        let composed = t1.compose(&t2).apply(f);
+        assert_eq!(seq, composed);
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let f = TruthTable::from_fn(3, |v| v[0] ^ (v[1] && !v[2]));
+        let c = npn_canon(f);
+        let id = c.transform.inverse().compose(&c.transform);
+        assert_eq!(id.apply(f), f);
+    }
+
+    #[test]
+    fn number_of_two_var_classes() {
+        // There are exactly 4 NPN classes of 2-variable functions:
+        // constants, single variable, AND-like, XOR-like.
+        let mut classes = std::collections::HashSet::new();
+        for bits in 0..16u64 {
+            classes.insert(npn_canon(TruthTable::from_bits(2, bits)).canonical);
+        }
+        assert_eq!(classes.len(), 4);
+    }
+}

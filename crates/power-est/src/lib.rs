@@ -1,0 +1,37 @@
+//! Random-pattern power estimation over mapped netlists — the paper's §4
+//! circuit-level methodology ("power consumption and EDP were estimated
+//! using 640K random patterns").
+//!
+//! * [`simulate_activity`] — bit-parallel (64-way) random simulation
+//!   counting per-net toggles and signal probabilities;
+//! * [`estimate_power`] — rolls the activity into the eq. (1)–(5) power
+//!   model: per-net dynamic power from real toggle rates, state-dependent
+//!   leakage weighted by per-instance input-state probabilities, the
+//!   0.15·P_D short-circuit conjecture, and EDP = (P_T/f)·delay.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::Aig;
+//! use charlib::characterize_library;
+//! use gate_lib::GateFamily;
+//! use power_est::{estimate_power, simulate_activity};
+//! use techmap::{map_aig, critical_path};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let x = aig.xor(a, b);
+//! aig.output(x);
+//! let lib = characterize_library(GateFamily::CntfetGeneralized);
+//! let mapped = map_aig(&aig, &lib);
+//! let activity = simulate_activity(&mapped, &lib, 4096, 7);
+//! let power = estimate_power(&mapped, &lib, &activity, 1.0e9);
+//! assert!(power.total().value() > 0.0);
+//! ```
+
+pub mod estimate;
+pub mod simulate;
+
+pub use estimate::{estimate_power, PowerBreakdown};
+pub use simulate::{simulate_activity, ActivityReport};

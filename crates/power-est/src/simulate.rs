@@ -1,0 +1,135 @@
+//! Bit-parallel random-pattern simulation with toggle counting.
+
+use charlib::CharacterizedLibrary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use techmap::MappedNetlist;
+
+/// Per-net activity statistics from a random-pattern run.
+#[derive(Clone, Debug)]
+pub struct ActivityReport {
+    /// Number of patterns simulated.
+    pub patterns: usize,
+    /// Per-net toggle counts (transitions between consecutive patterns).
+    pub toggles: Vec<u64>,
+    /// Per-net count of patterns where the net was 1.
+    pub ones: Vec<u64>,
+}
+
+impl ActivityReport {
+    /// Switching activity of a net: toggles per pattern.
+    pub fn activity(&self, net: usize) -> f64 {
+        self.toggles[net] as f64 / self.patterns.max(1) as f64
+    }
+
+    /// Signal probability of a net.
+    pub fn probability(&self, net: usize) -> f64 {
+        self.ones[net] as f64 / self.patterns.max(1) as f64
+    }
+}
+
+/// Simulates `patterns` random input vectors (rounded up to multiples of
+/// 64) and accumulates per-net toggles and one-counts.
+pub fn simulate_activity(
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    patterns: usize,
+    seed: u64,
+) -> ActivityReport {
+    let words = patterns.div_ceil(64).max(1);
+    let n_nets = netlist.net_count();
+    let mut toggles = vec![0u64; n_nets];
+    let mut ones = vec![0u64; n_nets];
+    let mut prev_last: Vec<Option<bool>> = vec![None; n_nets];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..words {
+        let pi_words: Vec<u64> = (0..netlist.pi_count).map(|_| rng.gen()).collect();
+        let values = netlist.simulate64(library, &pi_words);
+        for (net, &w) in values.iter().enumerate() {
+            ones[net] += w.count_ones() as u64;
+            // Transitions inside the word: bit k vs bit k+1.
+            let internal = (w ^ (w >> 1)) & 0x7FFF_FFFF_FFFF_FFFF;
+            toggles[net] += internal.count_ones() as u64;
+            // Boundary with the previous word.
+            if let Some(last) = prev_last[net] {
+                if last != (w & 1 == 1) {
+                    toggles[net] += 1;
+                }
+            }
+            prev_last[net] = Some((w >> 63) & 1 == 1);
+        }
+    }
+    ActivityReport {
+        patterns: words * 64,
+        toggles,
+        ones,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Aig;
+    use charlib::characterize_library;
+    use gate_lib::GateFamily;
+    use techmap::map_aig;
+
+    fn xor_and_netlist() -> (MappedNetlist, CharacterizedLibrary) {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.xor(a, b);
+        let y = aig.and(a, b);
+        aig.output(x);
+        aig.output(y);
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let mapped = map_aig(&aig, &lib);
+        (mapped, lib)
+    }
+
+    #[test]
+    fn input_activity_is_about_half() {
+        let (mapped, lib) = xor_and_netlist();
+        let report = simulate_activity(&mapped, &lib, 1 << 14, 1);
+        for pi in 0..mapped.pi_count {
+            let a = report.activity(pi);
+            assert!((0.45..0.55).contains(&a), "PI {pi} activity {a}");
+            let p = report.probability(pi);
+            assert!((0.45..0.55).contains(&p), "PI {pi} probability {p}");
+        }
+    }
+
+    #[test]
+    fn xor_toggles_more_than_and() {
+        let (mapped, lib) = xor_and_netlist();
+        let report = simulate_activity(&mapped, &lib, 1 << 14, 2);
+        let xor_net = mapped.outputs[0].net;
+        let and_net = mapped.outputs[1].net;
+        let a_xor = report.activity(xor_net);
+        let a_and = report.activity(and_net);
+        // Random inputs: XOR toggles ≈ 0.5, AND ≈ 0.375.
+        assert!(a_xor > a_and, "xor {a_xor} vs and {a_and}");
+        assert!((0.45..0.55).contains(&a_xor), "xor activity {a_xor}");
+        assert!((0.3..0.45).contains(&a_and), "and activity {a_and}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let (mapped, lib) = xor_and_netlist();
+        let a = simulate_activity(&mapped, &lib, 4096, 9);
+        let b = simulate_activity(&mapped, &lib, 4096, 9);
+        assert_eq!(a.toggles, b.toggles);
+        assert_eq!(a.ones, b.ones);
+        let c = simulate_activity(&mapped, &lib, 4096, 10);
+        assert_ne!(a.toggles, c.toggles);
+    }
+
+    #[test]
+    fn and_probability_is_quarter() {
+        let (mapped, lib) = xor_and_netlist();
+        let report = simulate_activity(&mapped, &lib, 1 << 15, 3);
+        let and_net = mapped.outputs[1].net;
+        let p = report.probability(and_net);
+        assert!((0.22..0.28).contains(&p), "AND probability {p}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The leakage circuits simulated by the characterization flow have at most
+//! a few dozen nodes, so a dense direct solver is both simpler and faster
+//! than anything sparse.
+
+/// A dense square matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn stamp(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` in place via LU with partial pivoting; `b` becomes
+    /// the solution.
+    ///
+    /// (Index-based loops are kept for readability of the textbook
+    /// elimination; see the allow below.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when a pivot smaller than `1e-300` is
+    /// encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SingularMatrix> {
+        assert_eq!(b.len(), self.n, "right-hand side length mismatch");
+        let n = self.n;
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SingularMatrix { column: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = self.get(k, c);
+                    self.set(k, c, self.get(pivot_row, c));
+                    self.set(pivot_row, c, tmp);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.get(r, c) - factor * self.get(k, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in (k + 1)..n {
+                acc -= self.get(k, c) * b[c];
+            }
+            b[k] = acc / self.get(k, k);
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when Gaussian elimination hits a (numerically) zero pivot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column at which elimination failed.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular matrix at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        m.solve_in_place(&mut b).expect("identity is nonsingular");
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // | 2 1 | x = | 5 |   →  x = 2, y = 1
+        // | 1 3 |     | 5 |
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut b = vec![5.0, 5.0];
+        m.solve_in_place(&mut b).expect("nonsingular");
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // | 0 1 | x = | 1 |  →  x = 2, y = 1
+        // | 1 0 |     | 2 |
+        let mut m = Matrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let mut b = vec![1.0, 2.0];
+        m.solve_in_place(&mut b).expect("pivoting should rescue this");
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(m.solve_in_place(&mut b).is_err());
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        // Build a well-conditioned random-ish system and verify A·x = b.
+        let n = 8;
+        let mut m = Matrix::zeros(n);
+        let mut seed = 0x2545_F491_4F6C_DD1D_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+            // Diagonal dominance keeps it nonsingular.
+            m.stamp(r, r, 4.0);
+        }
+        let reference = m.clone();
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        for r in 0..n {
+            for c in 0..n {
+                b[r] += reference.get(r, c) * x_true[c];
+            }
+        }
+        m.solve_in_place(&mut b).expect("diagonally dominant");
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 0, 1.5);
+        m.stamp(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

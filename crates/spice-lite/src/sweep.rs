@@ -1,0 +1,100 @@
+//! DC sweeps: repeatedly solve the operating point while stepping one
+//! voltage source (used for transfer curves such as the transmission-gate
+//! study of Fig. 2).
+
+use crate::netlist::{Circuit, Element};
+use crate::solver::{OperatingPoint, SolveError, SolverOptions};
+
+/// One point of a DC sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The swept source value, volts.
+    pub value: f64,
+    /// The solved operating point at this value.
+    pub op: OperatingPoint,
+}
+
+/// Sweeps the named voltage source over `values`, solving the DC operating
+/// point at each step (each solution is independent; the circuits involved
+/// are small enough that warm-starting is unnecessary).
+///
+/// # Errors
+///
+/// Returns the first [`SolveError`] encountered, or an error if the source
+/// name is unknown.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_name: &str,
+    values: impl IntoIterator<Item = f64>,
+) -> Result<Vec<SweepPoint>, SolveError> {
+    let mut points = Vec::new();
+    for value in values {
+        let mut ckt = circuit.clone();
+        let mut found = false;
+        for element in ckt.elements_mut() {
+            if let Element::VSource { name, volts, .. } = element {
+                if name == source_name {
+                    *volts = value;
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "unknown sweep source `{source_name}`");
+        let op = ckt.solve_dc_with(SolverOptions::default())?;
+        points.push(SweepPoint { value, op });
+    }
+    Ok(points)
+}
+
+/// Generates `n` evenly spaced values covering `[start, stop]` inclusive.
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    (0..n)
+        .map(|i| start + (stop - start) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+    use device::{Polarity, TechParams};
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 0.9, 10);
+        assert_eq!(v.len(), 10);
+        assert!((v[0] - 0.0).abs() < 1e-12);
+        assert!((v[9] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_vtc_is_monotone_decreasing() {
+        let tech = TechParams::cmos_32nm();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, GROUND, tech.vdd);
+        ckt.add_vsource("VIN", input, GROUND, 0.0);
+        ckt.add_transistor("MP", tech.model(Polarity::P), out, input, vdd);
+        ckt.add_transistor("MN", tech.model(Polarity::N), out, input, GROUND);
+        let points = dc_sweep(&ckt, "VIN", linspace(0.0, tech.vdd, 19)).expect("sweeps converge");
+        let outs: Vec<f64> = points.iter().map(|p| p.op.voltage(out)).collect();
+        for w in outs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC must be non-increasing: {outs:?}");
+        }
+        assert!(outs[0] > 0.85 * tech.vdd);
+        assert!(*outs.last().expect("nonempty") < 0.15 * tech.vdd);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sweep source")]
+    fn unknown_source_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, GROUND, 1.0);
+        ckt.add_resistor("R", a, GROUND, 1e3);
+        let _ = dc_sweep(&ckt, "nope", [0.0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cut-based technology mapping with NPN Boolean matching — the "ABC
+//! `map` + genlib" substitute of the paper's §4 flow.
+//!
+//! The mapper covers a synthesized [`aig::Aig`] with cells from a
+//! [`charlib::CharacterizedLibrary`]:
+//!
+//! * 6-feasible priority cuts are enumerated per node ([`aig::cuts`]);
+//! * every cut function is NPN-canonized and matched against the library
+//!   ([`matching`]); input-phase requirements are *free* for the dual-rail
+//!   generalized ambipolar family and cost explicit shared inverters for
+//!   the conventional families — the structural mechanism behind the
+//!   paper's expressive-power advantage;
+//! * a delay-oriented dynamic program with area-flow tie-breaking selects
+//!   matches ([`mapper`]), and load-dependent static timing ([`sta`])
+//!   reports the mapped critical path.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::Aig;
+//! use charlib::characterize_library;
+//! use gate_lib::GateFamily;
+//! use techmap::map_aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let c = aig.input();
+//! let x = aig.xor(a, b);
+//! let f = aig.and(x, c);
+//! aig.output(f);
+//! let lib = characterize_library(GateFamily::CntfetGeneralized);
+//! let mapped = map_aig(&aig, &lib);
+//! // The generalized library absorbs the XOR into one cell.
+//! assert!(mapped.instances.len() <= 2);
+//! ```
+
+pub mod export;
+pub mod mapper;
+pub mod matching;
+pub mod netlist;
+pub mod sta;
+
+pub use export::{cell_histogram, to_structural_verilog};
+pub use mapper::{map_aig, verify_mapping};
+pub use matching::MatchTable;
+pub use netlist::{Instance, MappedNetlist, NetRef};
+pub use sta::{critical_path, StaReport};

@@ -1,0 +1,429 @@
+//! Delay-oriented cut mapping with area-flow tie-breaking and cover
+//! extraction.
+
+use crate::matching::MatchTable;
+use crate::netlist::{Instance, MappedNetlist, NetRef};
+use aig::cuts::{enumerate_cuts, CutConfig};
+use aig::graph::{Aig, Node};
+use charlib::CharacterizedLibrary;
+use std::collections::HashMap;
+
+/// A resolved match chosen for an AND node.
+#[derive(Clone, Debug)]
+struct Chosen {
+    gate: usize,
+    /// `(leaf_node, inverted)` per cell pin.
+    pins: Vec<(u32, bool)>,
+    output_inverted: bool,
+}
+
+/// Maps an AIG onto a characterized library.
+///
+/// Input-phase requirements are free for the dual-rail generalized family
+/// and materialize shared inverters otherwise; output-phase mismatches
+/// cost an inverter in every family.
+///
+/// # Panics
+///
+/// Panics if a node cannot be matched (cannot happen for libraries
+/// containing the AND2/NAND2 class, which all three families do) or if a
+/// primary output is a constant (the synthetic benchmarks have none).
+pub fn map_aig(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
+    let aig = aig.cleanup();
+    let free_neg = library.family.free_input_negation();
+    let mut table = MatchTable::new(library);
+    let cuts = enumerate_cuts(&aig, CutConfig { k: 6, max_cuts: 8 });
+    let fanouts = aig.fanouts();
+
+    // Mapping-time load estimate: two average library pins.
+    let avg_cap = library.average(|g| g.avg_input_cap().value());
+    let load_est = device::Capacitance::new(2.0 * avg_cap);
+    let inv_idx = table.inverter();
+    let inv_delay = library.gates[inv_idx].delay(load_est).value();
+    let inv_area = library.gates[inv_idx].area;
+
+    let n = aig.len();
+    let mut arrival = vec![0.0f64; n];
+    let mut area_flow = vec![0.0f64; n];
+    let mut chosen: Vec<Option<Chosen>> = vec![None; n];
+
+    for idx in 0..n {
+        let Node::And(_, _) = aig.node(idx as u32) else {
+            continue;
+        };
+        let mut best: Option<(f64, f64, Chosen)> = None;
+        for cut in &cuts[idx] {
+            // Skip the trivial self-cut.
+            if cut.leaves.len() == 1 && cut.leaves[0] == idx as u32 {
+                continue;
+            }
+            let (fs, kept) = cut.tt.shrink_to_support();
+            if kept.is_empty() {
+                continue; // constant function; covered by a smaller cut
+            }
+            for cand in table.matches(fs) {
+                let pins: Vec<(u32, bool)> = cand
+                    .pins
+                    .iter()
+                    .map(|&(v, inv)| (cut.leaves[kept[v]], inv))
+                    .collect();
+                let cell = &library.gates[cand.gate];
+                let mut arr_in = 0.0f64;
+                let mut inv_area_cost = 0.0;
+                for &(leaf, inv) in &pins {
+                    let mut a = arrival[leaf as usize];
+                    if inv && !free_neg {
+                        a += inv_delay;
+                        inv_area_cost += inv_area; // shared in practice; upper bound here
+                    }
+                    arr_in = arr_in.max(a);
+                }
+                let mut total = arr_in + cell.delay(load_est).value();
+                let mut area = cell.area + inv_area_cost;
+                if cand.output_inverted {
+                    total += inv_delay;
+                    area += inv_area;
+                }
+                let af = area
+                    + pins
+                        .iter()
+                        .map(|&(leaf, _)| {
+                            area_flow[leaf as usize] / fanouts[leaf as usize].max(1) as f64
+                        })
+                        .sum::<f64>();
+                let better = match &best {
+                    None => true,
+                    Some((bd, baf, _)) => {
+                        total < bd - 1e-15 || ((total - bd).abs() <= 1e-15 && af < *baf)
+                    }
+                };
+                if better {
+                    best = Some((
+                        total,
+                        af,
+                        Chosen {
+                            gate: cand.gate,
+                            pins,
+                            output_inverted: cand.output_inverted,
+                        },
+                    ));
+                }
+            }
+        }
+        let (d, af, c) = best.unwrap_or_else(|| {
+            panic!("node {idx} has no library match (cuts: {})", cuts[idx].len())
+        });
+        arrival[idx] = d;
+        area_flow[idx] = af;
+        chosen[idx] = Some(c);
+    }
+
+    extract_cover(&aig, library, &chosen, free_neg, inv_idx)
+}
+
+/// Walks the chosen matches from the outputs, emitting instances in
+/// topological order with shared inverters.
+fn extract_cover(
+    aig: &Aig,
+    library: &CharacterizedLibrary,
+    chosen: &[Option<Chosen>],
+    free_neg: bool,
+    inv_idx: usize,
+) -> MappedNetlist {
+    let pi_count = aig.input_count();
+    let mut netlist = MappedNetlist {
+        family: library.family,
+        pi_count,
+        instances: Vec::new(),
+        outputs: Vec::new(),
+    };
+    // Positive net of each emitted node.
+    let mut node_net: HashMap<u32, usize> = HashMap::new();
+    for (ordinal, &node) in aig.input_nodes().iter().enumerate() {
+        node_net.insert(node, ordinal);
+    }
+    // Shared inverter outputs per source net.
+    let mut inverted_net: HashMap<usize, usize> = HashMap::new();
+
+    // Recursive post-order emission (context bundled as arguments).
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        node: u32,
+        chosen: &[Option<Chosen>],
+        netlist: &mut MappedNetlist,
+        node_net: &mut HashMap<u32, usize>,
+        inverted_net: &mut HashMap<usize, usize>,
+        free_neg: bool,
+        inv_idx: usize,
+    ) -> usize {
+        if let Some(&net) = node_net.get(&node) {
+            return net;
+        }
+        let c = chosen[node as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {node} was never matched"))
+            .clone();
+        let mut inputs = Vec::with_capacity(c.pins.len());
+        for (leaf, inv) in c.pins {
+            let leaf_net = emit(
+                leaf,
+                chosen,
+                netlist,
+                node_net,
+                inverted_net,
+                free_neg,
+                inv_idx,
+            );
+            let net_ref = if inv && !free_neg {
+                let inv_out = *inverted_net.entry(leaf_net).or_insert_with(|| {
+                    netlist.instances.push(Instance {
+                        gate: inv_idx,
+                        inputs: vec![NetRef::plain(leaf_net)],
+                    });
+                    netlist.pi_count + netlist.instances.len() - 1
+                });
+                NetRef::plain(inv_out)
+            } else {
+                NetRef {
+                    net: leaf_net,
+                    inverted: inv,
+                }
+            };
+            inputs.push(net_ref);
+        }
+        netlist.instances.push(Instance {
+            gate: c.gate,
+            inputs,
+        });
+        let mut net = netlist.pi_count + netlist.instances.len() - 1;
+        if c.output_inverted {
+            netlist.instances.push(Instance {
+                gate: inv_idx,
+                inputs: vec![NetRef::plain(net)],
+            });
+            net = netlist.pi_count + netlist.instances.len() - 1;
+        }
+        node_net.insert(node, net);
+        net
+    }
+
+    let output_lits: Vec<aig::Lit> = aig.output_lits().to_vec();
+    for lit in output_lits {
+        assert!(
+            lit.node() != 0,
+            "constant primary outputs are not supported by the mapper"
+        );
+        let net = emit(
+            lit.node(),
+            chosen,
+            &mut netlist,
+            &mut node_net,
+            &mut inverted_net,
+            free_neg,
+            inv_idx,
+        );
+        let r = if lit.is_complement() {
+            if free_neg {
+                NetRef {
+                    net,
+                    inverted: true,
+                }
+            } else {
+                let inv_out = *inverted_net.entry(net).or_insert_with(|| {
+                    netlist.instances.push(Instance {
+                        gate: inv_idx,
+                        inputs: vec![NetRef::plain(net)],
+                    });
+                    netlist.pi_count + netlist.instances.len() - 1
+                });
+                NetRef::plain(inv_out)
+            }
+        } else {
+            NetRef::plain(net)
+        };
+        netlist.outputs.push(r);
+    }
+    netlist
+}
+
+/// Verifies a mapped netlist against its source AIG by simulation
+/// (exhaustive for ≤ 16 inputs, random otherwise).
+pub fn verify_mapping(
+    aig: &Aig,
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    seed: u64,
+    rounds: usize,
+) -> bool {
+    let aig = aig.cleanup();
+    let n = aig.input_count();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let total_rounds = if n <= 16 {
+        (1usize << n).div_ceil(64)
+    } else {
+        rounds
+    };
+    for round in 0..total_rounds {
+        let inputs: Vec<u64> = if n <= 16 {
+            let base = (round * 64) as u64;
+            (0..n)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for k in 0..64u64 {
+                        if ((base + k) >> i) & 1 == 1 {
+                            w |= 1 << k;
+                        }
+                    }
+                    w
+                })
+                .collect()
+        } else {
+            (0..n).map(|_| next()).collect()
+        };
+        let expected = aig::simulate64(&aig, &inputs);
+        let values = netlist.simulate64(library, &inputs);
+        let got = netlist.output_words(&values);
+        let mask = if n <= 16 {
+            let remaining = (1u64 << n).saturating_sub((round * 64) as u64);
+            if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            }
+        } else {
+            u64::MAX
+        };
+        for (e, g) in expected.iter().zip(got.iter()) {
+            if (e ^ g) & mask != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlib::characterize_library;
+    use gate_lib::GateFamily;
+
+    fn small_alu_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a: Vec<_> = (0..4).map(|_| aig.input()).collect();
+        let b: Vec<_> = (0..4).map(|_| aig.input()).collect();
+        // 4-bit ripple adder + AND/XOR banks.
+        let mut carry = aig::Lit::FALSE;
+        for i in 0..4 {
+            let axb = aig.xor(a[i], b[i]);
+            let sum = aig.xor(axb, carry);
+            let c1 = aig.and(a[i], b[i]);
+            let c2 = aig.and(axb, carry);
+            carry = aig.or(c1, c2);
+            aig.output(sum);
+        }
+        aig.output(carry);
+        for i in 0..4 {
+            let f = aig.and(a[i], b[i].not());
+            aig.output(f);
+        }
+        aig
+    }
+
+    #[test]
+    fn maps_and_verifies_all_families() {
+        let aig = small_alu_aig();
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mapped = map_aig(&aig, &lib);
+            assert!(
+                verify_mapping(&aig, &mapped, &lib, 0xFEED, 32),
+                "{family}: mapped netlist differs from AIG"
+            );
+            assert!(mapped.gate_count() > 0);
+        }
+    }
+
+    #[test]
+    fn generalized_mapping_is_smaller_on_xor_logic() {
+        // A parity-heavy block: the generalized library should need
+        // clearly fewer cells than CMOS.
+        let mut aig = Aig::new();
+        let xs: Vec<_> = (0..8).map(|_| aig.input()).collect();
+        for chunk in xs.chunks(4) {
+            let p = aig.xor_many(chunk);
+            aig.output(p);
+        }
+        let gen = characterize_library(GateFamily::CntfetGeneralized);
+        let cmos = characterize_library(GateFamily::Cmos);
+        let m_gen = map_aig(&aig, &gen);
+        let m_cmos = map_aig(&aig, &cmos);
+        assert!(verify_mapping(&aig, &m_gen, &gen, 1, 8));
+        assert!(verify_mapping(&aig, &m_cmos, &cmos, 1, 8));
+        assert!(
+            m_gen.gate_count() < m_cmos.gate_count(),
+            "generalized {} vs CMOS {}",
+            m_gen.gate_count(),
+            m_cmos.gate_count()
+        );
+    }
+
+    #[test]
+    fn conventional_families_map_identically() {
+        // Same cells, same matcher ⇒ same structure; only the technology
+        // (delays, caps) differs.
+        let aig = small_alu_aig();
+        let cnt = characterize_library(GateFamily::CntfetConventional);
+        let cmos = characterize_library(GateFamily::Cmos);
+        let m_cnt = map_aig(&aig, &cnt);
+        let m_cmos = map_aig(&aig, &cmos);
+        assert_eq!(m_cnt.gate_count(), m_cmos.gate_count());
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        // Multiple consumers of the same complemented net must reuse one
+        // inverter in conventional mapping.
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let f1 = aig.and(a.not(), b);
+        let f2 = aig.and(a.not(), c);
+        aig.output(f1);
+        aig.output(f2);
+        let lib = characterize_library(GateFamily::Cmos);
+        let mapped = map_aig(&aig, &lib);
+        assert!(verify_mapping(&aig, &mapped, &lib, 3, 8));
+        let inv_count = mapped
+            .instances
+            .iter()
+            .filter(|i| lib.gates[i.gate].gate.name == "INV")
+            .count();
+        // NAND/NOR-class cells can absorb the negations entirely, but if
+        // any inverter exists there must be at most one for net `a`.
+        assert!(inv_count <= 1, "inverters not shared: {inv_count}");
+    }
+
+    #[test]
+    fn instances_are_topologically_ordered() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let mapped = map_aig(&aig, &lib);
+        for (i, inst) in mapped.instances.iter().enumerate() {
+            for r in &inst.inputs {
+                assert!(
+                    r.net < mapped.pi_count + i,
+                    "instance {i} reads undriven net {}",
+                    r.net
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! NPN Boolean matching of cut functions against library cells.
+
+use charlib::CharacterizedLibrary;
+use logic::npn::{npn_canon, NpnTransform};
+use logic::TruthTable;
+use std::collections::HashMap;
+
+/// How a library cell realizes a cut function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchCandidate {
+    /// Index of the cell in the characterized library.
+    pub gate: usize,
+    /// For each cell pin `k`: `(support_var, inverted)` — which variable
+    /// of the (support-shrunk) cut function feeds the pin, and whether it
+    /// must be complemented.
+    pub pins: Vec<(usize, bool)>,
+    /// Whether the cell output is the complement of the cut function.
+    pub output_inverted: bool,
+}
+
+/// A hash table from NPN classes to the library cells realizing them.
+#[derive(Debug)]
+pub struct MatchTable {
+    /// Key: (support size, canonical truth-table bits).
+    classes: HashMap<(usize, u64), Vec<(usize, NpnTransform)>>,
+    /// Index of the INV cell.
+    inverter: usize,
+    /// Memoized canonization of cut functions.
+    canon_cache: HashMap<(usize, u64), (TruthTable, NpnTransform)>,
+}
+
+impl MatchTable {
+    /// Builds the table for a characterized library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no INV cell (every family provides one).
+    pub fn new(library: &CharacterizedLibrary) -> Self {
+        let mut classes: HashMap<(usize, u64), Vec<(usize, NpnTransform)>> = HashMap::new();
+        let mut inverter = None;
+        for (idx, cell) in library.gates.iter().enumerate() {
+            let f = cell.gate.function;
+            if cell.gate.name == "INV" {
+                inverter = Some(idx);
+            }
+            let canon = npn_canon(f);
+            classes
+                .entry((f.n_vars(), canon.canonical.bits()))
+                .or_default()
+                .push((idx, canon.transform));
+        }
+        Self {
+            classes,
+            inverter: inverter.expect("library must contain INV"),
+            canon_cache: HashMap::new(),
+        }
+    }
+
+    /// The library index of the INV cell.
+    pub fn inverter(&self) -> usize {
+        self.inverter
+    }
+
+    /// Matches a support-shrunk cut function (every variable in support),
+    /// returning all candidate bindings.
+    ///
+    /// For each candidate, the binding `U` satisfies
+    /// `cell_function = U.apply(cut_function)`; pin `k` of the cell reads
+    /// cut variable `U.perm[k]` complemented per `U.input_flips`, and the
+    /// cell output is complemented iff `U.output_flip`.
+    pub fn matches(&mut self, f: TruthTable) -> Vec<MatchCandidate> {
+        let key = (f.n_vars(), f.bits());
+        let (canonical, transform) = *self
+            .canon_cache
+            .entry(key)
+            .or_insert_with(|| {
+                let c = npn_canon(f);
+                (c.canonical, c.transform)
+            });
+        let Some(cells) = self.classes.get(&(f.n_vars(), canonical.bits())) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(cells.len());
+        for (gate, s) in cells {
+            // cell = S⁻¹(C) and C = T(f) ⇒ cell = (S⁻¹ ∘ T)(f).
+            let u = s.inverse().compose(&transform);
+            let n = f.n_vars();
+            let pins = (0..n)
+                .map(|k| {
+                    let v = u.perm[k] as usize;
+                    (v, (u.input_flips >> v) & 1 == 1)
+                })
+                .collect();
+            out.push(MatchCandidate {
+                gate: *gate,
+                pins,
+                output_inverted: u.output_flip,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlib::characterize_library;
+    use gate_lib::GateFamily;
+
+    fn check_candidate_realizes(
+        library: &CharacterizedLibrary,
+        cand: &MatchCandidate,
+        f: TruthTable,
+    ) {
+        let cell = &library.gates[cand.gate];
+        let g = cell.gate.function;
+        let n = f.n_vars();
+        assert_eq!(g.n_vars(), n, "exact-arity matching");
+        // Evaluate: for every assignment y of the cut variables, drive the
+        // pins per the binding and compare.
+        for m in 0..(1usize << n) {
+            let y: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let pins: Vec<bool> = cand
+                .pins
+                .iter()
+                .map(|&(v, inv)| y[v] ^ inv)
+                .collect();
+            let cell_out = g.eval(&pins);
+            let expected = f.eval(&y) ^ cand.output_inverted;
+            assert_eq!(
+                cell_out, expected,
+                "cell {} binding wrong at minterm {m}",
+                cell.gate.name
+            );
+        }
+    }
+
+    #[test]
+    fn and_class_matches_in_all_families() {
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mut table = MatchTable::new(&lib);
+            let a = TruthTable::var(2, 0);
+            let b = TruthTable::var(2, 1);
+            for f in [a & b, !(a & b), a | !b, !(a | b)] {
+                let cands = table.matches(f);
+                assert!(!cands.is_empty(), "{family}: no match for {f:?}");
+                for c in &cands {
+                    check_candidate_realizes(&lib, c, f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_class_matches() {
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mut table = MatchTable::new(&lib);
+            let a = TruthTable::var(2, 0);
+            let b = TruthTable::var(2, 1);
+            let cands = table.matches(a ^ b);
+            assert!(!cands.is_empty(), "{family}: XOR unmatched");
+            for c in &cands {
+                check_candidate_realizes(&lib, c, a ^ b);
+            }
+        }
+    }
+
+    #[test]
+    fn gnand_class_matches_only_generalized() {
+        let f = {
+            let t = |v| TruthTable::var(4, v);
+            !((t(0) ^ t(1)) & (t(2) ^ t(3)))
+        };
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let mut table = MatchTable::new(&lib);
+        let cands = table.matches(f);
+        assert!(!cands.is_empty(), "GNAND2 class must match");
+        for c in &cands {
+            check_candidate_realizes(&lib, c, f);
+        }
+        let lib = characterize_library(GateFamily::Cmos);
+        let mut table = MatchTable::new(&lib);
+        assert!(
+            table.matches(f).is_empty(),
+            "CMOS cannot cover a 4-input XOR-of-products in one cell"
+        );
+    }
+
+    #[test]
+    fn aoi_classes_match_with_bindings() {
+        let t = |v| TruthTable::var(3, v);
+        let f = !((t(0) & t(1)) | t(2)); // AOI21
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mut table = MatchTable::new(&lib);
+            let cands = table.matches(f);
+            assert!(!cands.is_empty(), "{family}: AOI21 unmatched");
+            for c in &cands {
+                check_candidate_realizes(&lib, c, f);
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_index_is_inv() {
+        let lib = characterize_library(GateFamily::Cmos);
+        let table = MatchTable::new(&lib);
+        assert_eq!(lib.gates[table.inverter()].gate.name, "INV");
+    }
+
+    #[test]
+    fn random_functions_verified_when_matched() {
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let mut table = MatchTable::new(&lib);
+        let mut seed = 0xDEAD_BEEF_u64;
+        let mut matched = 0;
+        for _ in 0..200 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let f = TruthTable::from_bits(3, seed & 0xFF);
+            if f.support_size() != 3 {
+                continue;
+            }
+            for c in table.matches(f) {
+                check_candidate_realizes(&lib, &c, f);
+                matched += 1;
+            }
+        }
+        assert!(matched > 0, "some 3-input functions must match");
+    }
+}

@@ -1,0 +1,232 @@
+//! Mapped netlists: cell instances wired by nets.
+
+use charlib::CharacterizedLibrary;
+use gate_lib::GateFamily;
+
+/// A reference to a net with an optional (dual-rail) complement flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NetRef {
+    /// Net id: `0..pi_count` are primary inputs, `pi_count + i` is the
+    /// output of instance `i`.
+    pub net: usize,
+    /// Whether the complemented rail is referenced. Only the generalized
+    /// family leaves this set on instance pins; conventional families
+    /// materialize inverters instead.
+    pub inverted: bool,
+}
+
+impl NetRef {
+    /// A plain (non-inverted) reference.
+    pub fn plain(net: usize) -> Self {
+        Self {
+            net,
+            inverted: false,
+        }
+    }
+}
+
+/// One mapped cell instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Index into the characterized library's gate list.
+    pub gate: usize,
+    /// Input connections, one per cell pin.
+    pub inputs: Vec<NetRef>,
+}
+
+/// A technology-mapped netlist.
+#[derive(Clone, Debug)]
+pub struct MappedNetlist {
+    /// The family this netlist was mapped onto.
+    pub family: GateFamily,
+    /// Number of primary inputs.
+    pub pi_count: usize,
+    /// Instances in topological order (fanins precede consumers).
+    pub instances: Vec<Instance>,
+    /// Primary outputs.
+    pub outputs: Vec<NetRef>,
+}
+
+impl MappedNetlist {
+    /// Total number of nets (PIs + instance outputs).
+    pub fn net_count(&self) -> usize {
+        self.pi_count + self.instances.len()
+    }
+
+    /// The net driven by instance `i`.
+    pub fn instance_output_net(&self, i: usize) -> usize {
+        self.pi_count + i
+    }
+
+    /// Mapped gate count (the paper's "No." column — includes inverters).
+    pub fn gate_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total cell area in square metres.
+    pub fn area(&self, library: &CharacterizedLibrary) -> f64 {
+        self.instances
+            .iter()
+            .map(|inst| library.gates[inst.gate].area)
+            .sum()
+    }
+
+    /// Total transistor count.
+    pub fn transistor_count(&self, library: &CharacterizedLibrary) -> usize {
+        self.instances
+            .iter()
+            .map(|inst| library.gates[inst.gate].gate.transistor_count())
+            .sum()
+    }
+
+    /// Simulates the netlist on 64 parallel patterns per word.
+    ///
+    /// `pi_words[i]` carries the values of primary input `i`. Returns the
+    /// word of every net (indexable by net id), with outputs read via
+    /// [`MappedNetlist::outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != pi_count`.
+    pub fn simulate64(&self, library: &CharacterizedLibrary, pi_words: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_words.len(), self.pi_count, "primary input word count");
+        let mut values = vec![0u64; self.net_count()];
+        values[..self.pi_count].copy_from_slice(pi_words);
+        for (i, inst) in self.instances.iter().enumerate() {
+            let cell = &library.gates[inst.gate];
+            let f = cell.gate.function;
+            let pin_words: Vec<u64> = inst
+                .inputs
+                .iter()
+                .map(|r| {
+                    let w = values[r.net];
+                    if r.inverted {
+                        !w
+                    } else {
+                        w
+                    }
+                })
+                .collect();
+            values[self.pi_count + i] = eval_tt_words(f, &pin_words);
+        }
+        values
+    }
+
+    /// Reads the primary-output words from a simulated value vector.
+    pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
+        self.outputs
+            .iter()
+            .map(|r| {
+                let w = values[r.net];
+                if r.inverted {
+                    !w
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+}
+
+/// Bitwise word evaluation of a truth table over input words.
+pub fn eval_tt_words(f: logic::TruthTable, pins: &[u64]) -> u64 {
+    debug_assert_eq!(pins.len(), f.n_vars());
+    let mut out = 0u64;
+    for m in 0..(1usize << f.n_vars()) {
+        if !f.eval_index(m) {
+            continue;
+        }
+        let mut term = u64::MAX;
+        for (i, &w) in pins.iter().enumerate() {
+            term &= if (m >> i) & 1 == 1 { w } else { !w };
+        }
+        out |= term;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlib::characterize_library;
+    use logic::TruthTable;
+
+    #[test]
+    fn eval_tt_words_matches_scalar() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = (a & b) | (!a & c);
+        // 8 patterns in one word.
+        let wa = 0b10101010u64;
+        let wb = 0b11001100u64;
+        let wc = 0b11110000u64;
+        let out = eval_tt_words(f, &[wa, wb, wc]);
+        for k in 0..8 {
+            let bits = [(wa >> k) & 1 == 1, (wb >> k) & 1 == 1, (wc >> k) & 1 == 1];
+            assert_eq!((out >> k) & 1 == 1, f.eval(&bits), "pattern {k}");
+        }
+    }
+
+    #[test]
+    fn hand_built_netlist_simulates() {
+        // NAND2 feeding INV = AND2.
+        let lib = characterize_library(GateFamily::Cmos);
+        let nand_idx = lib
+            .gates
+            .iter()
+            .position(|g| g.gate.name == "NAND2")
+            .expect("NAND2");
+        let inv_idx = lib
+            .gates
+            .iter()
+            .position(|g| g.gate.name == "INV")
+            .expect("INV");
+        let netlist = MappedNetlist {
+            family: GateFamily::Cmos,
+            pi_count: 2,
+            instances: vec![
+                Instance {
+                    gate: nand_idx,
+                    inputs: vec![NetRef::plain(0), NetRef::plain(1)],
+                },
+                Instance {
+                    gate: inv_idx,
+                    inputs: vec![NetRef::plain(2)],
+                },
+            ],
+            outputs: vec![NetRef::plain(3)],
+        };
+        let values = netlist.simulate64(&lib, &[0b0101, 0b0011]);
+        let out = netlist.output_words(&values);
+        assert_eq!(out[0] & 0xF, 0b0001, "AND of the two inputs");
+        assert_eq!(netlist.gate_count(), 2);
+        assert!(netlist.area(&lib) > 0.0);
+        assert_eq!(netlist.transistor_count(&lib), 4 + 2);
+    }
+
+    #[test]
+    fn inverted_netref_reads_complement_rail() {
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let inv_idx = lib
+            .gates
+            .iter()
+            .position(|g| g.gate.name == "INV")
+            .expect("INV");
+        let netlist = MappedNetlist {
+            family: GateFamily::CntfetGeneralized,
+            pi_count: 1,
+            instances: vec![Instance {
+                gate: inv_idx,
+                inputs: vec![NetRef {
+                    net: 0,
+                    inverted: true,
+                }],
+            }],
+            outputs: vec![NetRef::plain(1)],
+        };
+        let values = netlist.simulate64(&lib, &[0b01]);
+        // INV of inverted input = identity.
+        assert_eq!(netlist.output_words(&values)[0] & 0b11, 0b01);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: characterize an ambipolar gate and read its power breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the paper's §3 methodology on a single cell: the generalized
+//! NAND `!((A⊕C)&(B⊕D))` of Fig. 3 — activity factor, input-vector-
+//! dependent leakage via I_off pattern classification, and the four power
+//! components of eq. (1)–(5).
+
+use charlib::characterize_library;
+use charlib::topology::{gate_off_patterns, input_vectors};
+use gate_lib::GateFamily;
+
+fn main() {
+    // Characterize the full 46-cell generalized ambipolar library
+    // (Fig. 5 flow: topology analysis → pattern classification → DC
+    // leakage simulation → averaging).
+    let library = characterize_library(GateFamily::CntfetGeneralized);
+    println!(
+        "characterized {} cells with {} leakage simulations\n",
+        library.gates.len(),
+        library.simulated_patterns
+    );
+
+    let gnand = library.find("GNAND2").expect("GNAND2 is in the library");
+    println!("cell: {}", gnand.gate);
+    println!("activity factor α = {}", gnand.alpha);
+    println!(
+        "input capacitance per pin: {:?} aF",
+        gnand
+            .input_caps
+            .iter()
+            .map(|c| (c * 1e18 * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+
+    // Input-vector-dependent leakage: print the off-pattern and I_off for
+    // a few vectors.
+    println!("\ninput-vector dependence of leakage (§3.2):");
+    for v in input_vectors(gnand.gate.n_inputs).take(4) {
+        let patterns = gate_off_patterns(&gnand.gate, &v);
+        let idx = v
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+        println!(
+            "  {:?} -> pattern {}  I_off = {}",
+            v.iter().map(|&b| u8::from(b)).collect::<Vec<_>>(),
+            patterns[0],
+            device::units::eng(gnand.ioff_for_state(idx), "A"),
+        );
+    }
+
+    // The eq. (1)–(5) power breakdown at 1 GHz, FO3.
+    let p = gnand.power_summary();
+    println!("\npower breakdown at 1 GHz, V_DD = 0.9 V, fanout 3:");
+    println!("  P_D  = {}", p.dynamic);
+    println!("  P_SC = {}", p.short_circuit);
+    println!("  P_S  = {}", p.static_sub);
+    println!("  P_G  = {}", p.gate_leak);
+    println!("  P_T  = {}", p.total());
+    println!("  FO3 delay = {}", gnand.fo3_delay());
+
+    // Compare with the CMOS XOR-based realization of the same function:
+    // 2 × XOR2 + 1 × NAND2.
+    let cmos = characterize_library(GateFamily::Cmos);
+    let xor = cmos.find("XOR2").expect("XOR2");
+    let nand = cmos.find("NAND2").expect("NAND2");
+    let cmos_total = 2.0 * xor.power_summary().total().value()
+        + nand.power_summary().total().value();
+    println!(
+        "\nsame function in CMOS (2×XOR2 + NAND2): {} — {:.0}% more than the single GNAND2",
+        device::units::eng(cmos_total, "W"),
+        (cmos_total / p.total().value() - 1.0) * 100.0
+    );
+}

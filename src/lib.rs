@@ -1,0 +1,25 @@
+//! Umbrella crate for the DATE 2010 ambipolar-CNTFET power reproduction.
+//!
+//! This crate hosts the repository's runnable [examples](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and cross-crate integration tests. The actual functionality lives in the
+//! workspace crates, re-exported here for convenience:
+//!
+//! * [`ambipolar`] — the experiment pipeline (characterize → synthesize → map → estimate)
+//! * [`device`] — CNTFET / CMOS compact device models
+//! * [`spice_lite`] — the nonlinear DC circuit solver used for leakage characterization
+//! * [`gate_lib`] — the 46-gate static ambipolar transmission-gate library
+//! * [`charlib`] — power characterization (I_off pattern classification, activity factors)
+//! * [`aig`] / [`techmap`] — logic synthesis and technology mapping
+//! * [`bench_circuits`] — generators for the 12 Table-1 benchmark stand-ins
+//! * [`power_est`] — random-pattern power estimation
+
+pub use aig;
+pub use ambipolar;
+pub use bench_circuits;
+pub use charlib;
+pub use device;
+pub use gate_lib;
+pub use logic;
+pub use power_est;
+pub use spice_lite;
+pub use techmap;

@@ -1,0 +1,122 @@
+//! End-to-end integration: benchmark generation → synthesis → mapping →
+//! timing → power, with functional verification at every hand-off.
+
+use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
+use charlib::characterize_library;
+use gate_lib::GateFamily;
+use techmap::{map_aig, verify_mapping};
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        patterns: 4096,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn mapped_netlists_are_functionally_correct_for_all_families() {
+    // Exhaustively verified for ≤16 inputs, randomly otherwise.
+    for name in ["C1908", "t481", "dalu"] {
+        let bench = bench_circuits::benchmark_by_name(name).expect("known benchmark");
+        let synthesized = aig::synthesize(&bench.aig);
+        assert!(
+            aig::equivalent(&bench.aig, &synthesized, 0x5EED, 64),
+            "{name}: synthesis broke the function"
+        );
+        for family in GateFamily::ALL {
+            let library = characterize_library(family);
+            let mapped = map_aig(&synthesized, &library);
+            assert!(
+                verify_mapping(&synthesized, &mapped, &library, 0xBEEF, 64),
+                "{name}/{family}: mapping broke the function"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_orderings_hold_on_an_xor_rich_circuit() {
+    let bench = bench_circuits::benchmark_by_name("C1355").expect("C1355");
+    let synthesized = aig::synthesize(&bench.aig);
+    let config = quick_config();
+    let results: Vec<_> = GateFamily::ALL
+        .iter()
+        .map(|&f| {
+            let lib = characterize_library(f);
+            evaluate_circuit(&synthesized, &lib, &config)
+        })
+        .collect();
+    let (gen, conv, cmos) = (&results[0], &results[1], &results[2]);
+    // Gate count: generalized < conventional = CMOS.
+    assert!(gen.gates < conv.gates);
+    assert_eq!(conv.gates, cmos.gates, "same cell set, same mapper");
+    // Delay: generalized < conventional < CMOS.
+    assert!(gen.delay.value() < conv.delay.value());
+    assert!(conv.delay.value() < cmos.delay.value());
+    // Power: generalized < conventional < CMOS; static ~order apart.
+    assert!(gen.total_power().value() < conv.total_power().value());
+    assert!(conv.total_power().value() < cmos.total_power().value());
+    assert!(cmos.power.static_sub.value() > 5.0 * conv.power.static_sub.value());
+    // EDP: the compounding benefit.
+    assert!(cmos.edp().value() > 8.0 * gen.edp().value());
+}
+
+#[test]
+fn control_dominated_circuit_still_wins_but_less() {
+    // ALU/control circuits benefit less than XOR-rich ones (the paper's
+    // per-row trend).
+    let config = quick_config();
+    let edp_gain = |name: &str| {
+        let bench = bench_circuits::benchmark_by_name(name).expect("known");
+        let synthesized = aig::synthesize(&bench.aig);
+        let gen = characterize_library(GateFamily::CntfetGeneralized);
+        let conv = characterize_library(GateFamily::CntfetConventional);
+        let r_gen = evaluate_circuit(&synthesized, &gen, &config);
+        let r_conv = evaluate_circuit(&synthesized, &conv, &config);
+        r_conv.edp().value() / r_gen.edp().value()
+    };
+    let ecc = edp_gain("C1908");
+    let alu = edp_gain("C2670");
+    assert!(ecc > 1.0 && alu > 1.0, "generalized wins everywhere");
+    assert!(
+        ecc > alu,
+        "XOR-rich ECC ({ecc:.2}x) must out-gain the ALU ({alu:.2}x)"
+    );
+}
+
+#[test]
+fn static_power_well_below_dynamic_at_circuit_level() {
+    // Paper §4: "static power is about two orders of magnitude less than
+    // dynamic power for both types of CNTFET families and one order of
+    // magnitude less for the CMOS family."
+    let bench = bench_circuits::benchmark_by_name("i8").expect("i8");
+    let synthesized = aig::synthesize(&bench.aig);
+    let config = quick_config();
+    for (family, min_ratio) in [
+        (GateFamily::CntfetGeneralized, 50.0),
+        (GateFamily::CntfetConventional, 50.0),
+        (GateFamily::Cmos, 8.0),
+    ] {
+        let lib = characterize_library(family);
+        let r = evaluate_circuit(&synthesized, &lib, &config);
+        let ratio = r.power.dynamic.value() / r.power.static_sub.value();
+        assert!(
+            ratio > min_ratio,
+            "{family}: P_D/P_S = {ratio}, expected > {min_ratio}"
+        );
+    }
+}
+
+#[test]
+fn genlib_export_round_trips_cell_names() {
+    use charlib::genlib::library_to_genlib;
+    for family in GateFamily::ALL {
+        let lib = characterize_library(family);
+        let text = library_to_genlib(&lib);
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("GATE")).count(),
+            lib.gates.len(),
+            "{family}: genlib must list every cell"
+        );
+    }
+}

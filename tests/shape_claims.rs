@@ -1,0 +1,130 @@
+//! Shape-regression tests: the paper's headline comparisons must hold, in
+//! band form, on a fast subset of Table 1. (The full 12-row table is the
+//! `table1` bench binary; these tests keep the shape from silently
+//! drifting when models or the mapper change.)
+
+use ambipolar::experiments::{table1_subset, Table1Config};
+use ambipolar::pipeline::PipelineConfig;
+
+/// A representative mix: XOR-rich (C1908, C1355), control-heavy (C2670),
+/// and a logic block (t481).
+fn subset() -> ambipolar::experiments::Table1 {
+    let config = Table1Config {
+        pipeline: PipelineConfig {
+            patterns: 4096,
+            ..PipelineConfig::default()
+        },
+    };
+    table1_subset(&config, Some(&["C2670", "C1908", "t481", "C1355"]))
+}
+
+#[test]
+fn generalized_improvement_bands() {
+    let table = subset();
+    assert_eq!(table.rows.len(), 4);
+    let imp = table.improvement_vs_cmos(0);
+    // Paper: 24.2% gates, 7.1x delay, 53.4% PD, 94.5% PS, 57.1% PT,
+    // 19.5x EDP. Accept generous bands — the point is the regime, and the
+    // subset is more XOR-rich than the full table.
+    assert!(
+        (0.15..=0.60).contains(&imp.gates_saving),
+        "gate saving {:.3}",
+        imp.gates_saving
+    );
+    assert!(
+        (4.0..=14.0).contains(&imp.delay_ratio),
+        "delay ratio {:.2}",
+        imp.delay_ratio
+    );
+    assert!(
+        (0.35..=0.75).contains(&imp.pd_saving),
+        "PD saving {:.3}",
+        imp.pd_saving
+    );
+    assert!(
+        (0.85..=0.99).contains(&imp.ps_saving),
+        "PS saving {:.3}",
+        imp.ps_saving
+    );
+    assert!(
+        (0.35..=0.75).contains(&imp.pt_saving),
+        "PT saving {:.3}",
+        imp.pt_saving
+    );
+    assert!(
+        imp.edp_ratio >= 8.0,
+        "EDP ratio {:.1} (paper: ~19.5x)",
+        imp.edp_ratio
+    );
+}
+
+#[test]
+fn conventional_improvement_bands() {
+    let table = subset();
+    let imp = table.improvement_vs_cmos(1);
+    // Paper: 3.2% gates, 5.1x delay, 30.9% PD, 92.7% PS, 36.7% PT, 8.1x.
+    assert!(
+        imp.gates_saving.abs() < 0.05,
+        "conventional CNTFET and CMOS share the cell set: {:.3}",
+        imp.gates_saving
+    );
+    assert!(
+        (3.5..=7.0).contains(&imp.delay_ratio),
+        "delay ratio {:.2} (Deng'07 ≈5x)",
+        imp.delay_ratio
+    );
+    assert!(
+        (0.20..=0.45).contains(&imp.pd_saving),
+        "PD saving {:.3}",
+        imp.pd_saving
+    );
+    assert!(
+        (0.80..=0.97).contains(&imp.ps_saving),
+        "PS saving {:.3}",
+        imp.ps_saving
+    );
+    assert!(
+        (4.0..=12.0).contains(&imp.edp_ratio),
+        "EDP ratio {:.1}",
+        imp.edp_ratio
+    );
+}
+
+#[test]
+fn generalized_beats_conventional_on_every_subset_row() {
+    // The per-row dominance the paper's Table 1 shows for the XOR-rich
+    // rows (t481 is the paper's one exception; our stand-in doesn't
+    // reproduce that inversion, so dominance holds here too).
+    let table = subset();
+    for row in &table.rows {
+        let gen = &row.results[0];
+        let conv = &row.results[1];
+        assert!(
+            gen.total_power().value() <= conv.total_power().value() * 1.02,
+            "{}: generalized {} vs conventional {}",
+            row.name,
+            gen.total_power(),
+            conv.total_power()
+        );
+        assert!(
+            gen.edp().value() <= conv.edp().value() * 1.05,
+            "{}: EDP {} vs {}",
+            row.name,
+            gen.edp().value(),
+            conv.edp().value()
+        );
+    }
+}
+
+#[test]
+fn table_display_renders_all_sections() {
+    let table = subset();
+    let text = table.to_string();
+    assert!(text.contains("Circuit"));
+    assert!(text.contains("C1908"));
+    assert!(text.contains("Average"));
+    assert!(text.contains("vs. CMOS"));
+    // Three family column groups.
+    assert_eq!(text.matches("CNTFET").count(), 2);
+    assert!(text.contains("CMOS"));
+}
