@@ -55,7 +55,8 @@ pub fn to_aiger_ascii(aig: &Aig) -> String {
             ands.push((i, *a, *b));
         }
     }
-    let aiger_lit = |l: Lit| -> u32 { 2 * var_of[l.node() as usize] + u32::from(l.is_complement()) };
+    let aiger_lit =
+        |l: Lit| -> u32 { 2 * var_of[l.node() as usize] + u32::from(l.is_complement()) };
     let m = next - 1;
     let mut out = String::new();
     let _ = writeln!(
@@ -101,7 +102,10 @@ pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         .ok_or_else(|| ParseAigerError::new("empty file", 0))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aag" {
-        return Err(ParseAigerError::new("expected `aag M I L O A` header", line_no + 1));
+        return Err(ParseAigerError::new(
+            "expected `aag M I L O A` header",
+            line_no + 1,
+        ));
     }
     let parse = |s: &str, line: usize| -> Result<usize, ParseAigerError> {
         s.parse()
@@ -130,7 +134,10 @@ pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
             .ok_or_else(|| ParseAigerError::new("missing input line", k + 2))?;
         let v = parse(line.trim(), line_no + 1)?;
         if v % 2 != 0 || v == 0 {
-            return Err(ParseAigerError::new("input literal must be even and nonzero", line_no + 1));
+            return Err(ParseAigerError::new(
+                "input literal must be even and nonzero",
+                line_no + 1,
+            ));
         }
         input_vars.push(v / 2);
     }
@@ -157,7 +164,10 @@ pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
             .ok_or_else(|| ParseAigerError::new("missing and line", i + o + k + 2))?;
         let nums: Vec<&str> = line.split_whitespace().collect();
         if nums.len() != 3 {
-            return Err(ParseAigerError::new("and line needs three literals", line_no + 1));
+            return Err(ParseAigerError::new(
+                "and line needs three literals",
+                line_no + 1,
+            ));
         }
         let lhs = parse(nums[0], line_no + 1)?;
         let r0 = parse(nums[1], line_no + 1)?;
@@ -171,27 +181,27 @@ pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
     for (var, r0, r1, line_no) in and_defs {
         let resolve = |raw: usize| -> Result<Lit, ParseAigerError> {
             let v = raw / 2;
-            let base = lit_of
-                .get(v)
-                .copied()
-                .flatten()
-                .ok_or_else(|| ParseAigerError::new(format!("undefined literal {raw}"), line_no))?;
+            let base =
+                lit_of.get(v).copied().flatten().ok_or_else(|| {
+                    ParseAigerError::new(format!("undefined literal {raw}"), line_no)
+                })?;
             Ok(if raw % 2 == 1 { base.not() } else { base })
         };
         let fa = resolve(r0)?;
         let fb = resolve(r1)?;
         if var > m || lit_of[var].is_some() {
-            return Err(ParseAigerError::new("duplicate or out-of-range and", line_no));
+            return Err(ParseAigerError::new(
+                "duplicate or out-of-range and",
+                line_no,
+            ));
         }
         lit_of[var] = Some(aig.and(fa, fb));
     }
     for (raw, line_no) in output_lits_raw {
         let v = raw / 2;
-        let base = lit_of
-            .get(v)
-            .copied()
-            .flatten()
-            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {raw}"), line_no))?;
+        let base = lit_of.get(v).copied().flatten().ok_or_else(|| {
+            ParseAigerError::new(format!("undefined output literal {raw}"), line_no)
+        })?;
         aig.output(if raw % 2 == 1 { base.not() } else { base });
     }
     Ok(aig)

@@ -29,7 +29,10 @@ impl Cut {
     /// Whether this cut's leaves are a subset of another's (dominance).
     pub fn dominates(&self, other: &Cut) -> bool {
         self.leaves.len() <= other.leaves.len()
-            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+            && self
+                .leaves
+                .iter()
+                .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -190,9 +193,11 @@ mod tests {
                 // Build a full input assignment consistent with leaf values.
                 // Leaves here are always PIs or internal nodes; we only
                 // check cuts whose leaves are all PIs.
-                if !cut.leaves.iter().all(|&l| {
-                    matches!(aig.node(l), crate::graph::Node::Input(_))
-                }) {
+                if !cut
+                    .leaves
+                    .iter()
+                    .all(|&l| matches!(aig.node(l), crate::graph::Node::Input(_)))
+                {
                     continue;
                 }
                 let mut inputs = vec![false; 3];
@@ -206,7 +211,12 @@ mod tests {
                 let expected = crate::sim::evaluate(&aig, &inputs)[0] ^ f.is_complement();
                 // Only full-support cuts determine the output uniquely.
                 if cut.leaves.len() == 3 {
-                    assert_eq!(cut.tt.eval_index(m), expected, "cut {:?} minterm {m}", cut.leaves);
+                    assert_eq!(
+                        cut.tt.eval_index(m),
+                        expected,
+                        "cut {:?} minterm {m}",
+                        cut.leaves
+                    );
                 }
             }
         }
@@ -235,7 +245,11 @@ mod tests {
         let c = TruthTable::var(4, 2);
         let d = TruthTable::var(4, 3);
         let expected = (a & b) | (c & d);
-        let node_fn = if f.is_complement() { !expected } else { expected };
+        let node_fn = if f.is_complement() {
+            !expected
+        } else {
+            expected
+        };
         assert_eq!(global.tt, node_fn);
     }
 

@@ -38,11 +38,7 @@ pub fn refactor(aig: &Aig) -> Aig {
                 .sum::<usize>()
                 + cover.len().saturating_sub(1);
             if sop_cost < cone && sop_cost < best_cost {
-                let leaf_lits: Vec<Lit> = cut
-                    .leaves
-                    .iter()
-                    .map(|&l| map[l as usize])
-                    .collect();
+                let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| map[l as usize]).collect();
                 let rebuilt = sop_to_aig(&mut out, &cover, &leaf_lits, cut.tt.n_vars());
                 best = rebuilt;
                 best_cost = sop_cost;

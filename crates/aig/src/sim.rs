@@ -49,8 +49,14 @@ pub fn lit_word(lit: Lit, values: &[u64]) -> u64 {
 
 /// Evaluates the AIG on a single assignment (convenience for tests).
 pub fn evaluate(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
-    let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-    simulate64(aig, &words).iter().map(|&w| w & 1 == 1).collect()
+    let words: Vec<u64> = inputs
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
+    simulate64(aig, &words)
+        .iter()
+        .map(|&w| w & 1 == 1)
+        .collect()
 }
 
 #[cfg(test)]

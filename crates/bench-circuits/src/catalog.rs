@@ -109,8 +109,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "C2670", "C1908", "C3540", "dalu", "C7552", "C6288", "C5315", "des", "i10",
-                "t481", "i8", "C1355"
+                "C2670", "C1908", "C3540", "dalu", "C7552", "C6288", "C5315", "des", "i10", "t481",
+                "i8", "C1355"
             ]
         );
     }
@@ -134,12 +134,14 @@ mod tests {
     fn xor_rich_rows_are_the_multiplier_and_ecc() {
         // Sanity: the multiplier dwarfs the others (as in the paper).
         let rows = table1_benchmarks();
-        let sizes: Vec<(&str, usize)> =
-            rows.iter().map(|b| (b.name, b.aig.and_count())).collect();
+        let sizes: Vec<(&str, usize)> = rows.iter().map(|b| (b.name, b.aig.and_count())).collect();
         let c6288 = sizes.iter().find(|(n, _)| *n == "C6288").expect("row").1;
         for (name, size) in &sizes {
             if *name != "C6288" && *name != "des" {
-                assert!(c6288 > *size, "C6288 ({c6288}) should exceed {name} ({size})");
+                assert!(
+                    c6288 > *size,
+                    "C6288 ({c6288}) should exceed {name} ({size})"
+                );
             }
         }
     }

@@ -80,9 +80,7 @@ pub fn feistel_round(
         }
     }
     // P-permutation: a fixed bit shuffle (bit-reversal within groups).
-    let permuted: Vec<Lit> = (0..32)
-        .map(|i| substituted[(i * 7 + 3) % 32])
-        .collect();
+    let permuted: Vec<Lit> = (0..32).map(|i| substituted[(i * 7 + 3) % 32]).collect();
     let new_right: Vec<Lit> = left
         .0
         .iter()
@@ -168,14 +166,14 @@ mod tests {
             let f = from_truth_table(&mut aig, tt, &ins);
             aig.output(f);
         }
-        for i in 0..64usize {
+        for (i, &expected) in tables[0].iter().enumerate() {
             let bits: Vec<bool> = (0..6).map(|k| (i >> k) & 1 == 1).collect();
             let out = evaluate(&aig, &bits);
             let got = out
                 .iter()
                 .enumerate()
                 .fold(0u8, |acc, (k, &b)| acc | ((b as u8) << k));
-            assert_eq!(got, tables[0][i], "s-box input {i}");
+            assert_eq!(got, expected, "s-box input {i}");
         }
     }
 }

@@ -86,7 +86,12 @@ pub fn ripple_sub(aig: &mut Aig, a: &Word, b: &Word) -> (Word, Lit) {
 }
 
 /// Bitwise map over two words.
-pub fn bitwise(aig: &mut Aig, a: &Word, b: &Word, mut f: impl FnMut(&mut Aig, Lit, Lit) -> Lit) -> Word {
+pub fn bitwise(
+    aig: &mut Aig,
+    a: &Word,
+    b: &Word,
+    mut f: impl FnMut(&mut Aig, Lit, Lit) -> Lit,
+) -> Word {
     assert_eq!(a.len(), b.len(), "bitwise width mismatch");
     Word(
         a.0.iter()
@@ -138,12 +143,11 @@ pub fn select(aig: &mut Aig, sel: &Word, options: &[Word]) -> Word {
 
 /// Equality comparator: 1 iff `a == b`.
 pub fn equal(aig: &mut Aig, a: &Word, b: &Word) -> Lit {
-    let diffs: Vec<Lit> = a
-        .0
-        .iter()
-        .zip(b.0.iter())
-        .map(|(&x, &y)| aig.xnor(x, y))
-        .collect();
+    let diffs: Vec<Lit> =
+        a.0.iter()
+            .zip(b.0.iter())
+            .map(|(&x, &y)| aig.xnor(x, y))
+            .collect();
     aig.and_many(&diffs)
 }
 
@@ -185,7 +189,10 @@ fn build_tt(aig: &mut Aig, tt: logic::TruthTable, inputs: &[Lit], top: usize) ->
     if tt.is_one() {
         return Lit::TRUE;
     }
-    let var = (0..top).rev().find(|&v| tt.depends_on(v)).expect("non-constant");
+    let var = (0..top)
+        .rev()
+        .find(|&v| tt.depends_on(v))
+        .expect("non-constant");
     let hi = build_tt(aig, tt.cofactor1(var), inputs, var);
     let lo = build_tt(aig, tt.cofactor0(var), inputs, var);
     aig.mux(inputs[var], hi, lo)

@@ -1,6 +1,7 @@
 //! Criterion bench: technology mapping (cut enumeration + NPN matching +
 //! covering) of a Table-1 benchmark onto each of the three libraries.
 
+use ambipolar::engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gate_lib::GateFamily;
 
@@ -12,9 +13,9 @@ fn bench_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("techmap_c1355");
     group.sample_size(10);
     for family in GateFamily::ALL {
-        let lib = charlib::characterize_library(family);
+        let lib = engine::library(family);
         group.bench_function(family.label(), |b| {
-            b.iter(|| techmap::map_aig(&synthesized, &lib))
+            b.iter(|| techmap::map_aig(&synthesized, lib))
         });
     }
     group.finish();

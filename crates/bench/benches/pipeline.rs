@@ -1,6 +1,9 @@
 //! Criterion bench: the full per-circuit Table-1 pipeline (synthesize →
-//! map → time → power-estimate) and its power-simulation inner loop.
+//! map → time → power-estimate), its power-simulation inner loop, and the
+//! engine's parallel Table-1 driver against the serial reference.
 
+use ambipolar::engine;
+use ambipolar::experiments::Table1Config;
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use gate_lib::GateFamily;
@@ -17,31 +20,58 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_c1908");
     group.sample_size(10);
     for family in GateFamily::ALL {
-        let lib = charlib::characterize_library(family);
+        let lib = engine::library(family);
         group.bench_function(family.label(), |b| {
-            b.iter(|| evaluate_circuit(&synthesized, &lib, &config))
+            b.iter(|| evaluate_circuit(&synthesized, lib, &config))
         });
     }
     group.finish();
 
-    // The random-pattern power-simulation loop in isolation.
-    let lib = charlib::characterize_library(GateFamily::CntfetGeneralized);
-    let mapped = techmap::map_aig(&synthesized, &lib);
+    // The random-pattern power-simulation loop in isolation: the parallel
+    // chunked path and its bit-identical serial reference.
+    let lib = engine::library(GateFamily::CntfetGeneralized);
+    let mapped = techmap::map_aig(&synthesized, lib);
     let mut group = c.benchmark_group("power_simulation");
     group.sample_size(10);
     group.bench_function("c1908_8k_patterns", |b| {
-        b.iter(|| power_est::simulate_activity(&mapped, &lib, 1 << 13, 5))
+        b.iter(|| power_est::simulate_activity(&mapped, lib, 1 << 13, 5))
+    });
+    group.bench_function("c1908_8k_patterns_serial", |b| {
+        b.iter(|| power_est::simulate_activity_serial(&mapped, lib, 1 << 13, 5))
     });
     group.finish();
 
-    // Library characterization (the Fig. 5 flow).
+    // Library characterization (the Fig. 5 flow), deliberately cold — this
+    // is the cost the engine cache amortizes to once per process.
     let mut group = c.benchmark_group("characterization");
     group.sample_size(10);
-    group.bench_function("generalized_46_cells", |b| {
+    group.bench_function("generalized_46_cells_cold", |b| {
         b.iter(|| charlib::characterize_library(GateFamily::CntfetGeneralized))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+fn bench_engine(c: &mut Criterion) {
+    // A 2-row Table-1 subset through the parallel engine driver vs the
+    // serial reference loop (libraries pre-cached for both).
+    let config = Table1Config {
+        pipeline: PipelineConfig {
+            patterns: 1 << 12,
+            ..PipelineConfig::default()
+        },
+    };
+    let names = Some(&["C1908", "C1355"][..]);
+    engine::libraries();
+    let mut group = c.benchmark_group("engine_table1_2rows");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter(|| engine::run_table1_subset(&config, names))
+    });
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| engine::run_table1_serial(&config, names))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_engine);
 criterion_main!(benches);

@@ -14,7 +14,12 @@ fn nor3_leakage_circuit(tech: &TechParams, inputs: [bool; 3]) -> Circuit {
     let mut gates = Vec::new();
     for (i, &bit) in inputs.iter().enumerate() {
         let g = ckt.node(format!("in{i}"));
-        ckt.add_vsource(format!("VIN{i}"), g, GROUND, if bit { tech.vdd } else { 0.0 });
+        ckt.add_vsource(
+            format!("VIN{i}"),
+            g,
+            GROUND,
+            if bit { tech.vdd } else { 0.0 },
+        );
         gates.push(g);
     }
     let out = ckt.node("out");

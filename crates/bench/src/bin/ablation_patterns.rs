@@ -3,15 +3,20 @@
 //! leakage values while counting how many circuit simulations each
 //! approach needs (the efficiency claim of §3.2).
 
+use bench::BenchArgs;
 use charlib::characterize::characterize_gate_exhaustive;
 use charlib::characterize_library;
 use gate_lib::GateFamily;
 use std::time::Instant;
 
 fn main() {
+    BenchArgs::parse_no_tuning("ablation_patterns");
     let family = GateFamily::CntfetGeneralized;
     let tech = family.tech();
 
+    // Deliberately a *cold* characterization, not engine::library(): the
+    // classified-vs-exhaustive wall-clock comparison below is the artifact
+    // being measured, so it must not hit the process cache.
     let t0 = Instant::now();
     let lib = characterize_library(family);
     let classified_time = t0.elapsed();

@@ -6,7 +6,8 @@
 //! input edges vs the C·V² switching charge). Part 2 re-derives Table-1
 //! totals under alternative fractions.
 
-use charlib::characterize_library;
+use ambipolar::engine;
+use bench::BenchArgs;
 use device::{Polarity, TechParams};
 use gate_lib::GateFamily;
 use power_est::simulate_activity;
@@ -58,9 +59,13 @@ fn measured_sc_fraction(tech: &TechParams, c_load: f64, t_edge: f64) -> f64 {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Measured short-circuit fraction E_SC/E_D (switching inverter, FO3-class load),");
     println!("as a function of the input slew relative to the gate's own edge:");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "tech", "slew 2x", "slew 6x", "slew 20x", "slew 60x");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "tech", "slew 2x", "slew 6x", "slew 20x", "slew 60x"
+    );
     for tech in [TechParams::cmos_32nm(), TechParams::cntfet_32nm()] {
         let c_load = 3.0 * 2.0 * tech.c_gate + 2.0 * tech.c_drain;
         let own_edge = tech.r_on * c_load;
@@ -85,11 +90,16 @@ fn main() {
         "family", "PSC=0", "PSC=0.15PD", "PSC=0.30PD", "PT spread"
     );
     for family in GateFamily::ALL {
-        let lib = characterize_library(family);
-        let mapped = map_aig(&synthesized, &lib);
-        let act = simulate_activity(&mapped, &lib, 1 << 15, 77);
-        let p = power_est::estimate_power(&mapped, &lib, &act, 1.0e9);
-        let delay = critical_path(&mapped, &lib).critical;
+        let lib = engine::library(family);
+        let mapped = map_aig(&synthesized, lib);
+        let act = simulate_activity(
+            &mapped,
+            lib,
+            args.patterns_or(1 << 15),
+            args.seed.unwrap_or(77),
+        );
+        let p = power_est::estimate_power(&mapped, lib, &act, 1.0e9);
+        let delay = critical_path(&mapped, lib).critical;
         let base = p.dynamic.value() + p.static_sub.value() + p.gate_leak.value();
         let pt = |frac: f64| base + frac * p.dynamic.value();
         let spread = (pt(0.30) - pt(0.0)) / pt(0.15);

@@ -1,0 +1,67 @@
+//! Engine smoke measurement: verifies the two load-bearing claims of the
+//! experiment engine on the machine at hand —
+//!
+//! 1. **cache**: a quick Table-1 subset characterizes each gate family
+//!    exactly once, however many pipeline runs it fans out;
+//! 2. **speedup**: the parallel circuit × family driver beats the serial
+//!    reference loop wall-clock (on a multi-core machine; on one core the
+//!    two are equivalent by construction), with bit-identical output.
+//!
+//! ```text
+//! cargo run --release -p bench --bin engine_smoke
+//! cargo run --release -p bench --bin engine_smoke -- --patterns 16384
+//! ```
+
+use ambipolar::engine;
+use bench::BenchArgs;
+use std::time::Instant;
+
+fn main() {
+    let config = BenchArgs::parse().table1_config();
+    let threads = rayon::current_num_threads();
+    println!(
+        "engine smoke: quick Table 1, {} patterns/circuit, {} worker thread(s)",
+        config.pipeline.patterns, threads
+    );
+
+    // Warm the library cache outside the timed region so both drivers
+    // time pure pipeline work (and so the cache claim is checked exactly).
+    let t_char = Instant::now();
+    engine::libraries();
+    let characterization_time = t_char.elapsed();
+    let after_warm = engine::characterization_count();
+
+    let t_serial = Instant::now();
+    let serial = engine::run_table1_serial(&config, None);
+    let serial_time = t_serial.elapsed();
+
+    let t_parallel = Instant::now();
+    let parallel = engine::run_table1(&config);
+    let parallel_time = t_parallel.elapsed();
+
+    assert_eq!(
+        format!("{serial}"),
+        format!("{parallel}"),
+        "parallel table must be bit-identical to the serial reference"
+    );
+    assert_eq!(
+        engine::characterization_count(),
+        after_warm,
+        "table runs must not re-characterize any library"
+    );
+    assert!(
+        after_warm <= 3,
+        "engine ran {after_warm} characterizations for 3 families"
+    );
+
+    println!("  characterization (3 families, once per process): {characterization_time:?}");
+    println!("  serial circuit x family loop:                    {serial_time:?}");
+    println!("  parallel engine driver:                          {parallel_time:?}");
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!("  wall-clock speedup:                              {speedup:.2}x");
+    println!("  tables bit-identical:                            yes");
+    println!("  characterizations after full run:                {after_warm} (one per family)");
+    if threads == 1 {
+        println!("  note: single-core machine — speedup ~1x expected; rerun on a multi-core host for the >=2x target");
+    }
+}

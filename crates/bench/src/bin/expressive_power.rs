@@ -7,10 +7,12 @@
 //! resources, was shown to be higher than … conventional unipolar
 //! MOSFETs".)
 
+use bench::BenchArgs;
 use gate_lib::expressive::library_expressive_power;
 use gate_lib::{DynamicGnor, GateFamily};
 
 fn main() {
+    BenchArgs::parse_no_tuning("expressive_power");
     println!("Expressive power (distinct P-class functions by constant-tying cell pins):\n");
     println!(
         "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>12} {:>14}",

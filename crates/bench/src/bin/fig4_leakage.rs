@@ -4,11 +4,13 @@
 //! stack effect.
 
 use ambipolar::experiments::fig4_study;
+use bench::BenchArgs;
 use charlib::{LeakageSimulator, OffPattern};
 use device::units::eng;
 use device::TechParams;
 
 fn main() {
+    BenchArgs::parse_no_tuning("fig4_leakage");
     for tech in [TechParams::cmos_32nm(), TechParams::cntfet_32nm()] {
         println!("{}", fig4_study(&tech));
     }
@@ -21,7 +23,11 @@ fn main() {
     let single_cnt = cnt.ioff(&OffPattern::Device);
     for depth in 1..=4usize {
         let pattern = OffPattern::series(vec![OffPattern::Device; depth.max(1)]);
-        let pattern = if depth == 1 { OffPattern::Device } else { pattern };
+        let pattern = if depth == 1 {
+            OffPattern::Device
+        } else {
+            pattern
+        };
         let i_cmos = cmos.ioff(&pattern);
         let i_cnt = cnt.ioff(&pattern);
         println!(

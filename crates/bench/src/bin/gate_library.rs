@@ -3,13 +3,15 @@
 //! CNTFET-vs-CMOS comparison the paper summarizes as "28 % less power on
 //! average".
 
+use ambipolar::engine;
 use ambipolar::experiments::gate_library_comparison;
-use charlib::characterize_library;
+use bench::BenchArgs;
 use gate_lib::GateFamily;
 
 fn main() {
+    BenchArgs::parse_no_tuning("gate_library");
     for family in GateFamily::ALL {
-        let lib = characterize_library(family);
+        let lib = engine::library(family);
         println!(
             "=== {} — {} cells, {} distinct I_off patterns simulated ===",
             family,

@@ -4,19 +4,21 @@
 //! instead of this repository's synthetic stand-ins.
 //!
 //! ```text
-//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag
+//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag [--patterns N] [--seed S]
 //! ```
 
-use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
-use charlib::characterize_library;
+use ambipolar::engine;
+use ambipolar::pipeline::evaluate_circuit;
+use bench::BenchArgs;
 use gate_lib::GateFamily;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: map_aiger <circuit.aag> [--patterns N]");
+    let args = BenchArgs::parse();
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: map_aiger <circuit.aag> [--patterns N] [--seed S]");
         std::process::exit(2);
-    });
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
@@ -36,17 +38,14 @@ fn main() {
         synthesized.and_count(),
         synthesized.depth()
     );
-    let mut config = PipelineConfig::default();
-    if let Some(p) = bench::patterns_arg() {
-        config.patterns = p;
-    }
+    let config = args.pipeline_config();
     println!(
         "\n{:<22} {:>7} {:>10} {:>10} {:>10} {:>12}",
         "library", "gates", "delay", "P_D", "P_T", "EDP (J·s)"
     );
     for family in GateFamily::ALL {
-        let library = characterize_library(family);
-        let r = evaluate_circuit(&synthesized, &library, &config);
+        let library = engine::library(family);
+        let r = evaluate_circuit(&synthesized, library, &config);
         println!(
             "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
             family.label(),

@@ -4,8 +4,10 @@
 //! per-vector simulation.
 
 use ambipolar::experiments::pattern_census;
+use bench::BenchArgs;
 
 fn main() {
+    BenchArgs::parse_no_tuning("patterns");
     let census = pattern_census();
     println!("{census}");
     println!(

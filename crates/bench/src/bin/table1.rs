@@ -1,32 +1,24 @@
 //! Regenerates **Table 1** of the paper: logic synthesis and technology
-//! mapping of 12 benchmarks with the three libraries.
+//! mapping of 12 benchmarks with the three libraries, through the
+//! parallel, library-cached experiment engine.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin table1            # 64 K patterns
-//! cargo run --release -p bench --bin table1 -- --paper # 640 K (paper)
-//! cargo run --release -p bench --bin table1 -- --patterns 16384
+//! cargo run --release -p bench --bin table1              # 64 K patterns
+//! cargo run --release -p bench --bin table1 -- --paper   # 640 K (paper)
+//! cargo run --release -p bench --bin table1 -- --patterns 16384 --seed 7
 //! ```
 
-use ambipolar::experiments::{table1, Table1Config};
-use ambipolar::pipeline::PipelineConfig;
+use ambipolar::experiments::table1;
+use bench::BenchArgs;
 
 fn main() {
-    let mut config = if bench::has_flag("--paper") {
-        Table1Config::paper()
-    } else {
-        Table1Config::quick()
-    };
-    if let Some(p) = bench::patterns_arg() {
-        config.pipeline = PipelineConfig {
-            patterns: p,
-            ..config.pipeline
-        };
-    }
+    let config = BenchArgs::parse().table1_config();
     eprintln!(
-        "running Table 1 with {} random patterns per circuit...",
-        config.pipeline.patterns
+        "running Table 1 with {} random patterns per circuit on {} thread(s)...",
+        config.pipeline.patterns,
+        rayon::current_num_threads()
     );
     let started = std::time::Instant::now();
     let table = table1(&config);

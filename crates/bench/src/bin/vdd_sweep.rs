@@ -4,15 +4,23 @@
 //! its conclusions are to voltage scaling.
 
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
+use bench::BenchArgs;
 use charlib::characterize::characterize_library_with;
 use gate_lib::GateFamily;
 
 fn main() {
+    let args = BenchArgs::parse();
     let bench = bench_circuits::benchmark_by_name("C1908").expect("C1908 exists");
     let synthesized = aig::synthesize(&bench.aig);
+    // Off-default technology points (V_DD ≠ 0.9 V) cannot come from the
+    // engine cache; each sweep point characterizes its own library below.
     let config = PipelineConfig {
-        patterns: 1 << 14,
+        patterns: args.patterns_or(1 << 14),
         ..PipelineConfig::default()
+    };
+    let config = match args.seed {
+        Some(seed) => PipelineConfig { seed, ..config },
+        None => config,
     };
     println!("V_DD scaling on {} ({}):", bench.name, bench.function);
     println!(

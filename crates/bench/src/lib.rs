@@ -7,18 +7,193 @@
 //! * `patterns` — the §3.2 I_off pattern census;
 //! * `fig4_leakage` — the Fig. 4 stack-effect study;
 //! * `ablation_psc` — sensitivity of P_T to the P_SC = 0.15·P_D conjecture;
-//! * `ablation_patterns` — pattern classification vs exhaustive leakage.
+//! * `ablation_patterns` — pattern classification vs exhaustive leakage;
+//! * `expressive_power` — expressive-power accounting (§1/§2.2);
+//! * `vdd_sweep` — supply-scaling extension study;
+//! * `map_aiger` — external AIGER circuits through the pipeline;
+//! * `engine_smoke` — engine cache + parallel-speedup smoke measurement.
+//!
+//! All binaries share one command-line surface, [`BenchArgs`].
 
-/// Returns true when the given flag is present on the command line.
-pub fn has_flag(flag: &str) -> bool {
-    std::env::args().any(|a| a == flag)
+use ambipolar::experiments::Table1Config;
+use ambipolar::pipeline::PipelineConfig;
+
+/// The flag surface shared by every bench binary.
+///
+/// * `--patterns N` — random patterns per circuit (rounded up to a
+///   multiple of 64 by the simulator);
+/// * `--seed S` — simulation seed (decimal or `0x…` hex);
+/// * `--paper` — the paper's full setting (640 K patterns), overridden by
+///   an explicit `--patterns`;
+/// * positional arguments (e.g. the AIGER path for `map_aiger`) are
+///   collected in order.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// `--patterns N`, if given.
+    pub patterns: Option<usize>,
+    /// `--seed S`, if given.
+    pub seed: Option<u64>,
+    /// Whether `--paper` was given.
+    pub paper: bool,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
 }
 
-/// Reads `--patterns N` from the command line, if present.
-pub fn patterns_arg() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--patterns")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+impl BenchArgs {
+    /// Parses the process command line, exiting with a usage message on a
+    /// malformed or unknown flag.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--patterns N] [--seed S] [--paper] [positional...]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Like [`BenchArgs::parse`] for binaries whose artifact has no
+    /// tunable knobs: any flag or positional argument is rejected, so a
+    /// user passing `--patterns`/`--seed`/`--paper` learns immediately
+    /// that this binary would ignore them instead of getting a silently
+    /// unmodified run.
+    pub fn parse_no_tuning(bin: &str) {
+        let args = Self::parse();
+        if args.patterns.is_some()
+            || args.seed.is_some()
+            || args.paper
+            || !args.positional.is_empty()
+        {
+            eprintln!("{bin} takes no arguments: its artifact has no tunable parameters");
+            std::process::exit(2);
+        }
+    }
+
+    /// The pattern count these flags select over a binary-specific
+    /// default: explicit `--patterns` wins, then `--paper` (640 K), then
+    /// the default.
+    pub fn patterns_or(&self, default: usize) -> usize {
+        self.patterns
+            .unwrap_or(if self.paper { 640 * 1024 } else { default })
+    }
+
+    /// Parses an explicit argument list (test hook).
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut out = Self::default();
+        let mut iter = args.into_iter().map(Into::into);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--patterns" => {
+                    let value = iter.next().ok_or("--patterns requires a value")?;
+                    out.patterns = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("--patterns {value}: {e}"))?,
+                    );
+                }
+                "--seed" => {
+                    let value = iter.next().ok_or("--seed requires a value")?;
+                    out.seed = Some(parse_u64(&value).map_err(|e| format!("--seed {value}: {e}"))?);
+                }
+                "--paper" => out.paper = true,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag: {flag}"));
+                }
+                _ => out.positional.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The pipeline configuration these flags select: defaults, scaled to
+    /// the paper's 640 K patterns by `--paper`, with `--patterns` and
+    /// `--seed` overriding.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut config = if self.paper {
+            PipelineConfig::paper()
+        } else {
+            PipelineConfig::default()
+        };
+        if let Some(patterns) = self.patterns {
+            config.patterns = patterns;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// The Table-1 configuration these flags select.
+    pub fn table1_config(&self) -> Table1Config {
+        Table1Config {
+            pipeline: self.pipeline_config(),
+        }
+    }
+}
+
+fn parse_u64(value: &str) -> Result<u64, std::num::ParseIntError> {
+    if let Some(hex) = value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_in_any_order() {
+        let args = BenchArgs::parse_from([
+            "--paper",
+            "circuit.aag",
+            "--patterns",
+            "4096",
+            "--seed",
+            "0x2A",
+        ])
+        .unwrap();
+        assert!(args.paper);
+        assert_eq!(args.patterns, Some(4096));
+        assert_eq!(args.seed, Some(42));
+        assert_eq!(args.positional, ["circuit.aag"]);
+    }
+
+    #[test]
+    fn explicit_patterns_override_paper_setting() {
+        let args = BenchArgs::parse_from(["--paper", "--patterns", "128"]).unwrap();
+        let config = args.pipeline_config();
+        assert_eq!(config.patterns, 128);
+        let paper_only = BenchArgs::parse_from(["--paper"])
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(paper_only.patterns, 640 * 1024);
+    }
+
+    #[test]
+    fn default_config_matches_pipeline_default() {
+        let config = BenchArgs::parse_from(std::iter::empty::<String>())
+            .unwrap()
+            .pipeline_config();
+        let default = PipelineConfig::default();
+        assert_eq!(config.patterns, default.patterns);
+        assert_eq!(config.seed, default.seed);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(BenchArgs::parse_from(["--patterns"]).is_err());
+        assert!(BenchArgs::parse_from(["--patterns", "many"]).is_err());
+        assert!(BenchArgs::parse_from(["--frobnicate"]).is_err());
+        assert!(BenchArgs::parse_from(["--seed", "0xZZ"]).is_err());
+    }
 }

@@ -314,7 +314,9 @@ mod tests {
         let mut savings = Vec::new();
         for g in &cnt.gates {
             let other = cmos.find(&g.gate.name).expect("same cell set");
-            savings.push(1.0 - g.power_summary().total().value() / other.power_summary().total().value());
+            savings.push(
+                1.0 - g.power_summary().total().value() / other.power_summary().total().value(),
+            );
         }
         let avg = savings.iter().sum::<f64>() / savings.len() as f64;
         assert!(

@@ -24,9 +24,8 @@ pub fn gate_to_genlib(gate: &CharacterizedGate) -> String {
     let area = gate.gate.transistor_count();
     let cap_af = gate.avg_input_cap().value() * 1e18;
     let block_ps = gate.delay(device::Capacitance::new(0.0)).value() * 1e12;
-    let slope_ps = (gate.fo3_delay().value() - gate.delay(device::Capacitance::new(0.0)).value())
-        * 1e12
-        / 3.0;
+    let slope_ps =
+        (gate.fo3_delay().value() - gate.delay(device::Capacitance::new(0.0)).value()) * 1e12 / 3.0;
     // Phase: INV when the function is negative-unate in some input,
     // UNKNOWN otherwise — we print UNKNOWN uniformly, which every genlib
     // consumer accepts.

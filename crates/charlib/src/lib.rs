@@ -37,7 +37,9 @@ pub mod pattern;
 pub mod spice_export;
 pub mod topology;
 
-pub use characterize::{characterize_library, CharacterizedGate, CharacterizedLibrary, PowerSummary};
+pub use characterize::{
+    characterize_library, CharacterizedGate, CharacterizedLibrary, PowerSummary,
+};
 pub use leakage::LeakageSimulator;
 pub use pattern::OffPattern;
 pub use spice_export::gate_to_spice;

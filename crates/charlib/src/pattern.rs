@@ -96,9 +96,7 @@ impl OffPattern {
         match self {
             OffPattern::Device => 1,
             OffPattern::Series(xs) => xs.iter().map(OffPattern::series_depth).sum(),
-            OffPattern::Parallel(xs) => {
-                xs.iter().map(OffPattern::series_depth).max().unwrap_or(1)
-            }
+            OffPattern::Parallel(xs) => xs.iter().map(OffPattern::series_depth).max().unwrap_or(1),
         }
     }
 }

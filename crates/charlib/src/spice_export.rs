@@ -30,8 +30,24 @@ pub fn gate_to_spice(gate: &Gate) -> String {
     let mut internal = 0usize;
     // Core output node: `y` directly, or the inverter input.
     let core_out = if gate.output_inverter { "y_core" } else { "y" }.to_owned();
-    emit_network(&mut out, &gate.pull_up, "vdd", &core_out, true, &mut counter, &mut internal);
-    emit_network(&mut out, &gate.pull_down, &core_out, "vss", false, &mut counter, &mut internal);
+    emit_network(
+        &mut out,
+        &gate.pull_up,
+        "vdd",
+        &core_out,
+        true,
+        &mut counter,
+        &mut internal,
+    );
+    emit_network(
+        &mut out,
+        &gate.pull_down,
+        &core_out,
+        "vss",
+        false,
+        &mut counter,
+        &mut internal,
+    );
     if gate.output_inverter {
         let _ = writeln!(out, "MP{counter} y {core_out} vdd vdd pfet");
         let _ = writeln!(out, "MN{} y {core_out} vss vss nfet", counter + 1);

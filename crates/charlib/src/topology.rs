@@ -35,7 +35,10 @@ fn reduce(net: &SpNetwork, inputs: &[bool]) -> Reduction {
                 // Both devices of the pair are off, in parallel — the
                 // paper's observation that TG leakage is twice a single
                 // transistor's.
-                Reduction::Off(OffPattern::parallel([OffPattern::Device, OffPattern::Device]))
+                Reduction::Off(OffPattern::parallel([
+                    OffPattern::Device,
+                    OffPattern::Device,
+                ]))
             }
         }
         SpNetwork::Series(xs) => {
@@ -79,7 +82,11 @@ pub fn gate_off_patterns(gate: &Gate, inputs: &[bool]) -> Vec<OffPattern> {
     let core_out = gate.pull_up.conducts(inputs);
     // The non-driving network: PU conducts when core = 1, so the blocked
     // network is PD in that case, and vice versa.
-    let blocked = if core_out { &gate.pull_down } else { &gate.pull_up };
+    let blocked = if core_out {
+        &gate.pull_down
+    } else {
+        &gate.pull_up
+    };
     let mut patterns = Vec::with_capacity(2);
     match reduce(blocked, inputs) {
         Reduction::Off(p) => patterns.push(p),
@@ -185,10 +192,16 @@ mod tests {
         let nand = lib.iter().find(|g| g.name == "NAND2").expect("NAND2");
         // [0 0]: out 1, PD blocked: two series offs.
         let p = gate_off_patterns(nand, &[false, false]);
-        assert_eq!(p[0], OffPattern::series([OffPattern::Device, OffPattern::Device]));
+        assert_eq!(
+            p[0],
+            OffPattern::series([OffPattern::Device, OffPattern::Device])
+        );
         // [1 1]: out 0, PU blocked: two parallel offs.
         let p = gate_off_patterns(nand, &[true, true]);
-        assert_eq!(p[0], OffPattern::parallel([OffPattern::Device, OffPattern::Device]));
+        assert_eq!(
+            p[0],
+            OffPattern::parallel([OffPattern::Device, OffPattern::Device])
+        );
         // [1 0]: out 1, PD has one on (a) and one off (b): single device.
         let p = gate_off_patterns(nand, &[true, false]);
         assert_eq!(p[0], OffPattern::Device);
@@ -201,7 +214,10 @@ mod tests {
         // [0 0]: a⊕b = 0 → output 1 → PD (TG on a⊕b) blocked: both
         // devices off in parallel.
         let p = gate_off_patterns(xnor, &[false, false]);
-        assert_eq!(p[0], OffPattern::parallel([OffPattern::Device, OffPattern::Device]));
+        assert_eq!(
+            p[0],
+            OffPattern::parallel([OffPattern::Device, OffPattern::Device])
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The experiment engine: a once-per-process characterized-library cache
+//! and parallel drivers for the paper's evaluation matrix.
+//!
+//! Characterizing a gate library (46 cells × leakage patterns through the
+//! spice-lite solver) costs seconds; before this module existed every bench
+//! binary, example, and test re-ran it from scratch — often once per
+//! circuit. The engine owns one [`CharacterizedLibrary`] per
+//! [`GateFamily`] behind a [`OnceLock`], so a process characterizes each
+//! family **exactly once** no matter how many call sites ask.
+//!
+//! On top of the cache, [`run_table1_subset`] fans the circuit × family
+//! evaluation matrix out over the rayon pool: benchmark synthesis is one
+//! parallel pass, and each (circuit, family) pipeline run is an independent
+//! task. Results are reassembled in paper row order, and every stage is
+//! deterministic (fixed seeds, order-preserving joins), so the parallel
+//! table is identical to the serial one.
+
+use crate::experiments::{Table1, Table1Config, Table1Row};
+use crate::pipeline::{evaluate_circuit, CircuitResult};
+use charlib::{characterize_library, CharacterizedLibrary};
+use gate_lib::GateFamily;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static LIBRARIES: [OnceLock<CharacterizedLibrary>; GateFamily::ALL.len()] =
+    [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+
+/// Characterization runs performed by [`library`] in this process.
+static CHARACTERIZATIONS: AtomicUsize = AtomicUsize::new(0);
+
+fn family_index(family: GateFamily) -> usize {
+    GateFamily::ALL
+        .iter()
+        .position(|&f| f == family)
+        .expect("every family appears in GateFamily::ALL")
+}
+
+/// The process-wide characterized library for `family`.
+///
+/// The first call per family runs [`characterize_library`]; every later
+/// call (from any thread) returns the same `&'static` reference. Use this
+/// instead of calling `characterize_library` directly unless you need a
+/// non-default technology point (e.g. a V_DD sweep) or are deliberately
+/// timing cold characterization.
+pub fn library(family: GateFamily) -> &'static CharacterizedLibrary {
+    LIBRARIES[family_index(family)].get_or_init(|| {
+        CHARACTERIZATIONS.fetch_add(1, Ordering::Relaxed);
+        characterize_library(family)
+    })
+}
+
+/// All three libraries in Table-1 column order, characterizing any that
+/// are not cached yet.
+pub fn libraries() -> [&'static CharacterizedLibrary; 3] {
+    [
+        library(GateFamily::CntfetGeneralized),
+        library(GateFamily::CntfetConventional),
+        library(GateFamily::Cmos),
+    ]
+}
+
+/// How many characterization runs the cache has performed in this process
+/// (test hook: after any number of engine calls this is at most 3).
+pub fn characterization_count() -> usize {
+    CHARACTERIZATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs the full Table-1 experiment through the engine: libraries from the
+/// process cache, circuit × family matrix on the rayon pool.
+pub fn run_table1(config: &Table1Config) -> Table1 {
+    run_table1_subset(config, None)
+}
+
+/// Like [`run_table1`] but restricted to the named benchmark rows (pass
+/// `None` for all twelve).
+///
+/// Parallel structure: one synthesis task per benchmark, then one pipeline
+/// task per (circuit, family) pair — for the full table that is 12 + 36
+/// independent tasks. Joins preserve input order, so rows come back in
+/// paper order and the result is bit-identical to [`run_table1_serial`].
+pub fn run_table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
+    let libs = libraries();
+    let benches = selected_benchmarks(names);
+    let synthesized: Vec<aig::Aig> = benches
+        .par_iter()
+        .map(|bench| aig::synthesize(&bench.aig))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
+        .collect();
+    let results: Vec<CircuitResult> = jobs
+        .into_par_iter()
+        .map(|(ci, fi)| evaluate_circuit(&synthesized[ci], libs[fi], &config.pipeline))
+        .collect();
+    assemble(benches, results)
+}
+
+/// Serial reference implementation of [`run_table1_subset`]: identical
+/// work, identical results, **no threads anywhere** — the inner pattern
+/// simulation also uses the sequential reference
+/// ([`crate::pipeline::evaluate_circuit_serial`]), so this is an honest
+/// single-thread baseline. Kept callable so the `engine_smoke` binary and
+/// the determinism tests can measure and verify the parallel driver
+/// against it.
+pub fn run_table1_serial(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
+    let libs = libraries();
+    let benches = selected_benchmarks(names);
+    let synthesized: Vec<aig::Aig> = benches
+        .iter()
+        .map(|bench| aig::synthesize(&bench.aig))
+        .collect();
+    let results: Vec<CircuitResult> = synthesized
+        .iter()
+        .flat_map(|aig| {
+            libs.iter()
+                .map(|lib| crate::pipeline::evaluate_circuit_serial(aig, lib, &config.pipeline))
+        })
+        .collect();
+    assemble(benches, results)
+}
+
+fn selected_benchmarks(names: Option<&[&str]>) -> Vec<bench_circuits::Benchmark> {
+    bench_circuits::table1_benchmarks()
+        .into_iter()
+        .filter(|bench| names.is_none_or(|names| names.contains(&bench.name)))
+        .collect()
+}
+
+fn assemble(benches: Vec<bench_circuits::Benchmark>, results: Vec<CircuitResult>) -> Table1 {
+    let families = GateFamily::ALL.len();
+    assert_eq!(results.len(), benches.len() * families);
+    let mut results = results.into_iter();
+    let rows = benches
+        .into_iter()
+        .map(|bench| {
+            let per_family: Vec<CircuitResult> = results.by_ref().take(families).collect();
+            Table1Row {
+                name: bench.name.to_owned(),
+                function: bench.function.to_owned(),
+                results: per_family.try_into().expect("three families per row"),
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_one_static_instance_per_family() {
+        let before = characterization_count();
+        let a = library(GateFamily::CntfetGeneralized);
+        let mid = characterization_count();
+        let b = library(GateFamily::CntfetGeneralized);
+        let after = characterization_count();
+        // Same allocation, not merely equal contents.
+        assert!(std::ptr::eq(a, b));
+        // The second call never re-characterizes; the first did at most
+        // once (zero if another test already warmed the cache).
+        assert!(mid - before <= 1, "first call ran {} times", mid - before);
+        assert_eq!(mid, after, "second call must hit the cache");
+        assert!(characterization_count() <= GateFamily::ALL.len());
+    }
+
+    #[test]
+    fn parallel_and_serial_tables_agree() {
+        let config = Table1Config {
+            pipeline: crate::pipeline::PipelineConfig {
+                patterns: 2048,
+                ..Default::default()
+            },
+        };
+        let names = Some(&["C1355"][..]);
+        let par = run_table1_subset(&config, names);
+        let ser = run_table1_serial(&config, names);
+        assert_eq!(format!("{par}"), format!("{ser}"));
+        assert!(characterization_count() <= GateFamily::ALL.len());
+    }
+}

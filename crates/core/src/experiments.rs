@@ -7,8 +7,9 @@
 //! | §3.2 I_off pattern census ("26 patterns") | [`pattern_census`] |
 //! | Fig. 4 stack-effect study | [`fig4_study`] |
 
-use crate::pipeline::{evaluate_circuit, CircuitResult, PipelineConfig};
-use charlib::{characterize_library, CharacterizedLibrary, LeakageSimulator, OffPattern};
+use crate::engine;
+use crate::pipeline::{CircuitResult, PipelineConfig};
+use charlib::{LeakageSimulator, OffPattern};
 use device::TechParams;
 use gate_lib::GateFamily;
 use std::fmt;
@@ -127,37 +128,17 @@ pub struct Improvement {
 
 /// Runs the full Table-1 experiment: synthesize each benchmark once, then
 /// map and evaluate it with all three libraries.
+///
+/// Delegates to the [`engine`]: libraries come from the once-per-process
+/// cache and the circuit × family matrix runs on the rayon pool.
 pub fn table1(config: &Table1Config) -> Table1 {
-    table1_subset(config, None)
+    engine::run_table1(config)
 }
 
 /// Like [`table1`] but restricted to the named benchmark rows (pass `None`
 /// for all twelve). Used by fast shape-regression tests.
 pub fn table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
-    let libraries: Vec<CharacterizedLibrary> = GateFamily::ALL
-        .iter()
-        .map(|&f| characterize_library(f))
-        .collect();
-    let mut rows = Vec::new();
-    for bench in bench_circuits::table1_benchmarks() {
-        if let Some(names) = names {
-            if !names.contains(&bench.name) {
-                continue;
-            }
-        }
-        let synthesized = aig::synthesize(&bench.aig);
-        let results: Vec<CircuitResult> = libraries
-            .iter()
-            .map(|lib| evaluate_circuit(&synthesized, lib, &config.pipeline))
-            .collect();
-        let results: [CircuitResult; 3] = results.try_into().expect("three families");
-        rows.push(Table1Row {
-            name: bench.name.to_owned(),
-            function: bench.function.to_owned(),
-            results,
-        });
-    }
-    Table1 { rows }
+    engine::run_table1_subset(config, names)
 }
 
 impl fmt::Display for Table1 {
@@ -257,9 +238,9 @@ pub struct GateLibraryReport {
 /// Characterizes the libraries and compares matched cells (the cells
 /// "available in CMOS technology", per the paper).
 pub fn gate_library_comparison() -> GateLibraryReport {
-    let gen = characterize_library(GateFamily::CntfetGeneralized);
-    let conv = characterize_library(GateFamily::CntfetConventional);
-    let cmos = characterize_library(GateFamily::Cmos);
+    let gen = engine::library(GateFamily::CntfetGeneralized);
+    let conv = engine::library(GateFamily::CntfetConventional);
+    let cmos = engine::library(GateFamily::Cmos);
     let mut pt_savings = Vec::new();
     let mut pd_savings = Vec::new();
     let mut ps_ratios = Vec::new();
@@ -340,7 +321,7 @@ pub struct PatternCensusReport {
 
 /// Runs the census on the generalized ambipolar library.
 pub fn pattern_census() -> PatternCensusReport {
-    let lib = characterize_library(GateFamily::CntfetGeneralized);
+    let lib = engine::library(GateFamily::CntfetGeneralized);
     let patterns: Vec<(String, usize)> = lib
         .pattern_census
         .iter_by_frequency()
@@ -473,15 +454,12 @@ mod tests {
                 ..PipelineConfig::default()
             },
         };
-        let libraries: Vec<_> = GateFamily::ALL
-            .iter()
-            .map(|&f| characterize_library(f))
-            .collect();
+        let libraries = engine::libraries();
         let bench = bench_circuits::benchmark_by_name("C1908").expect("C1908");
         let synthesized = aig::synthesize(&bench.aig);
         let results: Vec<_> = libraries
             .iter()
-            .map(|lib| evaluate_circuit(&synthesized, lib, &config.pipeline))
+            .map(|lib| crate::pipeline::evaluate_circuit(&synthesized, lib, &config.pipeline))
             .collect();
         // Generalized wins gates and power; CMOS is slowest and hungriest.
         assert!(results[0].gates <= results[1].gates);

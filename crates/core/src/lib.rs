@@ -4,6 +4,9 @@
 //!
 //! This crate ties the workspace together:
 //!
+//! * [`engine`] — the experiment engine: a once-per-process
+//!   [`CharacterizedLibrary`](charlib::CharacterizedLibrary) cache per gate
+//!   family and the parallel circuit × family drivers;
 //! * [`pipeline`] — synthesize → map → time → estimate for one circuit and
 //!   one gate family;
 //! * [`experiments`] — the paper's artifacts: [Table 1](experiments::table1)
@@ -19,10 +22,12 @@
 //! println!("{table}");
 //! ```
 
+pub mod engine;
 pub mod experiments;
 pub mod pipeline;
 
+pub use engine::{library, run_table1, run_table1_serial, run_table1_subset};
 pub use experiments::{
     fig4_study, gate_library_comparison, pattern_census, table1, Table1, Table1Config,
 };
-pub use pipeline::{evaluate_circuit, CircuitResult, PipelineConfig};
+pub use pipeline::{evaluate_circuit, evaluate_circuit_serial, CircuitResult, PipelineConfig};

@@ -75,14 +75,43 @@ pub fn evaluate_circuit(
     evaluate_mapped(&mapped, library, config)
 }
 
+/// Like [`evaluate_circuit`] but with the sequential reference simulator
+/// ([`power_est::simulate_activity_serial`]) — the fully serial baseline
+/// used by `engine::run_table1_serial`; bit-identical results.
+pub fn evaluate_circuit_serial(
+    synthesized: &Aig,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> CircuitResult {
+    let mapped = map_aig(synthesized, library);
+    evaluate_mapped_with(
+        &mapped,
+        library,
+        config,
+        power_est::simulate_activity_serial,
+    )
+}
+
 /// Evaluates an existing mapped netlist (exposed for reuse by benches).
 pub fn evaluate_mapped(
     mapped: &MappedNetlist,
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
 ) -> CircuitResult {
+    evaluate_mapped_with(mapped, library, config, simulate_activity)
+}
+
+type SimulateFn =
+    fn(&MappedNetlist, &CharacterizedLibrary, usize, u64) -> power_est::ActivityReport;
+
+fn evaluate_mapped_with(
+    mapped: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+    simulate: SimulateFn,
+) -> CircuitResult {
     let sta = critical_path(mapped, library);
-    let activity = simulate_activity(mapped, library, config.patterns, config.seed);
+    let activity = simulate(mapped, library, config.patterns, config.seed);
     let power = estimate_power(mapped, library, &activity, config.frequency_hz);
     CircuitResult {
         gates: mapped.gate_count(),
@@ -101,7 +130,9 @@ mod tests {
 
     #[test]
     fn pipeline_runs_end_to_end() {
-        let aig = bench_circuits::benchmark_by_name("C1355").expect("C1355").aig;
+        let aig = bench_circuits::benchmark_by_name("C1355")
+            .expect("C1355")
+            .aig;
         let synthesized = aig::synthesize(&aig);
         assert!(aig::equivalent(&aig, &synthesized, 3, 32));
         let config = PipelineConfig {
@@ -124,7 +155,9 @@ mod tests {
     fn ecc_prefers_generalized_library() {
         // C1355 is an XOR-dominated circuit: the generalized library must
         // win on gates, delay and power simultaneously.
-        let aig = bench_circuits::benchmark_by_name("C1355").expect("C1355").aig;
+        let aig = bench_circuits::benchmark_by_name("C1355")
+            .expect("C1355")
+            .aig;
         let synthesized = aig::synthesize(&aig);
         let config = PipelineConfig {
             patterns: 8192,
@@ -134,7 +167,12 @@ mod tests {
         let conv = characterize_library(GateFamily::CntfetConventional);
         let r_gen = evaluate_circuit(&synthesized, &gen, &config);
         let r_conv = evaluate_circuit(&synthesized, &conv, &config);
-        assert!(r_gen.gates < r_conv.gates, "{} vs {}", r_gen.gates, r_conv.gates);
+        assert!(
+            r_gen.gates < r_conv.gates,
+            "{} vs {}",
+            r_gen.gates,
+            r_conv.gates
+        );
         assert!(r_gen.delay.value() < r_conv.delay.value());
         assert!(r_gen.total_power().value() < r_conv.total_power().value());
     }

@@ -129,7 +129,9 @@ mod tests {
     fn polarity_gate_low_gives_n_type() {
         let (dev, tech) = device();
         let composite = dev.ids(0.0, tech.vdd, tech.vdd, 0.0);
-        let unipolar = dev.configured(PolarityConfig::NType).ids(tech.vdd, tech.vdd, 0.0);
+        let unipolar = dev
+            .configured(PolarityConfig::NType)
+            .ids(tech.vdd, tech.vdd, 0.0);
         assert!((composite / unipolar - 1.0).abs() < 0.01);
     }
 
@@ -138,7 +140,9 @@ mod tests {
         let (dev, tech) = device();
         // P-type on-state: gate low, source at VDD, drain low.
         let composite = dev.ids(tech.vdd, 0.0, 0.0, tech.vdd);
-        let unipolar = dev.configured(PolarityConfig::PType).ids(0.0, 0.0, tech.vdd);
+        let unipolar = dev
+            .configured(PolarityConfig::PType)
+            .ids(0.0, 0.0, tech.vdd);
         assert!((composite / unipolar - 1.0).abs() < 0.01);
     }
 
@@ -170,7 +174,10 @@ mod tests {
     fn config_voltage_levels_match_fig1() {
         let (_, tech) = device();
         assert_eq!(PolarityConfig::NType.polarity_gate_voltage(tech.vdd), 0.0);
-        assert_eq!(PolarityConfig::PType.polarity_gate_voltage(tech.vdd), tech.vdd);
+        assert_eq!(
+            PolarityConfig::PType.polarity_gate_voltage(tech.vdd),
+            tech.vdd
+        );
         assert_eq!(PolarityConfig::NType.polarity(), Polarity::N);
         assert_eq!(PolarityConfig::PType.polarity(), Polarity::P);
     }

@@ -136,7 +136,11 @@ impl CompactModel {
     fn ids_n(&self, vg: f64, vd: f64, vs: f64) -> f64 {
         // Orient so the effective source is the lower terminal (the DIBL
         // term must reference the true V_DS).
-        let (lo, hi, sign) = if vd >= vs { (vs, vd, 1.0) } else { (vd, vs, -1.0) };
+        let (lo, hi, sign) = if vd >= vs {
+            (vs, vd, 1.0)
+        } else {
+            (vd, vs, -1.0)
+        };
         let vds = hi - lo;
         let vp = (vg - self.vth + self.dibl * vds) / self.n_factor;
         let vt = THERMAL_VOLTAGE;

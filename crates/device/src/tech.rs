@@ -236,10 +236,16 @@ mod tests {
     #[test]
     fn gate_leak_fractions_match_paper() {
         let cnt = TechParams::cntfet_32nm();
-        assert!(cnt.ig_unit / cnt.ioff_unit < 0.01, "CNTFET I_g must stay below 1%");
+        assert!(
+            cnt.ig_unit / cnt.ioff_unit < 0.01,
+            "CNTFET I_g must stay below 1%"
+        );
         let cmos = TechParams::cmos_32nm();
         let frac = cmos.ig_unit / cmos.ioff_unit;
-        assert!((0.05..=0.15).contains(&frac), "CMOS I_g ≈ 10% of I_off, got {frac}");
+        assert!(
+            (0.05..=0.15).contains(&frac),
+            "CMOS I_g ≈ 10% of I_off, got {frac}"
+        );
     }
 
     #[test]
@@ -258,8 +264,14 @@ mod tests {
         let nominal = TechParams::cmos_32nm();
         let low = nominal.with_vdd(0.6);
         assert_eq!(low.vdd, 0.6);
-        assert!(low.ioff_unit < nominal.ioff_unit, "DIBL relief lowers I_off");
-        assert!(low.ig_unit < nominal.ig_unit, "thinner barrier bias lowers I_g");
+        assert!(
+            low.ioff_unit < nominal.ioff_unit,
+            "DIBL relief lowers I_off"
+        );
+        assert!(
+            low.ig_unit < nominal.ig_unit,
+            "thinner barrier bias lowers I_g"
+        );
         assert!(low.r_on > nominal.r_on, "less overdrive raises R_on");
         // Capacitances untouched.
         assert_eq!(low.c_gate, nominal.c_gate);

@@ -69,12 +69,7 @@ impl DynamicGnor {
     pub fn pull_down_network(&self) -> SpNetwork {
         SpNetwork::Parallel(
             (0..self.width)
-                .map(|i| {
-                    SpNetwork::tg(
-                        Literal::pos((self.width + i) as u8),
-                        Literal::pos(i as u8),
-                    )
-                })
+                .map(|i| SpNetwork::tg(Literal::pos((self.width + i) as u8), Literal::pos(i as u8)))
                 .collect(),
         )
     }
@@ -88,10 +83,7 @@ impl DynamicGnor {
     pub fn evaluate(&self, inputs: &[bool], polarity: &[bool]) -> bool {
         assert_eq!(inputs.len(), self.width, "data arity mismatch");
         assert_eq!(polarity.len(), self.width, "programming arity mismatch");
-        !inputs
-            .iter()
-            .zip(polarity.iter())
-            .any(|(&a, &c)| a ^ c)
+        !inputs.iter().zip(polarity.iter()).any(|(&a, &c)| a ^ c)
     }
 
     /// Output voltage semantics per phase (behavioural clock model).

@@ -137,7 +137,11 @@ pub fn library_expressive_power(family: GateFamily) -> ExpressivePower {
     for gate in &library {
         power.total_transistors += gate.transistor_count();
         for (arity, set) in cell_functions(gate) {
-            power.functions_by_arity.entry(arity).or_default().extend(set);
+            power
+                .functions_by_arity
+                .entry(arity)
+                .or_default()
+                .extend(set);
         }
     }
     power

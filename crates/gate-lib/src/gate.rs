@@ -27,7 +27,10 @@ impl std::fmt::Display for GateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GateError::NotComplementary { input_index } => {
-                write!(f, "pull-up/pull-down not complementary at input {input_index}")
+                write!(
+                    f,
+                    "pull-up/pull-down not complementary at input {input_index}"
+                )
             }
             GateError::CompositionRule => {
                 write!(f, "network exceeds two series/parallel elements")
@@ -180,7 +183,8 @@ impl Gate {
         if self.family.free_input_negation() {
             let mut caps = vec![0.0f64; self.n_inputs];
             self.pull_up.input_cap_loads(&mut caps, c_gate, c_polarity);
-            self.pull_down.input_cap_loads(&mut caps, c_gate, c_polarity);
+            self.pull_down
+                .input_cap_loads(&mut caps, c_gate, c_polarity);
             caps
         } else {
             // No TGs in conventional families: unit-count accounting with
@@ -376,11 +380,7 @@ mod tests {
 
     #[test]
     fn composition_rule_enforced() {
-        let pd = SpNetwork::series([
-            SpNetwork::nfet(0),
-            SpNetwork::nfet(1),
-            SpNetwork::nfet(2),
-        ]);
+        let pd = SpNetwork::series([SpNetwork::nfet(0), SpNetwork::nfet(1), SpNetwork::nfet(2)]);
         let err = Gate::from_pull_down("NAND3", GateFamily::Cmos, 3, pd, false)
             .expect_err("three in series violates the rule");
         assert_eq!(err, GateError::CompositionRule);

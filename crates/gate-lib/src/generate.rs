@@ -161,7 +161,11 @@ impl Skeleton {
 /// Derives the cell name for a skeleton/leaf/phase combination.
 fn cell_name(skeleton: Skeleton, leaves: &[Leaf], output_inverter: bool) -> String {
     let (inv_name, noninv_name) = skeleton.base_names();
-    let base = if output_inverter { noninv_name } else { inv_name };
+    let base = if output_inverter {
+        noninv_name
+    } else {
+        inv_name
+    };
     if skeleton == Skeleton::Single {
         // Special names for the single-leaf shapes.
         return match (leaves[0], output_inverter) {
@@ -222,8 +226,14 @@ fn generalized_library() -> Vec<Gate> {
             // Inverting variant always exists.
             let name = cell_name(skeleton, &leaves, false);
             gates.push(
-                Gate::from_pull_down(name, GateFamily::CntfetGeneralized, n_inputs, pd.clone(), false)
-                    .expect("generated inverting cell is valid"),
+                Gate::from_pull_down(
+                    name,
+                    GateFamily::CntfetGeneralized,
+                    n_inputs,
+                    pd.clone(),
+                    false,
+                )
+                .expect("generated inverting cell is valid"),
             );
             // Non-inverting two-stage variants exist for the NAND/NOR/
             // AOI21/OAI21 shapes. The single-leaf shapes don't need them
@@ -260,19 +270,9 @@ fn conventional_library(family: GateFamily) -> Vec<Gate> {
     let nfet = SpNetwork::nfet;
     push("INV", 1, nfet(0), false);
     push("BUF", 1, nfet(0), true);
-    push(
-        "NAND2",
-        2,
-        SpNetwork::series([nfet(0), nfet(1)]),
-        false,
-    );
+    push("NAND2", 2, SpNetwork::series([nfet(0), nfet(1)]), false);
     push("AND2", 2, SpNetwork::series([nfet(0), nfet(1)]), true);
-    push(
-        "NOR2",
-        2,
-        SpNetwork::parallel([nfet(0), nfet(1)]),
-        false,
-    );
+    push("NOR2", 2, SpNetwork::parallel([nfet(0), nfet(1)]), false);
     push("OR2", 2, SpNetwork::parallel([nfet(0), nfet(1)]), true);
     let aoi21 = || SpNetwork::parallel([SpNetwork::series([nfet(0), nfet(1)]), nfet(2)]);
     push("AOI21", 3, aoi21(), false);

@@ -35,9 +35,9 @@ pub mod gate;
 pub mod generate;
 pub mod network;
 
+pub use dynamic::DynamicGnor;
+pub use expressive::library_expressive_power;
 pub use family::GateFamily;
 pub use gate::Gate;
 pub use generate::generate_library;
 pub use network::{Literal, SpNetwork};
-pub use dynamic::DynamicGnor;
-pub use expressive::library_expressive_power;

@@ -31,7 +31,10 @@ pub struct Literal {
 impl Literal {
     /// A positive literal of `var`.
     pub fn pos(var: u8) -> Self {
-        Self { var, positive: true }
+        Self {
+            var,
+            positive: true,
+        }
     }
 
     /// A negative literal of `var`.
@@ -163,9 +166,7 @@ impl SpNetwork {
                     Polarity::P => !lit,
                 }
             }
-            SpNetwork::TransmissionGate { a, b } => {
-                a.truth_table(n_vars) ^ b.truth_table(n_vars)
-            }
+            SpNetwork::TransmissionGate { a, b } => a.truth_table(n_vars) ^ b.truth_table(n_vars),
             SpNetwork::Series(xs) => xs
                 .iter()
                 .fold(TruthTable::one(n_vars), |acc, x| acc & x.condition(n_vars)),
@@ -322,7 +323,9 @@ impl SpNetwork {
         match self {
             SpNetwork::Transistor { .. } => false,
             SpNetwork::TransmissionGate { .. } => true,
-            SpNetwork::Series(xs) | SpNetwork::Parallel(xs) => xs.iter().any(SpNetwork::contains_tg),
+            SpNetwork::Series(xs) | SpNetwork::Parallel(xs) => {
+                xs.iter().any(SpNetwork::contains_tg)
+            }
         }
     }
 }
@@ -404,7 +407,10 @@ mod tests {
                 SpNetwork::tg(Literal::pos(2), Literal::pos(3)),
             ]),
             SpNetwork::series([
-                SpNetwork::parallel([SpNetwork::nfet(0), SpNetwork::tg(Literal::pos(1), Literal::pos(2))]),
+                SpNetwork::parallel([
+                    SpNetwork::nfet(0),
+                    SpNetwork::tg(Literal::pos(1), Literal::pos(2)),
+                ]),
                 SpNetwork::nfet(3),
             ]),
         ];
@@ -446,7 +452,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let net = SpNetwork::series([SpNetwork::nfet(0), SpNetwork::tg(Literal::pos(1), Literal::neg(2))]);
+        let net = SpNetwork::series([
+            SpNetwork::nfet(0),
+            SpNetwork::tg(Literal::pos(1), Literal::neg(2)),
+        ]);
         assert_eq!(net.to_string(), "S[n(b) tg(b,c')]".replace("n(b)", "n(a)"));
     }
 }

@@ -86,7 +86,10 @@ impl Expr {
     ///
     /// Panics if `n_vars` is smaller than [`Expr::arity`] or exceeds six.
     pub fn to_truth_table(&self, n_vars: usize) -> TruthTable {
-        assert!(n_vars >= self.arity(), "truth table arity below expression arity");
+        assert!(
+            n_vars >= self.arity(),
+            "truth table arity below expression arity"
+        );
         TruthTable::from_fn(n_vars, |v| self.eval(v))
     }
 
@@ -215,14 +218,20 @@ impl Parser {
             Some('(') => {
                 let e = self.parse_or()?;
                 if self.bump() != Some(')') {
-                    return Err(ParseExprError::new("expected closing parenthesis", self.pos));
+                    return Err(ParseExprError::new(
+                        "expected closing parenthesis",
+                        self.pos,
+                    ));
                 }
                 Ok(self.parse_postfix(e))
             }
             Some('0') => Ok(Expr::Const(false)),
             Some('1') => Ok(Expr::Const(true)),
             Some(c @ 'a'..='f') => Ok(self.parse_postfix(Expr::Var(c as u8 - b'a'))),
-            Some(c) => Err(ParseExprError::new(format!("unexpected character `{c}`"), pos)),
+            Some(c) => Err(ParseExprError::new(
+                format!("unexpected character `{c}`"),
+                pos,
+            )),
             None => Err(ParseExprError::new("unexpected end of input", pos)),
         }
     }
@@ -241,7 +250,8 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // `{:#}` (alternate) parenthesizes binary operators, which is how
         // sub-expressions are always rendered — precedence-safe output.
-        let parenthesize = f.alternate() && matches!(self, Expr::And(..) | Expr::Or(..) | Expr::Xor(..));
+        let parenthesize =
+            f.alternate() && matches!(self, Expr::And(..) | Expr::Or(..) | Expr::Xor(..));
         if parenthesize {
             f.write_str("(")?;
         }

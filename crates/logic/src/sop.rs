@@ -61,7 +61,11 @@ impl Cube {
         for v in 0..n_vars {
             if (self.care >> v) & 1 == 1 {
                 let lit = TruthTable::var(n_vars, v);
-                t = t & if (self.polarity >> v) & 1 == 1 { lit } else { !lit };
+                t = t & if (self.polarity >> v) & 1 == 1 {
+                    lit
+                } else {
+                    !lit
+                };
             }
         }
         t
@@ -98,7 +102,13 @@ pub fn isop(f: TruthTable) -> Vec<Cube> {
 
 /// Recursive ISOP on (lower bound `l`, upper bound `u`): returns a cover `g`
 /// with `l ⊆ g ⊆ u`. Entry point uses `l = u = f`.
-fn isop_rec(l: TruthTable, u: TruthTable, var_hint: usize, prefix: Cube, out: &mut Vec<Cube>) -> TruthTable {
+fn isop_rec(
+    l: TruthTable,
+    u: TruthTable,
+    var_hint: usize,
+    prefix: Cube,
+    out: &mut Vec<Cube>,
+) -> TruthTable {
     debug_assert_eq!((l & !u).bits(), 0, "lower bound must imply upper bound");
     if l.is_zero() {
         return TruthTable::zero(l.n_vars());

@@ -71,7 +71,10 @@ impl TruthTable {
     /// Panics if `n_vars > 6` or `var >= n_vars`.
     pub fn var(n_vars: usize, var: usize) -> Self {
         assert!(n_vars <= 6, "truth tables support at most 6 variables");
-        assert!(var < n_vars, "variable index {var} out of range 0..{n_vars}");
+        assert!(
+            var < n_vars,
+            "variable index {var} out of range 0..{n_vars}"
+        );
         Self {
             n_vars: n_vars as u8,
             bits: VAR_MASK[var] & mask(n_vars),
@@ -236,15 +239,17 @@ impl TruthTable {
     ///
     /// Panics if `var + 1 >= n_vars`.
     pub fn swap_adjacent(&self, var: usize) -> Self {
-        assert!(var + 1 < self.n_vars(), "cannot swap variable {var} with {}", var + 1);
+        assert!(
+            var + 1 < self.n_vars(),
+            "cannot swap variable {var} with {}",
+            var + 1
+        );
         // Classic bit-trick: move the blocks where bit(var) != bit(var+1).
         let shift = 1u32 << var;
         let keep = !(VAR_MASK[var] ^ VAR_MASK[var + 1]);
         let up = VAR_MASK[var + 1] & !VAR_MASK[var];
         let down = VAR_MASK[var] & !VAR_MASK[var + 1];
-        let bits = (self.bits & keep)
-            | ((self.bits & up) >> shift)
-            | ((self.bits & down) << shift);
+        let bits = (self.bits & keep) | ((self.bits & up) >> shift) | ((self.bits & down) << shift);
         Self {
             n_vars: self.n_vars,
             bits: bits & mask(self.n_vars()),
@@ -293,7 +298,10 @@ impl TruthTable {
     /// Panics if `n_vars` is smaller than the current arity or exceeds six.
     pub fn extend_to(&self, n_vars: usize) -> Self {
         assert!(n_vars <= 6, "truth tables support at most 6 variables");
-        assert!(n_vars >= self.n_vars(), "cannot shrink a truth table with extend_to");
+        assert!(
+            n_vars >= self.n_vars(),
+            "cannot shrink a truth table with extend_to"
+        );
         let mut bits = self.bits;
         for v in self.n_vars()..n_vars {
             bits |= bits << (1u64 << v);
@@ -543,9 +551,7 @@ mod tests {
 
     #[test]
     fn from_fn_majority() {
-        let maj = TruthTable::from_fn(3, |v| {
-            (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2
-        });
+        let maj = TruthTable::from_fn(3, |v| (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2);
         assert_eq!(maj.count_ones(), 4);
         assert!(maj.eval(&[true, true, false]));
         assert!(!maj.eval(&[false, false, true]));

@@ -3,7 +3,10 @@
 //! using 640K random patterns").
 //!
 //! * [`simulate_activity`] — bit-parallel (64-way) random simulation
-//!   counting per-net toggles and signal probabilities;
+//!   counting per-net toggles and signal probabilities, fanned out over
+//!   the rayon pool in deterministic chunks (see
+//!   [`simulate_activity_serial`] for the bit-identical sequential
+//!   reference);
 //! * [`estimate_power`] — rolls the activity into the eq. (1)–(5) power
 //!   model: per-net dynamic power from real toggle rates, state-dependent
 //!   leakage weighted by per-instance input-state probabilities, the
@@ -34,4 +37,4 @@ pub mod estimate;
 pub mod simulate;
 
 pub use estimate::{estimate_power, PowerBreakdown};
-pub use simulate::{simulate_activity, ActivityReport};
+pub use simulate::{simulate_activity, simulate_activity_serial, ActivityReport, CHUNK_WORDS};

@@ -1,14 +1,42 @@
 //! Bit-parallel random-pattern simulation with toggle counting.
+//!
+//! # Parallel structure and determinism
+//!
+//! The requested pattern budget is split into fixed-size **chunks** of
+//! [`CHUNK_WORDS`] 64-pattern words. Each chunk draws its primary-input
+//! words from its own RNG stream, seeded from the user seed and the chunk
+//! index ([`chunk_seed`]), and accumulates toggle/one counts locally;
+//! chunk results are then merged in chunk order, adding the one boundary
+//! transition between consecutive chunks per net.
+//!
+//! Because the chunk partition, the per-chunk streams, and the merge order
+//! are all independent of scheduling, [`simulate_activity`] (which fans
+//! chunks out over the rayon pool) is **bit-identical** to
+//! [`simulate_activity_serial`] (the sequential reference) for a fixed
+//! seed, on any machine and any thread count.
 
 use charlib::CharacterizedLibrary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use techmap::MappedNetlist;
 
+/// Words of 64 patterns per simulation chunk (4096 patterns). Fixed: the
+/// chunk partition is part of the deterministic stream contract, so it
+/// must not depend on thread count or machine size.
+pub const CHUNK_WORDS: usize = 64;
+
 /// Per-net activity statistics from a random-pattern run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ActivityReport {
-    /// Number of patterns simulated.
+    /// Number of patterns actually simulated.
+    ///
+    /// Simulation is word-parallel, so requests are rounded **up** to the
+    /// next multiple of 64 (and a request of 0 still simulates one word):
+    /// asking for 1000 patterns simulates 1024 and reports `patterns ==
+    /// 1024`. [`ActivityReport::activity`] and
+    /// [`ActivityReport::probability`] normalize by this field, never by
+    /// the requested count.
     pub patterns: usize,
     /// Per-net toggle counts (transitions between consecutive patterns).
     pub toggles: Vec<u64>,
@@ -28,21 +56,46 @@ impl ActivityReport {
     }
 }
 
-/// Simulates `patterns` random input vectors (rounded up to multiples of
-/// 64) and accumulates per-net toggles and one-counts.
-pub fn simulate_activity(
+/// The RNG stream seed for one chunk: the user seed xored with a
+/// SplitMix64-mixed chunk index, so adjacent chunks get decorrelated
+/// streams while chunk identity stays a pure function of (seed, index).
+fn chunk_seed(seed: u64, chunk: usize) -> u64 {
+    let mut ix = chunk as u64;
+    seed ^ if chunk == 0 {
+        0
+    } else {
+        rand::split_mix_64(&mut ix)
+    }
+}
+
+/// Per-chunk accumulator, merged in chunk order by [`merge_chunks`].
+struct ChunkStats {
+    /// Per-net toggles inside the chunk (internal + intra-chunk word
+    /// boundaries).
+    toggles: Vec<u64>,
+    /// Per-net ones count inside the chunk.
+    ones: Vec<u64>,
+    /// Per-net value of the chunk's first pattern (bit 0 of first word).
+    first: Vec<bool>,
+    /// Per-net value of the chunk's last pattern (bit 63 of last word).
+    last: Vec<bool>,
+}
+
+/// Simulates `words` pattern words from one RNG stream.
+fn simulate_chunk(
     netlist: &MappedNetlist,
     library: &CharacterizedLibrary,
-    patterns: usize,
-    seed: u64,
-) -> ActivityReport {
-    let words = patterns.div_ceil(64).max(1);
+    words: usize,
+    mut rng: StdRng,
+) -> ChunkStats {
+    debug_assert!(words > 0);
     let n_nets = netlist.net_count();
     let mut toggles = vec![0u64; n_nets];
     let mut ones = vec![0u64; n_nets];
+    let mut first = vec![false; n_nets];
+    let mut last = vec![false; n_nets];
     let mut prev_last: Vec<Option<bool>> = vec![None; n_nets];
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..words {
+    for word_index in 0..words {
         let pi_words: Vec<u64> = (0..netlist.pi_count).map(|_| rng.gen()).collect();
         let values = netlist.simulate64(library, &pi_words);
         for (net, &w) in values.iter().enumerate() {
@@ -50,20 +103,107 @@ pub fn simulate_activity(
             // Transitions inside the word: bit k vs bit k+1.
             let internal = (w ^ (w >> 1)) & 0x7FFF_FFFF_FFFF_FFFF;
             toggles[net] += internal.count_ones() as u64;
-            // Boundary with the previous word.
-            if let Some(last) = prev_last[net] {
-                if last != (w & 1 == 1) {
+            // Boundary with the previous word of this chunk.
+            if let Some(prev) = prev_last[net] {
+                if prev != (w & 1 == 1) {
+                    toggles[net] += 1;
+                }
+            } else {
+                first[net] = w & 1 == 1;
+            }
+            prev_last[net] = Some((w >> 63) & 1 == 1);
+            if word_index == words - 1 {
+                last[net] = (w >> 63) & 1 == 1;
+            }
+        }
+    }
+    ChunkStats {
+        toggles,
+        ones,
+        first,
+        last,
+    }
+}
+
+/// Folds chunk accumulators in chunk order, adding the boundary toggle
+/// between consecutive chunks.
+fn merge_chunks(n_nets: usize, total_words: usize, chunks: Vec<ChunkStats>) -> ActivityReport {
+    let mut toggles = vec![0u64; n_nets];
+    let mut ones = vec![0u64; n_nets];
+    let mut prev_last: Option<Vec<bool>> = None;
+    for chunk in chunks {
+        for net in 0..n_nets {
+            toggles[net] += chunk.toggles[net];
+            ones[net] += chunk.ones[net];
+        }
+        if let Some(prev) = prev_last {
+            for net in 0..n_nets {
+                if prev[net] != chunk.first[net] {
                     toggles[net] += 1;
                 }
             }
-            prev_last[net] = Some((w >> 63) & 1 == 1);
         }
+        prev_last = Some(chunk.last);
     }
     ActivityReport {
-        patterns: words * 64,
+        patterns: total_words * 64,
         toggles,
         ones,
     }
+}
+
+/// Number of words to simulate for a request of `patterns` patterns (see
+/// [`ActivityReport::patterns`] for the rounding contract).
+fn words_for(patterns: usize) -> usize {
+    patterns.div_ceil(64).max(1)
+}
+
+/// Words covered by chunk `chunk` out of `total_words`.
+fn chunk_extent(total_words: usize, chunk: usize) -> usize {
+    (total_words - chunk * CHUNK_WORDS).min(CHUNK_WORDS)
+}
+
+/// Simulates `patterns` random input vectors (rounded up per the
+/// [`ActivityReport::patterns`] contract) and accumulates per-net toggles
+/// and one-counts, fanning simulation chunks out over the rayon pool.
+///
+/// Bit-identical to [`simulate_activity_serial`] for the same arguments,
+/// regardless of thread count.
+pub fn simulate_activity(
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    patterns: usize,
+    seed: u64,
+) -> ActivityReport {
+    let total_words = words_for(patterns);
+    let n_chunks = total_words.div_ceil(CHUNK_WORDS);
+    let chunks: Vec<ChunkStats> = (0..n_chunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
+            simulate_chunk(netlist, library, chunk_extent(total_words, chunk), rng)
+        })
+        .collect();
+    merge_chunks(netlist.net_count(), total_words, chunks)
+}
+
+/// Sequential reference implementation of [`simulate_activity`]: same
+/// chunk partition, same per-chunk streams, same merge — no thread pool.
+pub fn simulate_activity_serial(
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    patterns: usize,
+    seed: u64,
+) -> ActivityReport {
+    let total_words = words_for(patterns);
+    let n_chunks = total_words.div_ceil(CHUNK_WORDS);
+    let chunks: Vec<ChunkStats> = (0..n_chunks)
+        .map(|chunk| {
+            let rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
+            simulate_chunk(netlist, library, chunk_extent(total_words, chunk), rng)
+        })
+        .collect();
+    merge_chunks(netlist.net_count(), total_words, chunks)
 }
 
 #[cfg(test)]
@@ -131,5 +271,51 @@ mod tests {
         let and_net = mapped.outputs[1].net;
         let p = report.probability(and_net);
         assert!((0.22..0.28).contains(&p), "AND probability {p}");
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_reference() {
+        let (mapped, lib) = xor_and_netlist();
+        // Cover: sub-chunk (1 word), exactly one chunk, a ragged multi-chunk
+        // tail, and several full chunks.
+        for patterns in [64usize, CHUNK_WORDS * 64, CHUNK_WORDS * 64 + 640, 1 << 15] {
+            for seed in [0u64, 9, 0xDA7E_2010] {
+                let par = simulate_activity(&mapped, &lib, patterns, seed);
+                let ser = simulate_activity_serial(&mapped, &lib, patterns, seed);
+                assert_eq!(par, ser, "patterns {patterns} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_round_up_to_whole_words() {
+        let (mapped, lib) = xor_and_netlist();
+        // The documented contract on ActivityReport::patterns.
+        for (requested, simulated) in [
+            (0usize, 64usize),
+            (1, 64),
+            (64, 64),
+            (1000, 1024),
+            (1024, 1024),
+        ] {
+            let report = simulate_activity(&mapped, &lib, requested, 5);
+            assert_eq!(
+                report.patterns, simulated,
+                "request {requested} must round up to {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn toggle_counts_are_consistent_across_chunk_boundaries() {
+        let (mapped, lib) = xor_and_netlist();
+        // A net's toggle count over N patterns is at most N-1 transitions,
+        // and ones is at most N; both must hold across merged chunks.
+        let patterns = CHUNK_WORDS * 64 * 3 + 128;
+        let report = simulate_activity(&mapped, &lib, patterns, 11);
+        for net in 0..mapped.net_count() {
+            assert!(report.toggles[net] < report.patterns as u64);
+            assert!(report.ones[net] <= report.patterns as u64);
+        }
     }
 }

@@ -178,7 +178,8 @@ mod tests {
         m.set(0, 1, 1.0);
         m.set(1, 0, 1.0);
         let mut b = vec![1.0, 2.0];
-        m.solve_in_place(&mut b).expect("pivoting should rescue this");
+        m.solve_in_place(&mut b)
+            .expect("pivoting should rescue this");
         assert!((b[0] - 2.0).abs() < 1e-12);
         assert!((b[1] - 1.0).abs() < 1e-12);
     }
@@ -216,9 +217,9 @@ mod tests {
         let reference = m.clone();
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
         let mut b = vec![0.0; n];
-        for r in 0..n {
-            for c in 0..n {
-                b[r] += reference.get(r, c) * x_true[c];
+        for (r, slot) in b.iter_mut().enumerate() {
+            for (c, &x) in x_true.iter().enumerate() {
+                *slot += reference.get(r, c) * x;
             }
         }
         m.solve_in_place(&mut b).expect("diagonally dominant");

@@ -134,7 +134,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not finite and positive.
     pub fn add_resistor(&mut self, name: impl Into<String>, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.elements.push(Element::Resistor {
             name: name.into(),
             a,
@@ -169,7 +172,10 @@ impl Circuit {
     ///
     /// Panics if `farads` is not finite and positive.
     pub fn add_capacitor(&mut self, name: impl Into<String>, a: NodeId, b: NodeId, farads: f64) {
-        assert!(farads.is_finite() && farads > 0.0, "capacitance must be positive");
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive"
+        );
         self.elements.push(Element::Capacitor {
             name: name.into(),
             a,

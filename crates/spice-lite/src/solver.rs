@@ -49,7 +49,10 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::NoConvergence { last_delta } => {
-                write!(f, "newton iteration did not converge (last step {last_delta:e} V)")
+                write!(
+                    f,
+                    "newton iteration did not converge (last step {last_delta:e} V)"
+                )
             }
             SolveError::Singular { column } => {
                 write!(f, "singular system at column {column} (floating node?)")
@@ -135,7 +138,14 @@ impl Circuit {
         let mut matrix = Matrix::zeros(dim);
         let mut rhs = vec![0.0; dim];
 
-        self.newton(&mut x, &mut matrix, &mut rhs, options, &GMIN_CONTINUATION, None)?;
+        self.newton(
+            &mut x,
+            &mut matrix,
+            &mut rhs,
+            options,
+            &GMIN_CONTINUATION,
+            None,
+        )?;
         Ok(self.operating_point(&x, n_nodes, n_vsrc))
     }
 
@@ -219,9 +229,7 @@ impl Circuit {
                 }
             }
         }
-        net.iter()
-            .skip(1)
-            .fold(0.0f64, |acc, &x| acc.max(x.abs()))
+        net.iter().skip(1).fold(0.0f64, |acc, &x| acc.max(x.abs()))
     }
 
     /// Assembles the linearized MNA system at the current iterate.
@@ -290,7 +298,9 @@ impl Circuit {
                         rhs[i] += amps;
                     }
                 }
-                Element::VSource { pos, neg, volts, .. } => {
+                Element::VSource {
+                    pos, neg, volts, ..
+                } => {
                     let row = vsrc_row;
                     vsrc_row += 1;
                     if let Some(p) = idx(*pos) {
@@ -345,7 +355,12 @@ impl Circuit {
         }
     }
 
-    pub(crate) fn operating_point(&self, x: &[f64], n_nodes: usize, n_vsrc: usize) -> OperatingPoint {
+    pub(crate) fn operating_point(
+        &self,
+        x: &[f64],
+        n_nodes: usize,
+        n_vsrc: usize,
+    ) -> OperatingPoint {
         let mut voltages = vec![0.0; n_nodes];
         voltages[1..n_nodes].copy_from_slice(&x[..n_nodes - 1]);
         let vsource_currents: Vec<f64> = (0..n_vsrc).map(|k| x[n_nodes - 1 + k]).collect();
@@ -449,7 +464,11 @@ mod tests {
         ckt.add_resistor("RL", vdd, out, 1e6);
         ckt.add_transistor("MN", nfet, out, gate, GROUND);
         let op = ckt.solve_dc().expect("converges");
-        assert!(op.voltage(out) < 0.1, "output should be pulled low, got {}", op.voltage(out));
+        assert!(
+            op.voltage(out) < 0.1,
+            "output should be pulled low, got {}",
+            op.voltage(out)
+        );
     }
 
     #[test]
@@ -482,7 +501,10 @@ mod tests {
             let vdd = ckt.node("vdd");
             ckt.add_vsource("VDD", vdd, GROUND, tech.vdd);
             ckt.add_transistor("M1", nfet, vdd, GROUND, GROUND);
-            ckt.solve_dc().expect("converges").source_current("VDD").expect("VDD")
+            ckt.solve_dc()
+                .expect("converges")
+                .source_current("VDD")
+                .expect("VDD")
         };
         let stacked = {
             let mut ckt = Circuit::new();
@@ -491,7 +513,10 @@ mod tests {
             ckt.add_vsource("VDD", vdd, GROUND, tech.vdd);
             ckt.add_transistor("M1", nfet, vdd, GROUND, mid);
             ckt.add_transistor("M2", nfet, mid, GROUND, GROUND);
-            ckt.solve_dc().expect("converges").source_current("VDD").expect("VDD")
+            ckt.solve_dc()
+                .expect("converges")
+                .source_current("VDD")
+                .expect("VDD")
         };
         assert!(stacked > 0.0);
         let factor = single / stacked;
@@ -555,7 +580,11 @@ mod tests {
         ckt.add_resistor("R1", vin, mid, 1e3);
         ckt.add_resistor("R2", mid, GROUND, 1e3);
         let op = ckt.solve_dc().expect("converges");
-        assert!(ckt.kcl_residual(&op) < 1e-12, "linear residual {}", ckt.kcl_residual(&op));
+        assert!(
+            ckt.kcl_residual(&op) < 1e-12,
+            "linear residual {}",
+            ckt.kcl_residual(&op)
+        );
 
         // Nonlinear stack: residual must stay far below the nA leakage.
         let mut ckt = Circuit::new();

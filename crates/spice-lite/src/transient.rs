@@ -129,7 +129,14 @@ pub fn transient(
         let t = k as f64 * dt;
         apply_waveforms(&mut ckt, &wf, t);
         // Warm-started Newton at a single small g_min.
-        ckt.newton(&mut x, &mut matrix, &mut rhs, options, &[1e-15], Some((&prev_v, dt)))?;
+        ckt.newton(
+            &mut x,
+            &mut matrix,
+            &mut rhs,
+            options,
+            &[1e-15],
+            Some((&prev_v, dt)),
+        )?;
         let op = ckt.operating_point(&x, n_nodes, n_vsrc);
         prev_v = op.voltages().to_vec();
         times.push(t);

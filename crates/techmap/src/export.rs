@@ -24,7 +24,9 @@ pub fn to_structural_verilog(
 ) -> String {
     let mut out = String::new();
     let pi_names: Vec<String> = (0..netlist.pi_count).map(|i| format!("pi{i}")).collect();
-    let po_names: Vec<String> = (0..netlist.outputs.len()).map(|i| format!("po{i}")).collect();
+    let po_names: Vec<String> = (0..netlist.outputs.len())
+        .map(|i| format!("po{i}"))
+        .collect();
     let net_name = |r: &NetRef| -> String {
         let base = if r.net < netlist.pi_count {
             pi_names[r.net].clone()
@@ -77,15 +79,17 @@ pub fn to_structural_verilog(
 }
 
 /// Summary statistics line (gate histogram), handy for diffing mappings.
-pub fn cell_histogram(netlist: &MappedNetlist, library: &CharacterizedLibrary) -> Vec<(String, usize)> {
+pub fn cell_histogram(
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+) -> Vec<(String, usize)> {
     let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
     for inst in &netlist.instances {
-        *counts.entry(&library.gates[inst.gate].gate.name).or_insert(0) += 1;
+        *counts
+            .entry(&library.gates[inst.gate].gate.name)
+            .or_insert(0) += 1;
     }
-    let mut v: Vec<(String, usize)> = counts
-        .into_iter()
-        .map(|(k, c)| (k.to_owned(), c))
-        .collect();
+    let mut v: Vec<(String, usize)> = counts.into_iter().map(|(k, c)| (k.to_owned(), c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     v
 }

@@ -111,7 +111,10 @@ pub fn map_aig(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
             }
         }
         let (d, af, c) = best.unwrap_or_else(|| {
-            panic!("node {idx} has no library match (cuts: {})", cuts[idx].len())
+            panic!(
+                "node {idx} has no library match (cuts: {})",
+                cuts[idx].len()
+            )
         });
         arrival[idx] = d;
         area_flow[idx] = af;

@@ -70,13 +70,10 @@ impl MatchTable {
     /// cell output is complemented iff `U.output_flip`.
     pub fn matches(&mut self, f: TruthTable) -> Vec<MatchCandidate> {
         let key = (f.n_vars(), f.bits());
-        let (canonical, transform) = *self
-            .canon_cache
-            .entry(key)
-            .or_insert_with(|| {
-                let c = npn_canon(f);
-                (c.canonical, c.transform)
-            });
+        let (canonical, transform) = *self.canon_cache.entry(key).or_insert_with(|| {
+            let c = npn_canon(f);
+            (c.canonical, c.transform)
+        });
         let Some(cells) = self.classes.get(&(f.n_vars(), canonical.bits())) else {
             return Vec::new();
         };
@@ -120,11 +117,7 @@ mod tests {
         // pins per the binding and compare.
         for m in 0..(1usize << n) {
             let y: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
-            let pins: Vec<bool> = cand
-                .pins
-                .iter()
-                .map(|&(v, inv)| y[v] ^ inv)
-                .collect();
+            let pins: Vec<bool> = cand.pins.iter().map(|&(v, inv)| y[v] ^ inv).collect();
             let cell_out = g.eval(&pins);
             let expected = f.eval(&y) ^ cand.output_inverted;
             assert_eq!(

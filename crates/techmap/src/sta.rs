@@ -92,7 +92,10 @@ mod tests {
             .take(6)
             .map(|r| report.net_arrival[r.net])
             .collect();
-        assert!(arrivals.windows(2).all(|w| w[1] >= w[0] - 1e-15), "{arrivals:?}");
+        assert!(
+            arrivals.windows(2).all(|w| w[1] >= w[0] - 1e-15),
+            "{arrivals:?}"
+        );
     }
 
     #[test]

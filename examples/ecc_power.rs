@@ -7,9 +7,9 @@
 //! cargo run --release --example ecc_power
 //! ```
 
+use ambipolar::engine;
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
 use bench_circuits::ecc::{parity_bits, sec_circuit};
-use charlib::characterize_library;
 use gate_lib::GateFamily;
 
 fn main() {
@@ -30,8 +30,8 @@ fn main() {
     );
     let mut results = Vec::new();
     for family in GateFamily::ALL {
-        let library = characterize_library(family);
-        let r = evaluate_circuit(&synthesized, &library, &config);
+        let library = engine::library(family);
+        let r = evaluate_circuit(&synthesized, library, &config);
         println!(
             "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
             family.label(),

@@ -6,9 +6,9 @@
 //! cargo run --release --example multiplier_mapping
 //! ```
 
+use ambipolar::engine;
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
 use bench_circuits::multiplier::multiplier_circuit;
-use charlib::characterize_library;
 use gate_lib::GateFamily;
 use techmap::{map_aig, verify_mapping};
 
@@ -21,7 +21,11 @@ fn main() {
         aig.and_count()
     );
     let synthesized = aig::synthesize(&aig);
-    println!("after synthesis: {} AND nodes, depth {}\n", synthesized.and_count(), synthesized.depth());
+    println!(
+        "after synthesis: {} AND nodes, depth {}\n",
+        synthesized.and_count(),
+        synthesized.depth()
+    );
 
     let config = PipelineConfig::default();
     println!(
@@ -30,14 +34,14 @@ fn main() {
     );
     let mut rows = Vec::new();
     for family in GateFamily::ALL {
-        let library = characterize_library(family);
+        let library = engine::library(family);
         // Functional check: the mapped netlist must match the AIG.
-        let mapped = map_aig(&synthesized, &library);
+        let mapped = map_aig(&synthesized, library);
         assert!(
-            verify_mapping(&synthesized, &mapped, &library, 0xFEED, 64),
+            verify_mapping(&synthesized, &mapped, library, 0xFEED, 64),
             "{family}: mapped netlist diverged"
         );
-        let r = evaluate_circuit(&synthesized, &library, &config);
+        let r = evaluate_circuit(&synthesized, library, &config);
         println!(
             "{:<22} {:>7} {:>12} {:>10} {:>10} {:>11.2e}",
             family.label(),

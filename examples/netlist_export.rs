@@ -7,24 +7,28 @@
 //! cargo run --release --example netlist_export
 //! ```
 
+use ambipolar::engine;
+use charlib::gate_to_spice;
 use charlib::genlib::gate_to_genlib;
-use charlib::{characterize_library, gate_to_spice};
 use gate_lib::GateFamily;
 use techmap::{cell_histogram, map_aig, to_structural_verilog};
 
 fn main() {
     let bench = bench_circuits::benchmark_by_name("C1355").expect("C1355 exists");
     let synthesized = aig::synthesize(&bench.aig);
-    let library = characterize_library(GateFamily::CntfetGeneralized);
-    let mapped = map_aig(&synthesized, &library);
+    let library = engine::library(GateFamily::CntfetGeneralized);
+    let mapped = map_aig(&synthesized, library);
 
-    println!("=== cell histogram of {} mapped with the generalized library ===", bench.name);
-    for (name, count) in cell_histogram(&mapped, &library) {
+    println!(
+        "=== cell histogram of {} mapped with the generalized library ===",
+        bench.name
+    );
+    for (name, count) in cell_histogram(&mapped, library) {
         println!("  {count:>5} × {name}");
     }
 
     println!("\n=== structural Verilog (first 14 lines) ===");
-    let verilog = to_structural_verilog(&mapped, &library, "c1355_gen");
+    let verilog = to_structural_verilog(&mapped, library, "c1355_gen");
     for line in verilog.lines().take(14) {
         println!("{line}");
     }
@@ -32,5 +36,8 @@ fn main() {
 
     let gnand = library.find("GNAND2").expect("GNAND2 exists");
     println!("\n=== genlib line ===\n{}", gate_to_genlib(gnand));
-    println!("\n=== SPICE subcircuit of GNAND2 (Fig. 3) ===\n{}", gate_to_spice(&gnand.gate));
+    println!(
+        "\n=== SPICE subcircuit of GNAND2 (Fig. 3) ===\n{}",
+        gate_to_spice(&gnand.gate)
+    );
 }

@@ -9,15 +9,15 @@
 //! dependent leakage via I_off pattern classification, and the four power
 //! components of eq. (1)–(5).
 
-use charlib::characterize_library;
+use ambipolar::engine;
 use charlib::topology::{gate_off_patterns, input_vectors};
 use gate_lib::GateFamily;
 
 fn main() {
     // Characterize the full 46-cell generalized ambipolar library
     // (Fig. 5 flow: topology analysis → pattern classification → DC
-    // leakage simulation → averaging).
-    let library = characterize_library(GateFamily::CntfetGeneralized);
+    // leakage simulation → averaging), via the once-per-process cache.
+    let library = engine::library(GateFamily::CntfetGeneralized);
     println!(
         "characterized {} cells with {} leakage simulations\n",
         library.gates.len(),
@@ -65,11 +65,11 @@ fn main() {
 
     // Compare with the CMOS XOR-based realization of the same function:
     // 2 × XOR2 + 1 × NAND2.
-    let cmos = characterize_library(GateFamily::Cmos);
+    let cmos = engine::library(GateFamily::Cmos);
     let xor = cmos.find("XOR2").expect("XOR2");
     let nand = cmos.find("NAND2").expect("NAND2");
-    let cmos_total = 2.0 * xor.power_summary().total().value()
-        + nand.power_summary().total().value();
+    let cmos_total =
+        2.0 * xor.power_summary().total().value() + nand.power_summary().total().value();
     println!(
         "\nsame function in CMOS (2×XOR2 + NAND2): {} — {:.0}% more than the single GNAND2",
         device::units::eng(cmos_total, "W"),

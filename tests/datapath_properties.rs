@@ -115,7 +115,10 @@ fn ecc_corrects_random_single_errors_after_mapping() {
         }
         codeword[flip] = !codeword[flip];
         // Decode through the mapped netlist.
-        let words: Vec<u64> = codeword.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let words: Vec<u64> = codeword
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         let values = mapped.simulate64(&lib, &words);
         let outs = mapped.output_words(&values);
         let decoded = outs

@@ -1,0 +1,92 @@
+//! Cross-crate determinism contract of the experiment engine:
+//!
+//! * a fixed seed yields an identical [`power_est::ActivityReport`] on
+//!   every run, and the parallel chunked simulation is bit-identical to
+//!   the serial reference;
+//! * the engine's Table-1 driver is deterministic and characterizes each
+//!   gate family exactly once per process, however many runs share it.
+
+use ambipolar::engine;
+use ambipolar::experiments::Table1Config;
+use ambipolar::pipeline::PipelineConfig;
+use gate_lib::GateFamily;
+use power_est::{simulate_activity, simulate_activity_serial, CHUNK_WORDS};
+use techmap::map_aig;
+
+fn small_netlist() -> (
+    techmap::MappedNetlist,
+    &'static charlib::CharacterizedLibrary,
+) {
+    let bench = bench_circuits::benchmark_by_name("t481").expect("t481 exists");
+    let synthesized = aig::synthesize(&bench.aig);
+    let lib = engine::library(GateFamily::CntfetGeneralized);
+    (map_aig(&synthesized, lib), lib)
+}
+
+#[test]
+fn same_seed_same_activity_report() {
+    let (mapped, lib) = small_netlist();
+    let patterns = CHUNK_WORDS * 64 + 4096; // force a multi-chunk run
+    let a = simulate_activity(&mapped, lib, patterns, 0xDA7E_2010);
+    let b = simulate_activity(&mapped, lib, patterns, 0xDA7E_2010);
+    assert_eq!(a, b, "same seed must reproduce the exact report");
+    let c = simulate_activity(&mapped, lib, patterns, 0xDA7E_2011);
+    assert_ne!(a.toggles, c.toggles, "different seeds must differ");
+}
+
+#[test]
+fn parallel_simulation_matches_serial_reference() {
+    let (mapped, lib) = small_netlist();
+    for patterns in [512usize, CHUNK_WORDS * 64 * 2 + 64] {
+        for seed in [1u64, 0xBEEF] {
+            let par = simulate_activity(&mapped, lib, patterns, seed);
+            let ser = simulate_activity_serial(&mapped, lib, patterns, seed);
+            assert_eq!(par, ser, "patterns {patterns} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn engine_characterizes_each_family_at_most_once() {
+    // Warm all three; repeated access from any call path must not add
+    // characterization runs.
+    let libs = engine::libraries();
+    let after_warm = engine::characterization_count();
+    assert!(after_warm <= GateFamily::ALL.len());
+
+    let config = Table1Config {
+        pipeline: PipelineConfig {
+            patterns: 1024,
+            ..PipelineConfig::default()
+        },
+    };
+    let names = Some(&["t481"][..]);
+    let first = engine::run_table1_subset(&config, names);
+    let second = engine::run_table1_subset(&config, names);
+    assert_eq!(
+        engine::characterization_count(),
+        after_warm,
+        "Table-1 runs must reuse the cached libraries"
+    );
+    // Same &'static instances on every access.
+    for (a, b) in libs.iter().zip(engine::libraries()) {
+        assert!(std::ptr::eq(*a, b));
+    }
+    // Deterministic end to end: identical rendered tables.
+    assert_eq!(format!("{first}"), format!("{second}"));
+}
+
+#[test]
+fn engine_table_matches_serial_reference_table() {
+    let config = Table1Config {
+        pipeline: PipelineConfig {
+            patterns: 1024,
+            ..PipelineConfig::default()
+        },
+    };
+    let names = Some(&["t481", "C1355"][..]);
+    let par = engine::run_table1_subset(&config, names);
+    let ser = engine::run_table1_serial(&config, names);
+    assert_eq!(par.rows.len(), 2);
+    assert_eq!(format!("{par}"), format!("{ser}"));
+}

@@ -10,7 +10,11 @@ use proptest::prelude::*;
 
 /// Strategy: arbitrary truth table of a given arity.
 fn tt(n: usize) -> impl Strategy<Value = TruthTable> {
-    let limit = if n >= 6 { u64::MAX } else { (1u64 << (1u64 << n)) - 1 };
+    let limit = if n >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1u64 << n)) - 1
+    };
     (0..=limit).prop_map(move |bits| TruthTable::from_bits(n, bits))
 }
 
@@ -91,7 +95,10 @@ fn sp_network() -> impl Strategy<Value = SpNetwork> {
         (0u8..4).prop_map(SpNetwork::nfet),
         (0u8..4, 0u8..4, any::<bool>()).prop_map(|(a, b, neg)| SpNetwork::tg(
             Literal::pos(a),
-            Literal { var: b, positive: !neg },
+            Literal {
+                var: b,
+                positive: !neg
+            },
         )),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {

@@ -1,0 +1,695 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest 1.x this workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_perturb`,
+//!   `prop_recursive`, `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`arbitrary::any`], [`collection::vec`], and [`strategy::Union`]
+//!   (behind [`prop_oneof!`]);
+//! * the [`proptest!`] macro family — `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, `prop_assume!` — and
+//!   [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its per-case seed instead;
+//!   re-running is deterministic, so the seed is a stable reproducer.
+//! * **Fixed entropy.** Case generation derives from a fixed master seed,
+//!   making CI runs reproducible rather than randomized.
+
+pub mod test_runner {
+    //! Test-case execution: config, RNG, and the case loop.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange, SeedableRng, Standard};
+
+    /// Per-run configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: draw another case without counting this one.
+        Reject(String),
+        /// `prop_assert*` failed: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The deterministic case RNG handed to strategies (and to
+    /// `prop_perturb` closures).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG fully determined by `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            Self {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Next 32 random bits (inherent so call sites need no trait import).
+        pub fn next_u32(&mut self) -> u32 {
+            RngCore::next_u32(&mut self.inner)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform draw from a range.
+        pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+            self.inner.gen_range(range)
+        }
+
+        /// Standard-distribution draw.
+        pub fn gen<T: Standard>(&mut self) -> T {
+            self.inner.gen()
+        }
+
+        /// An independent child RNG (for `prop_perturb`).
+        pub fn fork(&mut self) -> Self {
+            Self::from_seed(self.next_u64())
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            RngCore::next_u64(&mut self.inner)
+        }
+    }
+
+    /// Master seed for case generation: fixed so CI is reproducible.
+    const MASTER_SEED: u64 = 0xA5A5_5A5A_DA7E_2010;
+
+    /// Runs `case` until `config.cases` cases are accepted; panics on the
+    /// first failing case, reporting its per-case seed.
+    pub fn run<F>(config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = u64::from(config.cases).saturating_mul(50).max(2000);
+        let mut master = MASTER_SEED;
+        while accepted < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "proptest: too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
+                config.cases
+            );
+            let case_seed = rand::split_mix_64(&mut master);
+            let mut rng = TestRng::from_seed(case_seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case #{accepted} failed (case seed {case_seed:#018x}):\n{msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Maps generated values through `f` with access to an RNG.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { base: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Recursive strategy: `self` generates leaves, `recurse` wraps an
+        /// inner strategy into a branch, up to `depth` levels deep. The
+        /// `_desired_size` / `_expected_branch_size` tuning knobs of
+        /// upstream proptest are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                current = Union::new(vec![self.clone().boxed(), branch]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// `prop_perturb` combinator.
+    #[derive(Clone)]
+    pub struct Perturb<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Perturb<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value, TestRng) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            let value = self.base.sample(rng);
+            let fork = rng.fork();
+            (self.f)(value, fork)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Self {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives (at least one).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+
+    /// Strategy for [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Self(PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range is empty");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "collection size range is empty");
+            Self { min, max }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with lengths in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Property-test entry point: wraps `#[test]` functions whose arguments are
+/// drawn from strategies (`pat in strategy`) or [`arbitrary::any`]
+/// (`name: Type`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr) #[test] fn $name:ident ( $($params:tt)* ) $body:block $($rest:tt)* ) => {
+        #[test]
+        fn $name() {
+            let __proptest_config = $cfg;
+            $crate::test_runner::run(&__proptest_config, |__proptest_rng| {
+                $crate::__proptest_bind! { __proptest_rng ( $($params)* ) }
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident () ) => {};
+    ( $rng:ident ( $name:ident : $ty:ty $(, $($rest:tt)*)? ) ) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind! { $rng ( $($($rest)*)? ) }
+    };
+    ( $rng:ident ( $pat:pat in $strat:expr $(, $($rest:tt)*)? ) ) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind! { $rng ( $($($rest)*)? ) }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects (does not count) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module alias used by call sites.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0u8..4, z in 1usize..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((1..=9).contains(&z));
+        }
+
+        #[test]
+        fn bare_type_params_work(flag: bool, byte: u8) {
+            let _ = flag;
+            prop_assert!(u32::from(byte) < 256);
+        }
+
+        #[test]
+        fn map_and_tuples_compose(v in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, b, a ^ b))) {
+            prop_assert_eq!(v.2, v.0 ^ v.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn tree_depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(tree_depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u8..8).prop_map(Tree::Leaf).prop_recursive(3, 12, 2, |inner| {
+                prop_oneof![
+                    prop::collection::vec(inner.clone(), 2..=2).prop_map(Tree::Node),
+                    prop::collection::vec(inner, 2..=3).prop_map(Tree::Node),
+                ]
+            })
+        ) {
+            prop_assert!(tree_depth(&t) <= 4, "depth {} for {t:?}", tree_depth(&t));
+        }
+
+        #[test]
+        fn union_hits_every_arm(picks in prop::collection::vec(prop_oneof![Just(0u8), Just(1u8)], 64..=64)) {
+            prop_assert!(picks.contains(&0));
+            prop_assert!(picks.contains(&1));
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        // Two identical runs must generate identical sequences.
+        let collect = || {
+            let mut values = Vec::new();
+            crate::test_runner::run(&ProptestConfig::with_cases(16), |rng| {
+                values.push(Strategy::sample(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+            values
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_seed() {
+        crate::test_runner::run(&ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("intentional"))
+        });
+    }
+}

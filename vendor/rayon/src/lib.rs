@@ -1,0 +1,296 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small parallel-iterator surface the workspace needs on top of
+//! [`std::thread::scope`]:
+//!
+//! * [`IntoParallelIterator`] for `Vec<T>` and `Range<usize>`;
+//! * [`IntoParallelRefIterator`] (`par_iter`) for slices and vectors;
+//! * [`ParIter::map`] → [`ParMap::collect`] / [`ParMap::for_each`], both
+//!   **order-preserving**: results come back in input order regardless of
+//!   how chunks were scheduled, which is what makes the engine's parallel
+//!   fan-outs bit-deterministic;
+//! * [`join`] and [`current_num_threads`].
+//!
+//! Scheduling is dynamic work-pulling: workers claim the next unprocessed
+//! item from a shared atomic index and write its result into the item's
+//! own slot, so heterogeneous task sizes (the Table-1 circuit × family
+//! matrix spans an order of magnitude) balance across workers without a
+//! stealing deque, and output order is preserved exactly. The worker
+//! count honors `RAYON_NUM_THREADS` and falls back to
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Workers currently spawned by in-flight parallel operations. Nested
+/// parallelism (a `par_iter` inside a `par_iter` task) subtracts these from
+/// its own budget instead of multiplying thread counts — real rayon gets
+/// this from its shared pool; this shim approximates it with a counter.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, in parallel when more than one worker is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Decrements [`ACTIVE_WORKERS`] when a parallel operation finishes, even
+/// if a worker panicked.
+struct WorkerGuard(usize);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// A materialized sequence awaiting a parallel operation.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A lazily mapped parallel iterator; applying `collect`/`for_each` runs
+/// the closure across worker threads.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item; evaluation happens at `collect`/`for_each`.
+    pub fn map<R: Send, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item across the worker pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f).run();
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T: Send, R: Send, F> ParMap<T, F>
+where
+    F: Fn(T) -> R + Sync,
+{
+    /// Runs the map across the pool, preserving input order.
+    fn run(self) -> Vec<R> {
+        let Self { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let budget = current_num_threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed));
+        let workers = budget.max(1).min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        ACTIVE_WORKERS.fetch_add(workers - 1, Ordering::Relaxed);
+        let _guard = WorkerGuard(workers - 1);
+        // Dynamic work-pulling: each worker claims the next item index
+        // from a shared counter and writes the result into that item's
+        // slot — load-balanced for heterogeneous task sizes, and output
+        // order equals input order by construction. Each slot is touched
+        // by exactly one worker (the index claim is unique), so the
+        // per-slot mutexes are uncontended.
+        let slots: Vec<std::sync::Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| std::sync::Mutex::new(Some(t)))
+            .collect();
+        let results: Vec<std::sync::Mutex<Option<R>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item claimed once");
+            let result = f(item);
+            *results[i].lock().expect("result slot poisoned") = Some(result);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers - 1 {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+
+    /// Collects mapped results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the map for its side effects.
+    pub fn for_each(self) {
+        self.run();
+    }
+
+    /// Sums mapped results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type produced.
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out.first(), Some(&1));
+        assert_eq!(out.last(), Some(&257));
+        assert_eq!(out.len(), data.len());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        (0..333).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 333);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn respects_thread_env_round_trip() {
+        // Not asserting a specific count (env-dependent); just exercise the
+        // configured path.
+        assert!(super::current_num_threads() >= 1);
+    }
+}
