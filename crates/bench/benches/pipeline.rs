@@ -22,7 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
     for family in GateFamily::ALL {
         let lib = engine::library(family);
         group.bench_function(family.label(), |b| {
-            b.iter(|| evaluate_circuit(&synthesized, lib, &config))
+            b.iter(|| evaluate_circuit(&synthesized, lib, &config).expect("mapping succeeds"))
         });
     }
     group.finish();
@@ -30,7 +30,13 @@ fn bench_pipeline(c: &mut Criterion) {
     // The random-pattern power-simulation loop in isolation: the parallel
     // chunked path and its bit-identical serial reference.
     let lib = engine::library(GateFamily::CntfetGeneralized);
-    let mapped = techmap::map_aig(&synthesized, lib);
+    let mapped = techmap::map_aig_with_cache(
+        &synthesized,
+        lib,
+        engine::match_cache(GateFamily::CntfetGeneralized),
+        &techmap::MapConfig::default(),
+    )
+    .expect("mapping succeeds");
     let mut group = c.benchmark_group("power_simulation");
     group.sample_size(10);
     group.bench_function("c1908_8k_patterns", |b| {
@@ -65,10 +71,10 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_table1_2rows");
     group.sample_size(10);
     group.bench_function("parallel", |b| {
-        b.iter(|| engine::run_table1_subset(&config, names))
+        b.iter(|| engine::run_table1_subset(&config, names).expect("mapping succeeds"))
     });
     group.bench_function("serial_reference", |b| {
-        b.iter(|| engine::run_table1_serial(&config, names))
+        b.iter(|| engine::run_table1_serial(&config, names).expect("mapping succeeds"))
     });
     group.finish();
 }

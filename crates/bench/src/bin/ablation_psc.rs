@@ -12,7 +12,7 @@ use device::{Polarity, TechParams};
 use gate_lib::GateFamily;
 use power_est::simulate_activity;
 use spice_lite::{ramp, transient, Circuit, GROUND};
-use techmap::{critical_path, map_aig};
+use techmap::{critical_path, map_aig_with_cache, MapConfig};
 
 /// Measures E_SC/E_D for an inverter with load `c_load` and input rise
 /// time `t_edge`.
@@ -91,7 +91,13 @@ fn main() {
     );
     for family in GateFamily::ALL {
         let lib = engine::library(family);
-        let mapped = map_aig(&synthesized, lib);
+        let mapped = map_aig_with_cache(
+            &synthesized,
+            lib,
+            engine::match_cache(family),
+            &MapConfig::default(),
+        )
+        .expect("built-in benchmarks map");
         let act = simulate_activity(
             &mapped,
             lib,

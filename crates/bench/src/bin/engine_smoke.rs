@@ -1,9 +1,12 @@
-//! Engine smoke measurement: verifies the two load-bearing claims of the
+//! Engine smoke measurement: verifies the three load-bearing claims of the
 //! experiment engine on the machine at hand —
 //!
-//! 1. **cache**: a quick Table-1 subset characterizes each gate family
-//!    exactly once, however many pipeline runs it fans out;
-//! 2. **speedup**: the parallel circuit × family driver beats the serial
+//! 1. **library cache**: a quick Table-1 subset characterizes each gate
+//!    family exactly once, however many pipeline runs it fans out;
+//! 2. **match cache**: the NPN class table of each family is built exactly
+//!    once and every later access is a pointer read (build vs hit timing
+//!    is printed);
+//! 3. **speedup**: the parallel circuit × family driver beats the serial
 //!    reference loop wall-clock (on a multi-core machine; on one core the
 //!    two are equivalent by construction), with bit-identical output.
 //!
@@ -14,14 +17,37 @@
 
 use ambipolar::engine;
 use bench::BenchArgs;
+use gate_lib::GateFamily;
 use std::time::Instant;
 
 fn main() {
     let config = BenchArgs::parse().table1_config();
     let threads = rayon::current_num_threads();
     println!(
-        "engine smoke: quick Table 1, {} patterns/circuit, {} worker thread(s)",
-        config.pipeline.patterns, threads
+        "engine smoke: quick Table 1, {} patterns/circuit, {} objective, {} worker thread(s)",
+        config.pipeline.patterns, config.pipeline.map.objective, threads
+    );
+
+    // NPN match caches: time the cold build and a warm hit per family.
+    for family in GateFamily::ALL {
+        let t_build = Instant::now();
+        let cache = engine::match_cache(family);
+        let build = t_build.elapsed();
+        let t_hit = Instant::now();
+        let again = engine::match_cache(family);
+        let hit = t_hit.elapsed();
+        assert!(std::ptr::eq(cache, again), "hits must share one instance");
+        println!(
+            "  match cache [{family}]: {} cells -> {} NPN classes, build {build:?}, hit {hit:?}",
+            cache.cell_count(),
+            cache.class_count(),
+        );
+    }
+    let match_builds = engine::match_cache_build_count();
+    assert!(
+        match_builds <= GateFamily::ALL.len(),
+        "built {match_builds} match caches for {} families",
+        GateFamily::ALL.len()
     );
 
     // Warm the library cache outside the timed region so both drivers
@@ -32,11 +58,11 @@ fn main() {
     let after_warm = engine::characterization_count();
 
     let t_serial = Instant::now();
-    let serial = engine::run_table1_serial(&config, None);
+    let serial = engine::run_table1_serial(&config, None).expect("built-in benchmarks map");
     let serial_time = t_serial.elapsed();
 
     let t_parallel = Instant::now();
-    let parallel = engine::run_table1(&config);
+    let parallel = engine::run_table1(&config).expect("built-in benchmarks map");
     let parallel_time = t_parallel.elapsed();
 
     assert_eq!(
@@ -53,6 +79,11 @@ fn main() {
         after_warm <= 3,
         "engine ran {after_warm} characterizations for 3 families"
     );
+    assert_eq!(
+        engine::match_cache_build_count(),
+        match_builds,
+        "table runs must not rebuild any NPN match cache"
+    );
 
     println!("  characterization (3 families, once per process): {characterization_time:?}");
     println!("  serial circuit x family loop:                    {serial_time:?}");
@@ -61,6 +92,7 @@ fn main() {
     println!("  wall-clock speedup:                              {speedup:.2}x");
     println!("  tables bit-identical:                            yes");
     println!("  characterizations after full run:                {after_warm} (one per family)");
+    println!("  match-cache builds after full run:               {match_builds} (one per family)");
     if threads == 1 {
         println!("  note: single-core machine — speedup ~1x expected; rerun on a multi-core host for the >=2x target");
     }

@@ -4,7 +4,7 @@
 //! instead of this repository's synthetic stand-ins.
 //!
 //! ```text
-//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag [--patterns N] [--seed S]
+//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag [--patterns N] [--seed S] [--objective delay|area|energy] [--cut-k N]
 //! ```
 
 use ambipolar::engine;
@@ -15,7 +15,10 @@ use gate_lib::GateFamily;
 fn main() {
     let args = BenchArgs::parse();
     let Some(path) = args.positional.first() else {
-        eprintln!("usage: map_aiger <circuit.aag> [--patterns N] [--seed S]");
+        eprintln!(
+            "usage: map_aiger <circuit.aag> [--patterns N] [--seed S] \
+             [--objective delay|area|energy] [--cut-k N]"
+        );
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -40,12 +43,19 @@ fn main() {
     );
     let config = args.pipeline_config();
     println!(
+        "mapping objective: {}, cut width: {}",
+        config.map.objective, config.map.cut_k
+    );
+    println!(
         "\n{:<22} {:>7} {:>10} {:>10} {:>10} {:>12}",
         "library", "gates", "delay", "P_D", "P_T", "EDP (J·s)"
     );
     for family in GateFamily::ALL {
         let library = engine::library(family);
-        let r = evaluate_circuit(&synthesized, library, &config);
+        let r = evaluate_circuit(&synthesized, library, &config).unwrap_or_else(|e| {
+            eprintln!("{path}: mapping onto {family} failed: {e}");
+            std::process::exit(1);
+        });
         println!(
             "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
             family.label(),

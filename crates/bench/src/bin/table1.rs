@@ -16,12 +16,16 @@ use bench::BenchArgs;
 fn main() {
     let config = BenchArgs::parse().table1_config();
     eprintln!(
-        "running Table 1 with {} random patterns per circuit on {} thread(s)...",
+        "running Table 1 with {} random patterns per circuit ({} objective) on {} thread(s)...",
         config.pipeline.patterns,
+        config.pipeline.map.objective,
         rayon::current_num_threads()
     );
     let started = std::time::Instant::now();
-    let table = table1(&config);
+    let table = table1(&config).unwrap_or_else(|e| {
+        eprintln!("mapping failed: {e}");
+        std::process::exit(1);
+    });
     println!("{table}");
     println!();
     println!("Paper reference (averages): generalized 1145 gates / 64 ps / 19.84 µW PD / 0.23 µW PS / 23.05 µW PT / 1.59e-24 EDP");

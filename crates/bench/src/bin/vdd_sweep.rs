@@ -33,7 +33,8 @@ fn main() {
         for (fi, family) in GateFamily::ALL.iter().enumerate() {
             let tech = family.tech().with_vdd(vdd);
             let library = characterize_library_with(*family, tech);
-            let r = evaluate_circuit(&synthesized, &library, &config);
+            let r = evaluate_circuit(&synthesized, &library, &config)
+                .expect("built-in benchmarks map at every sweep point");
             let edp = r.edp().value();
             if edp < edp_min[fi].0 {
                 edp_min[fi] = (edp, vdd);

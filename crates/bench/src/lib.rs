@@ -17,6 +17,7 @@
 
 use ambipolar::experiments::Table1Config;
 use ambipolar::pipeline::PipelineConfig;
+use techmap::Objective;
 
 /// The flag surface shared by every bench binary.
 ///
@@ -25,6 +26,9 @@ use ambipolar::pipeline::PipelineConfig;
 /// * `--seed S` — simulation seed (decimal or `0x…` hex);
 /// * `--paper` — the paper's full setting (640 K patterns), overridden by
 ///   an explicit `--patterns`;
+/// * `--objective delay|area|energy` — mapping objective (default:
+///   delay, the paper's setting);
+/// * `--cut-k N` — cut width for the mapper, `2..=6` (default: 6);
 /// * positional arguments (e.g. the AIGER path for `map_aiger`) are
 ///   collected in order.
 #[derive(Clone, Debug, Default)]
@@ -33,6 +37,10 @@ pub struct BenchArgs {
     pub patterns: Option<usize>,
     /// `--seed S`, if given.
     pub seed: Option<u64>,
+    /// `--objective OBJ`, if given.
+    pub objective: Option<Objective>,
+    /// `--cut-k N`, if given.
+    pub cut_k: Option<usize>,
     /// Whether `--paper` was given.
     pub paper: bool,
     /// Positional (non-flag) arguments, in order.
@@ -47,7 +55,10 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: [--patterns N] [--seed S] [--paper] [positional...]");
+                eprintln!(
+                    "usage: [--patterns N] [--seed S] [--paper] \
+                     [--objective delay|area|energy] [--cut-k N] [positional...]"
+                );
                 std::process::exit(2);
             }
         }
@@ -55,13 +66,15 @@ impl BenchArgs {
 
     /// Like [`BenchArgs::parse`] for binaries whose artifact has no
     /// tunable knobs: any flag or positional argument is rejected, so a
-    /// user passing `--patterns`/`--seed`/`--paper` learns immediately
-    /// that this binary would ignore them instead of getting a silently
-    /// unmodified run.
+    /// user passing `--patterns`/`--seed`/`--paper`/`--objective`/
+    /// `--cut-k` learns immediately that this binary would ignore them
+    /// instead of getting a silently unmodified run.
     pub fn parse_no_tuning(bin: &str) {
         let args = Self::parse();
         if args.patterns.is_some()
             || args.seed.is_some()
+            || args.objective.is_some()
+            || args.cut_k.is_some()
             || args.paper
             || !args.positional.is_empty()
         {
@@ -100,6 +113,18 @@ impl BenchArgs {
                     let value = iter.next().ok_or("--seed requires a value")?;
                     out.seed = Some(parse_u64(&value).map_err(|e| format!("--seed {value}: {e}"))?);
                 }
+                "--objective" => {
+                    let value = iter.next().ok_or("--objective requires a value")?;
+                    out.objective = Some(value.parse().map_err(|e| format!("--objective: {e}"))?);
+                }
+                "--cut-k" => {
+                    let value = iter.next().ok_or("--cut-k requires a value")?;
+                    let k: usize = value.parse().map_err(|e| format!("--cut-k {value}: {e}"))?;
+                    if !(2..=6).contains(&k) {
+                        return Err(format!("--cut-k {k}: cut width must be in 2..=6"));
+                    }
+                    out.cut_k = Some(k);
+                }
                 "--paper" => out.paper = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag: {flag}"));
@@ -111,8 +136,8 @@ impl BenchArgs {
     }
 
     /// The pipeline configuration these flags select: defaults, scaled to
-    /// the paper's 640 K patterns by `--paper`, with `--patterns` and
-    /// `--seed` overriding.
+    /// the paper's 640 K patterns by `--paper`, with `--patterns`,
+    /// `--seed`, `--objective`, and `--cut-k` overriding.
     pub fn pipeline_config(&self) -> PipelineConfig {
         let mut config = if self.paper {
             PipelineConfig::paper()
@@ -124,6 +149,12 @@ impl BenchArgs {
         }
         if let Some(seed) = self.seed {
             config.seed = seed;
+        }
+        if let Some(objective) = self.objective {
+            config.map.objective = objective;
+        }
+        if let Some(cut_k) = self.cut_k {
+            config.map.cut_k = cut_k;
         }
         config
     }
@@ -160,11 +191,17 @@ mod tests {
             "4096",
             "--seed",
             "0x2A",
+            "--objective",
+            "area",
+            "--cut-k",
+            "4",
         ])
         .unwrap();
         assert!(args.paper);
         assert_eq!(args.patterns, Some(4096));
         assert_eq!(args.seed, Some(42));
+        assert_eq!(args.objective, Some(Objective::Area));
+        assert_eq!(args.cut_k, Some(4));
         assert_eq!(args.positional, ["circuit.aag"]);
     }
 
@@ -187,6 +224,18 @@ mod tests {
         let default = PipelineConfig::default();
         assert_eq!(config.patterns, default.patterns);
         assert_eq!(config.seed, default.seed);
+        assert_eq!(config.map, default.map);
+    }
+
+    #[test]
+    fn objective_and_cut_k_reach_the_map_config() {
+        let config = BenchArgs::parse_from(["--objective", "energy", "--cut-k", "5"])
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(config.map.objective, Objective::Energy);
+        assert_eq!(config.map.cut_k, 5);
+        // Untouched knobs keep their defaults.
+        assert_eq!(config.map.max_cuts, techmap::MapConfig::DEFAULT_MAX_CUTS);
     }
 
     #[test]
@@ -195,5 +244,10 @@ mod tests {
         assert!(BenchArgs::parse_from(["--patterns", "many"]).is_err());
         assert!(BenchArgs::parse_from(["--frobnicate"]).is_err());
         assert!(BenchArgs::parse_from(["--seed", "0xZZ"]).is_err());
+        assert!(BenchArgs::parse_from(["--objective", "speed"]).is_err());
+        assert!(BenchArgs::parse_from(["--objective"]).is_err());
+        assert!(BenchArgs::parse_from(["--cut-k", "7"]).is_err());
+        assert!(BenchArgs::parse_from(["--cut-k", "1"]).is_err());
+        assert!(BenchArgs::parse_from(["--cut-k", "six"]).is_err());
     }
 }

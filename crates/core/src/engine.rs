@@ -1,19 +1,25 @@
-//! The experiment engine: a once-per-process characterized-library cache
-//! and parallel drivers for the paper's evaluation matrix.
+//! The experiment engine: once-per-process caches for the expensive
+//! mapping state and parallel drivers for the paper's evaluation matrix.
 //!
-//! Characterizing a gate library (46 cells × leakage patterns through the
-//! spice-lite solver) costs seconds; before this module existed every bench
-//! binary, example, and test re-ran it from scratch — often once per
-//! circuit. The engine owns one [`CharacterizedLibrary`] per
-//! [`GateFamily`] behind a [`OnceLock`], so a process characterizes each
-//! family **exactly once** no matter how many call sites ask.
+//! Two kinds of state are cached behind `OnceLock`s, each built **exactly
+//! once per process** no matter how many call sites ask:
 //!
-//! On top of the cache, [`run_table1_subset`] fans the circuit × family
+//! * [`library`] — the [`CharacterizedLibrary`] of a [`GateFamily`]
+//!   (46 cells × leakage patterns through the spice-lite solver; seconds
+//!   of work). Test hook: [`characterization_count`].
+//! * [`match_cache`] — the immutable [`NpnMatchCache`] of a family (every
+//!   cell NPN-canonized once). All circuits and all worker threads share
+//!   one instance; a mapping run only allocates its per-run canonization
+//!   memo. Test hook: [`match_cache_build_count`].
+//!
+//! On top of the caches, [`run_table1_subset`] fans the circuit × family
 //! evaluation matrix out over the rayon pool: benchmark synthesis is one
 //! parallel pass, and each (circuit, family) pipeline run is an independent
 //! task. Results are reassembled in paper row order, and every stage is
 //! deterministic (fixed seeds, order-preserving joins), so the parallel
-//! table is identical to the serial one.
+//! table is identical to the serial one. Mapping failures (impossible for
+//! the built-in libraries, reachable with external ones) propagate as
+//! [`MapError`] instead of panicking.
 
 use crate::experiments::{Table1, Table1Config, Table1Row};
 use crate::pipeline::{evaluate_circuit, CircuitResult};
@@ -22,12 +28,19 @@ use gate_lib::GateFamily;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use techmap::{MapError, NpnMatchCache};
 
 static LIBRARIES: [OnceLock<CharacterizedLibrary>; GateFamily::ALL.len()] =
     [OnceLock::new(), OnceLock::new(), OnceLock::new()];
 
+static MATCH_CACHES: [OnceLock<NpnMatchCache>; GateFamily::ALL.len()] =
+    [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+
 /// Characterization runs performed by [`library`] in this process.
 static CHARACTERIZATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// NPN match-cache builds performed by [`match_cache`] in this process.
+static MATCH_CACHE_BUILDS: AtomicUsize = AtomicUsize::new(0);
 
 fn family_index(family: GateFamily) -> usize {
     GateFamily::ALL
@@ -50,6 +63,20 @@ pub fn library(family: GateFamily) -> &'static CharacterizedLibrary {
     })
 }
 
+/// The process-wide NPN match cache for `family`.
+///
+/// Built from the family's generated cell list on first use — no library
+/// characterization required, so this is cheap to warm and valid for
+/// *every* technology point of the family (the class table depends only
+/// on cell functions). Every mapping run in the process shares the one
+/// instance; [`match_cache_build_count`] counts the builds.
+pub fn match_cache(family: GateFamily) -> &'static NpnMatchCache {
+    MATCH_CACHES[family_index(family)].get_or_init(|| {
+        MATCH_CACHE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        NpnMatchCache::for_family(family).expect("every built-in family provides an INV cell")
+    })
+}
+
 /// All three libraries in Table-1 column order, characterizing any that
 /// are not cached yet.
 pub fn libraries() -> [&'static CharacterizedLibrary; 3] {
@@ -66,9 +93,21 @@ pub fn characterization_count() -> usize {
     CHARACTERIZATIONS.load(Ordering::Relaxed)
 }
 
-/// Runs the full Table-1 experiment through the engine: libraries from the
-/// process cache, circuit × family matrix on the rayon pool.
-pub fn run_table1(config: &Table1Config) -> Table1 {
+/// How many NPN match caches have been built in this process (test hook:
+/// at most one per gate family, however many circuits were mapped).
+pub fn match_cache_build_count() -> usize {
+    MATCH_CACHE_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Runs the full Table-1 experiment through the engine: libraries and
+/// match caches from the process caches, circuit × family matrix on the
+/// rayon pool.
+///
+/// # Errors
+///
+/// Propagates the first [`MapError`] in row order (unreachable with the
+/// built-in libraries and benchmarks).
+pub fn run_table1(config: &Table1Config) -> Result<Table1, MapError> {
     run_table1_subset(config, None)
 }
 
@@ -79,7 +118,14 @@ pub fn run_table1(config: &Table1Config) -> Table1 {
 /// task per (circuit, family) pair — for the full table that is 12 + 36
 /// independent tasks. Joins preserve input order, so rows come back in
 /// paper order and the result is bit-identical to [`run_table1_serial`].
-pub fn run_table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
+///
+/// # Errors
+///
+/// Propagates the first [`MapError`] in row order.
+pub fn run_table1_subset(
+    config: &Table1Config,
+    names: Option<&[&str]>,
+) -> Result<Table1, MapError> {
     let libs = libraries();
     let benches = selected_benchmarks(names);
     let synthesized: Vec<aig::Aig> = benches
@@ -89,11 +135,12 @@ pub fn run_table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table
     let jobs: Vec<(usize, usize)> = (0..benches.len())
         .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
         .collect();
-    let results: Vec<CircuitResult> = jobs
+    let results: Vec<Result<CircuitResult, MapError>> = jobs
         .into_par_iter()
         .map(|(ci, fi)| evaluate_circuit(&synthesized[ci], libs[fi], &config.pipeline))
         .collect();
-    assemble(benches, results)
+    let results: Vec<CircuitResult> = results.into_iter().collect::<Result<_, _>>()?;
+    Ok(assemble(benches, results))
 }
 
 /// Serial reference implementation of [`run_table1_subset`]: identical
@@ -103,7 +150,14 @@ pub fn run_table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table
 /// single-thread baseline. Kept callable so the `engine_smoke` binary and
 /// the determinism tests can measure and verify the parallel driver
 /// against it.
-pub fn run_table1_serial(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
+///
+/// # Errors
+///
+/// Propagates the first [`MapError`] in row order.
+pub fn run_table1_serial(
+    config: &Table1Config,
+    names: Option<&[&str]>,
+) -> Result<Table1, MapError> {
     let libs = libraries();
     let benches = selected_benchmarks(names);
     let synthesized: Vec<aig::Aig> = benches
@@ -116,8 +170,8 @@ pub fn run_table1_serial(config: &Table1Config, names: Option<&[&str]>) -> Table
             libs.iter()
                 .map(|lib| crate::pipeline::evaluate_circuit_serial(aig, lib, &config.pipeline))
         })
-        .collect();
-    assemble(benches, results)
+        .collect::<Result<_, _>>()?;
+    Ok(assemble(benches, results))
 }
 
 fn selected_benchmarks(names: Option<&[&str]>) -> Vec<bench_circuits::Benchmark> {
@@ -166,6 +220,36 @@ mod tests {
     }
 
     #[test]
+    fn match_cache_builds_exactly_once_per_family() {
+        let before = match_cache_build_count();
+        let a = match_cache(GateFamily::Cmos);
+        let mid = match_cache_build_count();
+        let b = match_cache(GateFamily::Cmos);
+        let after = match_cache_build_count();
+        assert!(std::ptr::eq(a, b), "same shared instance on every access");
+        assert!(mid - before <= 1, "first call built {} times", mid - before);
+        assert_eq!(mid, after, "second call must hit the cache");
+
+        // Driving circuits through the engine must not rebuild caches.
+        let config = Table1Config {
+            pipeline: crate::pipeline::PipelineConfig {
+                patterns: 512,
+                ..Default::default()
+            },
+        };
+        let names = Some(&["t481"][..]);
+        let warm = match_cache_build_count();
+        run_table1_subset(&config, names).expect("built-in benchmarks map");
+        run_table1_subset(&config, names).expect("built-in benchmarks map");
+        assert_eq!(
+            match_cache_build_count(),
+            warm.max(GateFamily::ALL.len()),
+            "table runs must reuse the shared match caches"
+        );
+        assert!(match_cache_build_count() <= GateFamily::ALL.len());
+    }
+
+    #[test]
     fn parallel_and_serial_tables_agree() {
         let config = Table1Config {
             pipeline: crate::pipeline::PipelineConfig {
@@ -174,8 +258,8 @@ mod tests {
             },
         };
         let names = Some(&["C1355"][..]);
-        let par = run_table1_subset(&config, names);
-        let ser = run_table1_serial(&config, names);
+        let par = run_table1_subset(&config, names).expect("parallel run maps");
+        let ser = run_table1_serial(&config, names).expect("serial run maps");
         assert_eq!(format!("{par}"), format!("{ser}"));
         assert!(characterization_count() <= GateFamily::ALL.len());
     }

@@ -129,15 +129,28 @@ pub struct Improvement {
 /// Runs the full Table-1 experiment: synthesize each benchmark once, then
 /// map and evaluate it with all three libraries.
 ///
-/// Delegates to the [`engine`]: libraries come from the once-per-process
-/// cache and the circuit × family matrix runs on the rayon pool.
-pub fn table1(config: &Table1Config) -> Table1 {
+/// Delegates to the [`engine`]: libraries and NPN match caches come from
+/// the once-per-process caches and the circuit × family matrix runs on
+/// the rayon pool.
+///
+/// # Errors
+///
+/// Propagates the first mapping failure ([`techmap::MapError`]) in row
+/// order; unreachable with the built-in libraries and benchmarks.
+pub fn table1(config: &Table1Config) -> Result<Table1, techmap::MapError> {
     engine::run_table1(config)
 }
 
 /// Like [`table1`] but restricted to the named benchmark rows (pass `None`
 /// for all twelve). Used by fast shape-regression tests.
-pub fn table1_subset(config: &Table1Config, names: Option<&[&str]>) -> Table1 {
+///
+/// # Errors
+///
+/// Propagates the first mapping failure in row order.
+pub fn table1_subset(
+    config: &Table1Config,
+    names: Option<&[&str]>,
+) -> Result<Table1, techmap::MapError> {
     engine::run_table1_subset(config, names)
 }
 
@@ -459,7 +472,10 @@ mod tests {
         let synthesized = aig::synthesize(&bench.aig);
         let results: Vec<_> = libraries
             .iter()
-            .map(|lib| crate::pipeline::evaluate_circuit(&synthesized, lib, &config.pipeline))
+            .map(|lib| {
+                crate::pipeline::evaluate_circuit(&synthesized, lib, &config.pipeline)
+                    .expect("mapping succeeds")
+            })
             .collect();
         // Generalized wins gates and power; CMOS is slowest and hungriest.
         assert!(results[0].gates <= results[1].gates);

@@ -18,7 +18,7 @@
 //! ```no_run
 //! use ambipolar::experiments::{table1, Table1Config};
 //!
-//! let table = table1(&Table1Config::quick());
+//! let table = table1(&Table1Config::quick()).expect("built-in benchmarks map");
 //! println!("{table}");
 //! ```
 

@@ -5,7 +5,7 @@ use aig::Aig;
 use charlib::CharacterizedLibrary;
 use device::{EnergyDelay, Power, Time};
 use power_est::{estimate_power, simulate_activity, PowerBreakdown};
-use techmap::{critical_path, map_aig, MappedNetlist};
+use techmap::{critical_path, map_aig_with_cache, MapConfig, MapError, MappedNetlist};
 
 /// Pipeline knobs.
 #[derive(Clone, Copy, Debug)]
@@ -16,6 +16,9 @@ pub struct PipelineConfig {
     pub frequency_hz: f64,
     /// Simulation seed (fixed for reproducibility).
     pub seed: u64,
+    /// Technology-mapping configuration (objective, cut shape, load
+    /// model). The default reproduces the paper's delay-oriented mapping.
+    pub map: MapConfig,
 }
 
 impl Default for PipelineConfig {
@@ -24,6 +27,7 @@ impl Default for PipelineConfig {
             patterns: 1 << 16,
             frequency_hz: charlib::OPERATING_FREQUENCY_HZ,
             seed: 0xDA7E_2010,
+            map: MapConfig::default(),
         }
     }
 }
@@ -66,30 +70,46 @@ impl CircuitResult {
 }
 
 /// Maps and evaluates an already-synthesized AIG against one library.
+///
+/// Mapping goes through the engine's shared per-family
+/// [`NpnMatchCache`](techmap::NpnMatchCache)
+/// ([`crate::engine::match_cache`]) — valid for any technology point of
+/// the family, so V_DD-sweep libraries share it too.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] from the mapper (unreachable with the built-in
+/// libraries and benchmarks).
 pub fn evaluate_circuit(
     synthesized: &Aig,
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
-) -> CircuitResult {
-    let mapped = map_aig(synthesized, library);
-    evaluate_mapped(&mapped, library, config)
+) -> Result<CircuitResult, MapError> {
+    let cache = crate::engine::match_cache(library.family);
+    let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    Ok(evaluate_mapped(&mapped, library, config))
 }
 
 /// Like [`evaluate_circuit`] but with the sequential reference simulator
 /// ([`power_est::simulate_activity_serial`]) — the fully serial baseline
 /// used by `engine::run_table1_serial`; bit-identical results.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] from the mapper.
 pub fn evaluate_circuit_serial(
     synthesized: &Aig,
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
-) -> CircuitResult {
-    let mapped = map_aig(synthesized, library);
-    evaluate_mapped_with(
+) -> Result<CircuitResult, MapError> {
+    let cache = crate::engine::match_cache(library.family);
+    let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    Ok(evaluate_mapped_with(
         &mapped,
         library,
         config,
         power_est::simulate_activity_serial,
-    )
+    ))
 }
 
 /// Evaluates an existing mapped netlist (exposed for reuse by benches).
@@ -127,6 +147,7 @@ mod tests {
     use super::*;
     use charlib::characterize_library;
     use gate_lib::GateFamily;
+    use techmap::Objective;
 
     #[test]
     fn pipeline_runs_end_to_end() {
@@ -141,7 +162,7 @@ mod tests {
         };
         for family in GateFamily::ALL {
             let lib = characterize_library(family);
-            let r = evaluate_circuit(&synthesized, &lib, &config);
+            let r = evaluate_circuit(&synthesized, &lib, &config).expect("mapping succeeds");
             assert!(r.gates > 50, "{family}: gates {}", r.gates);
             assert!(r.delay.value() > 0.0);
             assert!(r.total_power().value() > 0.0);
@@ -149,6 +170,40 @@ mod tests {
             assert!(r.area > 0.0);
             assert!(r.transistors > r.gates);
         }
+    }
+
+    #[test]
+    fn objectives_trade_delay_for_area() {
+        // The knobs must actually steer the mapper: an area-objective run
+        // never uses more cells than the delay-objective run, and both
+        // evaluate cleanly end to end.
+        let aig = bench_circuits::benchmark_by_name("C1355")
+            .expect("C1355")
+            .aig;
+        let synthesized = aig::synthesize(&aig);
+        let lib = characterize_library(GateFamily::Cmos);
+        let result_for = |objective| {
+            let config = PipelineConfig {
+                patterns: 2048,
+                map: MapConfig::for_objective(objective),
+                ..PipelineConfig::default()
+            };
+            evaluate_circuit(&synthesized, &lib, &config).expect("mapping succeeds")
+        };
+        let delay = result_for(Objective::Delay);
+        let area = result_for(Objective::Area);
+        assert!(
+            area.gates <= delay.gates,
+            "area mapping uses more cells: {} vs {}",
+            area.gates,
+            delay.gates
+        );
+        assert!(
+            delay.delay.value() <= area.delay.value() * 1.0001,
+            "delay mapping must be at least as fast: {} vs {}",
+            delay.delay.value(),
+            area.delay.value()
+        );
     }
 
     #[test]
@@ -165,8 +220,8 @@ mod tests {
         };
         let gen = characterize_library(GateFamily::CntfetGeneralized);
         let conv = characterize_library(GateFamily::CntfetConventional);
-        let r_gen = evaluate_circuit(&synthesized, &gen, &config);
-        let r_conv = evaluate_circuit(&synthesized, &conv, &config);
+        let r_gen = evaluate_circuit(&synthesized, &gen, &config).expect("mapping succeeds");
+        let r_conv = evaluate_circuit(&synthesized, &conv, &config).expect("mapping succeeds");
         assert!(
             r_gen.gates < r_conv.gates,
             "{} vs {}",

@@ -162,31 +162,50 @@ pub struct NpnCanon {
 pub fn npn_canon(t: TruthTable) -> NpnCanon {
     let n = t.n_vars();
     let mut best: Option<(TruthTable, NpnTransform)> = None;
-    let mut perm = [0u8; 6];
-    for (k, p) in perm.iter_mut().enumerate() {
-        *p = k as u8;
-    }
     let mut indices: Vec<u8> = (0..n as u8).collect();
     permutations(&mut indices, 0, &mut |perm_slice| {
         let mut perm_arr = [0u8; 6];
         perm_arr[..n].copy_from_slice(perm_slice);
-        for flips in 0..(1u16 << n) {
-            let tr = NpnTransform {
-                n_vars: n as u8,
-                input_flips: flips as u8,
-                perm: perm_arr,
-                output_flip: false,
-            };
-            let cand = tr.apply(t);
+        // Flip-then-permute commutes to permute-then-flip on permuted
+        // indices: `permute(flip_v(t)) = flip_k(permute(t))` where
+        // `perm[k] = v`. So permute once per permutation, then walk every
+        // flip mask of the *permuted* table in Gray-code order — each
+        // step is a single cheap `flip_var` instead of a full transform
+        // application.
+        let mut perm_usize = [0usize; 6];
+        for (k, &p) in perm_slice.iter().enumerate() {
+            perm_usize[k] = p as usize;
+        }
+        let mut cur = t.permute(&perm_usize[..n]);
+        let mut permuted_flips = 0u8;
+        for gray in 0u16..(1u16 << n) {
+            if gray > 0 {
+                let v = gray.trailing_zeros() as usize;
+                cur = cur.flip_var(v);
+                permuted_flips ^= 1 << v;
+            }
+            // Map the permuted-index mask back to original variables.
+            let mut input_flips = 0u8;
+            for (k, &p) in perm_slice.iter().enumerate() {
+                if (permuted_flips >> k) & 1 == 1 {
+                    input_flips |= 1 << p;
+                }
+            }
             for out in [false, true] {
-                let cand = if out { !cand } else { cand };
-                let tr = NpnTransform {
-                    output_flip: out,
-                    ..tr
-                };
+                let cand = if out { !cur } else { cur };
                 match &best {
                     Some((b, _)) if b.bits() <= cand.bits() => {}
-                    _ => best = Some((cand, tr)),
+                    _ => {
+                        best = Some((
+                            cand,
+                            NpnTransform {
+                                n_vars: n as u8,
+                                input_flips,
+                                perm: perm_arr,
+                                output_flip: out,
+                            },
+                        ))
+                    }
                 }
             }
         }

@@ -341,9 +341,41 @@ impl TruthTable {
         )
     }
 
+    /// Evaluates the function bitwise over 64 parallel patterns.
+    ///
+    /// `pins[k]` carries 64 values of variable `k` (bit `j` = pattern `j`);
+    /// bit `j` of the result is the function applied to bit `j` of every
+    /// pin. This is the shared word-evaluation kernel behind mapped-netlist
+    /// simulation and [`TruthTable::compose`]: the function is expanded as
+    /// a sum of minterms, each minterm an AND of (possibly complemented)
+    /// pin words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len() != n_vars`.
+    pub fn eval_words(&self, pins: &[u64]) -> u64 {
+        assert_eq!(pins.len(), self.n_vars(), "pin word count mismatch");
+        let mut out = 0u64;
+        for m in 0..(1usize << self.n_vars) {
+            if (self.bits >> m) & 1 == 0 {
+                continue;
+            }
+            let mut term = u64::MAX;
+            for (k, &w) in pins.iter().enumerate() {
+                term &= if (m >> k) & 1 == 1 { w } else { !w };
+            }
+            out |= term;
+        }
+        out
+    }
+
     /// Composes `self` with sub-functions: variable `k` is replaced by
     /// `inputs[k]`. All inputs must share one arity, which becomes the
     /// arity of the result.
+    ///
+    /// A truth table over `n` variables *is* a word of `2^n ≤ 64` parallel
+    /// evaluations, so composition is one [`TruthTable::eval_words`] call
+    /// over the input tables' packed bits.
     ///
     /// # Panics
     ///
@@ -355,19 +387,8 @@ impl TruthTable {
             inputs.iter().all(|t| t.n_vars() == n),
             "composition inputs must share an arity"
         );
-        let mut acc = TruthTable::zero(n);
-        for m in 0..(1u64 << self.n_vars()) {
-            if (self.bits >> m) & 1 == 0 {
-                continue;
-            }
-            let mut term = TruthTable::one(n);
-            for (k, input) in inputs.iter().enumerate() {
-                let lit = if (m >> k) & 1 == 1 { *input } else { !*input };
-                term = term & lit;
-            }
-            acc = acc | term;
-        }
-        acc
+        let words: Vec<u64> = inputs.iter().map(|t| t.bits()).collect();
+        Self::from_bits(n, self.eval_words(&words))
     }
 }
 
@@ -547,6 +568,29 @@ mod tests {
         let c = TruthTable::var(3, 2);
         let g = f.compose(&[a ^ b, c]);
         assert_eq!(g, (a ^ b) & c);
+    }
+
+    #[test]
+    fn eval_words_matches_scalar_eval() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = (a & b) | (!a & c);
+        // 8 patterns in one word.
+        let wa = 0b10101010u64;
+        let wb = 0b11001100u64;
+        let wc = 0b11110000u64;
+        let out = f.eval_words(&[wa, wb, wc]);
+        for k in 0..8 {
+            let bits = [(wa >> k) & 1 == 1, (wb >> k) & 1 == 1, (wc >> k) & 1 == 1];
+            assert_eq!((out >> k) & 1 == 1, f.eval(&bits), "pattern {k}");
+        }
+    }
+
+    #[test]
+    fn eval_words_on_constants() {
+        assert_eq!(TruthTable::one(2).eval_words(&[0b01, 0b10]), u64::MAX);
+        assert_eq!(TruthTable::zero(2).eval_words(&[0b01, 0b10]), 0);
     }
 
     #[test]

@@ -112,7 +112,7 @@ mod tests {
     use aig::Aig;
     use charlib::characterize_library;
     use gate_lib::GateFamily;
-    use techmap::{critical_path, map_aig};
+    use techmap::{critical_path, map_aig, MapConfig};
 
     fn adder_aig(bits: usize) -> Aig {
         let mut aig = Aig::new();
@@ -133,7 +133,7 @@ mod tests {
 
     fn family_power(family: GateFamily, aig: &Aig) -> (PowerBreakdown, f64) {
         let lib = characterize_library(family);
-        let mapped = map_aig(aig, &lib);
+        let mapped = map_aig(aig, &lib, &MapConfig::default()).expect("mapping succeeds");
         let act = simulate_activity(&mapped, &lib, 1 << 13, 11);
         let power = estimate_power(&mapped, &lib, &act, 1.0e9);
         let delay = critical_path(&mapped, &lib).critical.value();

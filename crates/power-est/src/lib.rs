@@ -19,7 +19,7 @@
 //! use charlib::characterize_library;
 //! use gate_lib::GateFamily;
 //! use power_est::{estimate_power, simulate_activity};
-//! use techmap::{map_aig, critical_path};
+//! use techmap::{map_aig, critical_path, MapConfig};
 //!
 //! let mut aig = Aig::new();
 //! let a = aig.input();
@@ -27,7 +27,7 @@
 //! let x = aig.xor(a, b);
 //! aig.output(x);
 //! let lib = characterize_library(GateFamily::CntfetGeneralized);
-//! let mapped = map_aig(&aig, &lib);
+//! let mapped = map_aig(&aig, &lib, &MapConfig::default()).expect("mapping succeeds");
 //! let activity = simulate_activity(&mapped, &lib, 4096, 7);
 //! let power = estimate_power(&mapped, &lib, &activity, 1.0e9);
 //! assert!(power.total().value() > 0.0);

@@ -5,7 +5,7 @@
 //! The requested pattern budget is split into fixed-size **chunks** of
 //! [`CHUNK_WORDS`] 64-pattern words. Each chunk draws its primary-input
 //! words from its own RNG stream, seeded from the user seed and the chunk
-//! index ([`chunk_seed`]), and accumulates toggle/one counts locally;
+//! index (`chunk_seed`), and accumulates toggle/one counts locally;
 //! chunk results are then merged in chunk order, adding the one boundary
 //! transition between consecutive chunks per net.
 //!
@@ -95,9 +95,16 @@ fn simulate_chunk(
     let mut first = vec![false; n_nets];
     let mut last = vec![false; n_nets];
     let mut prev_last: Vec<Option<bool>> = vec![None; n_nets];
+    // Reused buffers: the per-word loop is the hot path of the whole
+    // power estimate, so neither the PI words nor the net values allocate
+    // after the first iteration.
+    let mut pi_words = vec![0u64; netlist.pi_count];
+    let mut values: Vec<u64> = Vec::with_capacity(n_nets);
     for word_index in 0..words {
-        let pi_words: Vec<u64> = (0..netlist.pi_count).map(|_| rng.gen()).collect();
-        let values = netlist.simulate64(library, &pi_words);
+        for w in pi_words.iter_mut() {
+            *w = rng.gen();
+        }
+        netlist.simulate64_into(library, &pi_words, &mut values);
         for (net, &w) in values.iter().enumerate() {
             ones[net] += w.count_ones() as u64;
             // Transitions inside the word: bit k vs bit k+1.
@@ -212,7 +219,7 @@ mod tests {
     use aig::Aig;
     use charlib::characterize_library;
     use gate_lib::GateFamily;
-    use techmap::map_aig;
+    use techmap::{map_aig, MapConfig};
 
     fn xor_and_netlist() -> (MappedNetlist, CharacterizedLibrary) {
         let mut aig = Aig::new();
@@ -223,7 +230,7 @@ mod tests {
         aig.output(x);
         aig.output(y);
         let lib = characterize_library(GateFamily::CntfetGeneralized);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_aig(&aig, &lib, &MapConfig::default()).expect("mapping succeeds");
         (mapped, lib)
     }
 
@@ -243,8 +250,8 @@ mod tests {
     fn xor_toggles_more_than_and() {
         let (mapped, lib) = xor_and_netlist();
         let report = simulate_activity(&mapped, &lib, 1 << 14, 2);
-        let xor_net = mapped.outputs[0].net;
-        let and_net = mapped.outputs[1].net;
+        let xor_net = mapped.outputs()[0].net;
+        let and_net = mapped.outputs()[1].net;
         let a_xor = report.activity(xor_net);
         let a_and = report.activity(and_net);
         // Random inputs: XOR toggles ≈ 0.5, AND ≈ 0.375.
@@ -268,7 +275,7 @@ mod tests {
     fn and_probability_is_quarter() {
         let (mapped, lib) = xor_and_netlist();
         let report = simulate_activity(&mapped, &lib, 1 << 15, 3);
-        let and_net = mapped.outputs[1].net;
+        let and_net = mapped.outputs()[1].net;
         let p = report.probability(and_net);
         assert!((0.22..0.28).contains(&p), "AND probability {p}");
     }

@@ -24,7 +24,7 @@ pub fn to_structural_verilog(
 ) -> String {
     let mut out = String::new();
     let pi_names: Vec<String> = (0..netlist.pi_count).map(|i| format!("pi{i}")).collect();
-    let po_names: Vec<String> = (0..netlist.outputs.len())
+    let po_names: Vec<String> = (0..netlist.outputs().len())
         .map(|i| format!("po{i}"))
         .collect();
     let net_name = |r: &NetRef| -> String {
@@ -71,7 +71,7 @@ pub fn to_structural_verilog(
             netlist.instance_output_net(i)
         );
     }
-    for (k, r) in netlist.outputs.iter().enumerate() {
+    for (k, r) in netlist.outputs().iter().enumerate() {
         let _ = writeln!(out, "  assign {} = {};", po_names[k], net_name(r));
     }
     let _ = writeln!(out, "endmodule");
@@ -97,6 +97,7 @@ pub fn cell_histogram(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MapConfig;
     use crate::mapper::map_aig;
     use aig::Aig;
     use charlib::characterize_library;
@@ -112,7 +113,7 @@ mod tests {
         aig.output(f);
         aig.output(x.not());
         let lib = characterize_library(family);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_aig(&aig, &lib, &MapConfig::default()).expect("mapping succeeds");
         (mapped, lib)
     }
 

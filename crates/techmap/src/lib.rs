@@ -1,18 +1,32 @@
 //! Cut-based technology mapping with NPN Boolean matching — the "ABC
-//! `map` + genlib" substitute of the paper's §4 flow.
+//! `map` + genlib" substitute of the paper's §4 flow, structured as a
+//! staged, reusable engine.
 //!
-//! The mapper covers a synthesized [`aig::Aig`] with cells from a
-//! [`charlib::CharacterizedLibrary`]:
+//! [`map_aig`] covers a synthesized [`aig::Aig`] with cells from a
+//! [`charlib::CharacterizedLibrary`] in five explicit phases:
 //!
-//! * 6-feasible priority cuts are enumerated per node ([`aig::cuts`]);
-//! * every cut function is NPN-canonized and matched against the library
-//!   ([`matching`]); input-phase requirements are *free* for the dual-rail
-//!   generalized ambipolar family and cost explicit shared inverters for
-//!   the conventional families — the structural mechanism behind the
-//!   paper's expressive-power advantage;
-//! * a delay-oriented dynamic program with area-flow tie-breaking selects
-//!   matches ([`mapper`]), and load-dependent static timing ([`sta`])
-//!   reports the mapped critical path.
+//! 1. **cut enumeration** — k-feasible priority cuts per node
+//!    ([`aig::cuts`]; `k` and the per-node cut cap come from
+//!    [`MapConfig`]);
+//! 2. **NPN-canonical matching** — cut functions are canonized and looked
+//!    up in an immutable, precomputed [`NpnMatchCache`] (one per library;
+//!    shareable across circuits and threads) through a per-run
+//!    [`Matcher`] memo; input-phase requirements are *free* for the
+//!    dual-rail generalized ambipolar family and cost explicit shared
+//!    inverters for the conventional families — the structural mechanism
+//!    behind the paper's expressive-power advantage;
+//! 3. **objective-driven selection** — a dynamic program minimizing the
+//!    configured [`Objective`] (`Delay`, `Area`, or `Energy`) under a
+//!    configurable [`LoadModel`];
+//! 4. **cover extraction** — the chosen matches actually reachable from
+//!    the primary outputs, in topological emission order;
+//! 5. **inverter materialization** — shared inverters for input/output
+//!    phase repairs, per the family's signal convention.
+//!
+//! The engine is panic-free: every failure mode (unmatched node, constant
+//! primary output, missing INV cell, bad cut width) is a [`MapError`].
+//! Load-dependent static timing ([`sta`]) reports the mapped critical
+//! path.
 //!
 //! # Example
 //!
@@ -20,7 +34,7 @@
 //! use aig::Aig;
 //! use charlib::characterize_library;
 //! use gate_lib::GateFamily;
-//! use techmap::map_aig;
+//! use techmap::{map_aig, MapConfig};
 //!
 //! let mut aig = Aig::new();
 //! let a = aig.input();
@@ -30,19 +44,21 @@
 //! let f = aig.and(x, c);
 //! aig.output(f);
 //! let lib = characterize_library(GateFamily::CntfetGeneralized);
-//! let mapped = map_aig(&aig, &lib);
+//! let mapped = map_aig(&aig, &lib, &MapConfig::default()).expect("mapping succeeds");
 //! // The generalized library absorbs the XOR into one cell.
 //! assert!(mapped.instances.len() <= 2);
 //! ```
 
+pub mod config;
 pub mod export;
 pub mod mapper;
 pub mod matching;
 pub mod netlist;
 pub mod sta;
 
+pub use config::{LoadModel, MapConfig, MapError, Objective};
 pub use export::{cell_histogram, to_structural_verilog};
-pub use mapper::{map_aig, verify_mapping};
-pub use matching::MatchTable;
+pub use mapper::{map_aig, map_aig_with_cache, verify_mapping};
+pub use matching::{MatchCandidate, Matcher, NpnMatchCache};
 pub use netlist::{Instance, MappedNetlist, NetRef};
 pub use sta::{critical_path, StaReport};

@@ -1,11 +1,19 @@
-//! Delay-oriented cut mapping with area-flow tie-breaking and cover
-//! extraction.
+//! The staged mapping engine: cut enumeration → NPN matching →
+//! objective-driven selection → cover extraction → inverter
+//! materialization.
+//!
+//! Each stage is an explicit function with a narrow interface, so the
+//! expensive parts are reusable (the NPN class table is shared across
+//! circuits and threads via [`NpnMatchCache`]) and the policy parts are
+//! configurable ([`MapConfig`]: objective, cut shape, load model). The
+//! whole engine is panic-free — malformed inputs surface as [`MapError`].
 
-use crate::matching::MatchTable;
+use crate::config::{MapConfig, MapError, Objective};
+use crate::matching::{Matcher, NpnMatchCache};
 use crate::netlist::{Instance, MappedNetlist, NetRef};
-use aig::cuts::{enumerate_cuts, CutConfig};
+use aig::cuts::{enumerate_cuts, Cut, CutConfig};
 use aig::graph::{Aig, Node};
-use charlib::CharacterizedLibrary;
+use charlib::{CharacterizedGate, CharacterizedLibrary};
 use std::collections::HashMap;
 
 /// A resolved match chosen for an AND node.
@@ -17,34 +25,124 @@ struct Chosen {
     output_inverted: bool,
 }
 
-/// Maps an AIG onto a characterized library.
+/// One matched node of the extracted cover, in emission (topological)
+/// order.
+struct CoverStep {
+    /// The AIG node this step implements.
+    node: u32,
+    /// The selected match.
+    chosen: Chosen,
+}
+
+/// Maps an AIG onto a characterized library with a private match cache.
+///
+/// Builds an [`NpnMatchCache`] for this call only; when mapping many
+/// circuits against one library (or one family at several technology
+/// points), build the cache once and use [`map_aig_with_cache`] — the
+/// experiment engine (`ambipolar::engine::match_cache`) keeps one shared
+/// instance per gate family behind a `OnceLock`.
 ///
 /// Input-phase requirements are free for the dual-rail generalized family
 /// and materialize shared inverters otherwise; output-phase mismatches
 /// cost an inverter in every family.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a node cannot be matched (cannot happen for libraries
-/// containing the AND2/NAND2 class, which all three families do) or if a
-/// primary output is a constant (the synthetic benchmarks have none).
-pub fn map_aig(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
-    let aig = aig.cleanup();
-    let free_neg = library.family.free_input_negation();
-    let mut table = MatchTable::new(library);
-    let cuts = enumerate_cuts(&aig, CutConfig { k: 6, max_cuts: 8 });
-    let fanouts = aig.fanouts();
+/// See [`MapError`] — unmatched nodes, constant primary outputs, missing
+/// inverter cells, and out-of-range cut widths are reported, not panicked.
+pub fn map_aig(
+    aig: &Aig,
+    library: &CharacterizedLibrary,
+    config: &MapConfig,
+) -> Result<MappedNetlist, MapError> {
+    let cache = NpnMatchCache::new(library)?;
+    map_aig_with_cache(aig, library, &cache, config)
+}
 
-    // Mapping-time load estimate: two average library pins.
-    let avg_cap = library.average(|g| g.avg_input_cap().value());
-    let load_est = device::Capacitance::new(2.0 * avg_cap);
-    let inv_idx = table.inverter();
-    let inv_delay = library.gates[inv_idx].delay(load_est).value();
-    let inv_area = library.gates[inv_idx].area;
+/// Maps an AIG onto a characterized library through a shared, precomputed
+/// NPN match cache. See [`map_aig`] for semantics and errors.
+pub fn map_aig_with_cache(
+    aig: &Aig,
+    library: &CharacterizedLibrary,
+    cache: &NpnMatchCache,
+    config: &MapConfig,
+) -> Result<MappedNetlist, MapError> {
+    if !(2..=6).contains(&config.cut_k) {
+        return Err(MapError::InvalidCutK { k: config.cut_k });
+    }
+    let aig = aig.cleanup();
+
+    // Phase 1: cut enumeration.
+    let cuts = enumerate_cuts(
+        &aig,
+        CutConfig {
+            k: config.cut_k,
+            max_cuts: config.max_cuts,
+        },
+    );
+
+    // Phase 2: NPN-canonical matching — shared immutable class table plus
+    // a per-run canonization memo.
+    let mut matcher = Matcher::new(cache);
+
+    // Phase 3: objective-driven selection.
+    let chosen = select_matches(&aig, &cuts, &mut matcher, library, config)?;
+
+    // Phase 4: cover extraction (which matches are actually used, in
+    // topological emission order).
+    let cover = extract_cover(&aig, &cuts, &chosen)?;
+
+    // Phase 5: inverter materialization and netlist assembly.
+    Ok(materialize(&aig, library, cache.inverter(), &cover))
+}
+
+/// Per-cell cost under the selected objective's flow metric: area in
+/// square metres, or per-cycle energy in joules (total characterized gate
+/// power over the operating frequency).
+fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
+    match objective {
+        // Delay uses area flow as its tie-breaker.
+        Objective::Delay | Objective::Area => cell.area,
+        Objective::Energy => cell.power_summary().total().value() / charlib::OPERATING_FREQUENCY_HZ,
+    }
+}
+
+/// Phase 3: the dynamic program choosing one match per AND node.
+///
+/// Every node carries two costs: arrival time under the configured load
+/// model, and the objective's flow metric (area or energy accumulated
+/// over the chosen cover, discounted by fanout). [`Objective::Delay`]
+/// minimizes arrival and tie-breaks on flow; [`Objective::Area`] /
+/// [`Objective::Energy`] minimize flow and tie-break on arrival.
+fn select_matches(
+    aig: &Aig,
+    cuts: &[Vec<Cut>],
+    matcher: &mut Matcher<'_>,
+    library: &CharacterizedLibrary,
+    config: &MapConfig,
+) -> Result<Vec<Option<Chosen>>, MapError> {
+    let free_neg = library.family.free_input_negation();
+    let load_est = config.load.estimate(library);
+    // Per-gate costs are fixed for the whole run; compute them once
+    // instead of per candidate in the inner loop (the Energy flow unit in
+    // particular walks the full power model).
+    let cell_delay: Vec<f64> = library
+        .gates
+        .iter()
+        .map(|g| g.delay(load_est).value())
+        .collect();
+    let cell_unit: Vec<f64> = library
+        .gates
+        .iter()
+        .map(|g| flow_unit(g, config.objective))
+        .collect();
+    let inv_delay = cell_delay[matcher.inverter()];
+    let inv_unit = cell_unit[matcher.inverter()];
+    let fanouts = aig.fanouts();
 
     let n = aig.len();
     let mut arrival = vec![0.0f64; n];
-    let mut area_flow = vec![0.0f64; n];
+    let mut flow = vec![0.0f64; n];
     let mut chosen: Vec<Option<Chosen>> = vec![None; n];
 
     for idx in 0..n {
@@ -61,46 +159,54 @@ pub fn map_aig(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
             if kept.is_empty() {
                 continue; // constant function; covered by a smaller cut
             }
-            for cand in table.matches(fs) {
+            for cand in matcher.matches(fs) {
                 let pins: Vec<(u32, bool)> = cand
                     .pins
                     .iter()
                     .map(|&(v, inv)| (cut.leaves[kept[v]], inv))
                     .collect();
-                let cell = &library.gates[cand.gate];
                 let mut arr_in = 0.0f64;
-                let mut inv_area_cost = 0.0;
+                let mut inv_flow_cost = 0.0;
                 for &(leaf, inv) in &pins {
                     let mut a = arrival[leaf as usize];
                     if inv && !free_neg {
                         a += inv_delay;
-                        inv_area_cost += inv_area; // shared in practice; upper bound here
+                        inv_flow_cost += inv_unit; // shared in practice; upper bound here
                     }
                     arr_in = arr_in.max(a);
                 }
-                let mut total = arr_in + cell.delay(load_est).value();
-                let mut area = cell.area + inv_area_cost;
+                let mut arr = arr_in + cell_delay[cand.gate];
+                let mut local = cell_unit[cand.gate] + inv_flow_cost;
                 if cand.output_inverted {
-                    total += inv_delay;
-                    area += inv_area;
+                    arr += inv_delay;
+                    local += inv_unit;
                 }
-                let af = area
+                let f = local
                     + pins
                         .iter()
                         .map(|&(leaf, _)| {
-                            area_flow[leaf as usize] / fanouts[leaf as usize].max(1) as f64
+                            flow[leaf as usize] / fanouts[leaf as usize].max(1) as f64
                         })
                         .sum::<f64>();
-                let better = match &best {
-                    None => true,
-                    Some((bd, baf, _)) => {
-                        total < bd - 1e-15 || ((total - bd).abs() <= 1e-15 && af < *baf)
+                let better = match (&best, config.objective) {
+                    (None, _) => true,
+                    (Some((bd, bf, _)), Objective::Delay) => {
+                        arr < bd - 1e-15 || ((arr - bd).abs() <= 1e-15 && f < *bf)
+                    }
+                    (Some((bd, bf, _)), Objective::Area | Objective::Energy) => {
+                        // Relative epsilon: flow magnitudes differ by
+                        // orders between area (m²) and energy (J), and
+                        // summation order can perturb equal flows by an
+                        // ulp — without the tolerance the arrival
+                        // tie-break would never fire.
+                        let eps = 1e-12 * bf.abs().max(f.abs());
+                        f < *bf - eps || ((f - bf).abs() <= eps && arr < *bd)
                     }
                 };
                 if better {
                     best = Some((
-                        total,
-                        af,
+                        arr,
+                        f,
                         Chosen {
                             gate: cand.gate,
                             pins,
@@ -110,36 +216,83 @@ pub fn map_aig(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
                 }
             }
         }
-        let (d, af, c) = best.unwrap_or_else(|| {
-            panic!(
-                "node {idx} has no library match (cuts: {})",
-                cuts[idx].len()
-            )
-        });
-        arrival[idx] = d;
-        area_flow[idx] = af;
+        let (arr, f, c) = best.ok_or(MapError::UnmatchedNode {
+            node: idx as u32,
+            cuts: cuts[idx].len(),
+        })?;
+        arrival[idx] = arr;
+        flow[idx] = f;
         chosen[idx] = Some(c);
     }
-
-    extract_cover(&aig, library, &chosen, free_neg, inv_idx)
+    Ok(chosen)
 }
 
-/// Walks the chosen matches from the outputs, emitting instances in
-/// topological order with shared inverters.
+/// Phase 4: walks the chosen matches from the primary outputs and lists
+/// the matches actually used, in post-order (fanins precede consumers).
 fn extract_cover(
     aig: &Aig,
-    library: &CharacterizedLibrary,
+    cuts: &[Vec<Cut>],
     chosen: &[Option<Chosen>],
-    free_neg: bool,
+) -> Result<Vec<CoverStep>, MapError> {
+    for (k, lit) in aig.output_lits().iter().enumerate() {
+        if lit.node() == 0 {
+            return Err(MapError::ConstantOutput { output: k });
+        }
+    }
+    let mut emitted = vec![false; aig.len()];
+    for &node in aig.input_nodes() {
+        emitted[node as usize] = true;
+    }
+    let mut steps = Vec::new();
+    // Iterative post-order DFS (two-phase stack entries).
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for lit in aig.output_lits() {
+        stack.push((lit.node(), false));
+        while let Some((node, expanded)) = stack.pop() {
+            if emitted[node as usize] {
+                continue;
+            }
+            // Defensive: selection already matched every reachable AND
+            // node, so this only fires for non-logic nodes reachable via
+            // a malformed cover (e.g. the constant node as a pin leaf).
+            let c = chosen[node as usize]
+                .as_ref()
+                .ok_or(MapError::UnmatchedNode {
+                    node,
+                    cuts: cuts[node as usize].len(),
+                })?;
+            if expanded {
+                emitted[node as usize] = true;
+                steps.push(CoverStep {
+                    node,
+                    chosen: c.clone(),
+                });
+            } else {
+                stack.push((node, true));
+                // Push leaves in reverse so they materialize in pin order.
+                for &(leaf, _) in c.pins.iter().rev() {
+                    if !emitted[leaf as usize] {
+                        stack.push((leaf, false));
+                    }
+                }
+            }
+        }
+    }
+    Ok(steps)
+}
+
+/// Phase 5: turns the cover into cell instances, materializing shared
+/// inverters where the family's signal convention requires them, and
+/// assembles the final netlist.
+fn materialize(
+    aig: &Aig,
+    library: &CharacterizedLibrary,
     inv_idx: usize,
+    cover: &[CoverStep],
 ) -> MappedNetlist {
+    let free_neg = library.family.free_input_negation();
     let pi_count = aig.input_count();
-    let mut netlist = MappedNetlist {
-        family: library.family,
-        pi_count,
-        instances: Vec::new(),
-        outputs: Vec::new(),
-    };
+    let mut instances: Vec<Instance> = Vec::with_capacity(cover.len());
     // Positive net of each emitted node.
     let mut node_net: HashMap<u32, usize> = HashMap::new();
     for (ordinal, &node) in aig.input_nodes().iter().enumerate() {
@@ -147,45 +300,23 @@ fn extract_cover(
     }
     // Shared inverter outputs per source net.
     let mut inverted_net: HashMap<usize, usize> = HashMap::new();
-
-    // Recursive post-order emission (context bundled as arguments).
-    #[allow(clippy::too_many_arguments)]
-    fn emit(
-        node: u32,
-        chosen: &[Option<Chosen>],
-        netlist: &mut MappedNetlist,
-        node_net: &mut HashMap<u32, usize>,
-        inverted_net: &mut HashMap<usize, usize>,
-        free_neg: bool,
-        inv_idx: usize,
-    ) -> usize {
-        if let Some(&net) = node_net.get(&node) {
-            return net;
-        }
-        let c = chosen[node as usize]
-            .as_ref()
-            .unwrap_or_else(|| panic!("node {node} was never matched"))
-            .clone();
-        let mut inputs = Vec::with_capacity(c.pins.len());
-        for (leaf, inv) in c.pins {
-            let leaf_net = emit(
-                leaf,
-                chosen,
-                netlist,
-                node_net,
-                inverted_net,
-                free_neg,
-                inv_idx,
-            );
-            let net_ref = if inv && !free_neg {
-                let inv_out = *inverted_net.entry(leaf_net).or_insert_with(|| {
-                    netlist.instances.push(Instance {
-                        gate: inv_idx,
-                        inputs: vec![NetRef::plain(leaf_net)],
-                    });
-                    netlist.pi_count + netlist.instances.len() - 1
+    let shared_inverter =
+        |net: usize, instances: &mut Vec<Instance>, inverted_net: &mut HashMap<usize, usize>| {
+            *inverted_net.entry(net).or_insert_with(|| {
+                instances.push(Instance {
+                    gate: inv_idx,
+                    inputs: vec![NetRef::plain(net)],
                 });
-                NetRef::plain(inv_out)
+                pi_count + instances.len() - 1
+            })
+        };
+
+    for step in cover {
+        let mut inputs = Vec::with_capacity(step.chosen.pins.len());
+        for &(leaf, inv) in &step.chosen.pins {
+            let leaf_net = node_net[&leaf];
+            let net_ref = if inv && !free_neg {
+                NetRef::plain(shared_inverter(leaf_net, &mut instances, &mut inverted_net))
             } else {
                 NetRef {
                     net: leaf_net,
@@ -194,37 +325,24 @@ fn extract_cover(
             };
             inputs.push(net_ref);
         }
-        netlist.instances.push(Instance {
-            gate: c.gate,
+        instances.push(Instance {
+            gate: step.chosen.gate,
             inputs,
         });
-        let mut net = netlist.pi_count + netlist.instances.len() - 1;
-        if c.output_inverted {
-            netlist.instances.push(Instance {
+        let mut net = pi_count + instances.len() - 1;
+        if step.chosen.output_inverted {
+            instances.push(Instance {
                 gate: inv_idx,
                 inputs: vec![NetRef::plain(net)],
             });
-            net = netlist.pi_count + netlist.instances.len() - 1;
+            net = pi_count + instances.len() - 1;
         }
-        node_net.insert(node, net);
-        net
+        node_net.insert(step.node, net);
     }
 
-    let output_lits: Vec<aig::Lit> = aig.output_lits().to_vec();
-    for lit in output_lits {
-        assert!(
-            lit.node() != 0,
-            "constant primary outputs are not supported by the mapper"
-        );
-        let net = emit(
-            lit.node(),
-            chosen,
-            &mut netlist,
-            &mut node_net,
-            &mut inverted_net,
-            free_neg,
-            inv_idx,
-        );
+    let mut outputs = Vec::with_capacity(aig.output_lits().len());
+    for lit in aig.output_lits() {
+        let net = node_net[&lit.node()];
         let r = if lit.is_complement() {
             if free_neg {
                 NetRef {
@@ -232,21 +350,14 @@ fn extract_cover(
                     inverted: true,
                 }
             } else {
-                let inv_out = *inverted_net.entry(net).or_insert_with(|| {
-                    netlist.instances.push(Instance {
-                        gate: inv_idx,
-                        inputs: vec![NetRef::plain(net)],
-                    });
-                    netlist.pi_count + netlist.instances.len() - 1
-                });
-                NetRef::plain(inv_out)
+                NetRef::plain(shared_inverter(net, &mut instances, &mut inverted_net))
             }
         } else {
             NetRef::plain(net)
         };
-        netlist.outputs.push(r);
+        outputs.push(r);
     }
-    netlist
+    MappedNetlist::new(library.family, pi_count, instances, outputs)
 }
 
 /// Verifies a mapped netlist against its source AIG by simulation
@@ -272,6 +383,8 @@ pub fn verify_mapping(
     } else {
         rounds
     };
+    let mut values = Vec::new();
+    let mut got = Vec::new();
     for round in 0..total_rounds {
         let inputs: Vec<u64> = if n <= 16 {
             let base = (round * 64) as u64;
@@ -290,8 +403,8 @@ pub fn verify_mapping(
             (0..n).map(|_| next()).collect()
         };
         let expected = aig::simulate64(&aig, &inputs);
-        let values = netlist.simulate64(library, &inputs);
-        let got = netlist.output_words(&values);
+        netlist.simulate64_into(library, &inputs, &mut values);
+        netlist.output_words_into(&values, &mut got);
         let mask = if n <= 16 {
             let remaining = (1u64 << n).saturating_sub((round * 64) as u64);
             if remaining >= 64 {
@@ -314,8 +427,13 @@ pub fn verify_mapping(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LoadModel;
     use charlib::characterize_library;
     use gate_lib::GateFamily;
+
+    fn map_default(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
+        map_aig(aig, library, &MapConfig::default()).expect("default mapping succeeds")
+    }
 
     fn small_alu_aig() -> Aig {
         let mut aig = Aig::new();
@@ -344,13 +462,107 @@ mod tests {
         let aig = small_alu_aig();
         for family in GateFamily::ALL {
             let lib = characterize_library(family);
-            let mapped = map_aig(&aig, &lib);
+            let mapped = map_default(&aig, &lib);
             assert!(
                 verify_mapping(&aig, &mapped, &lib, 0xFEED, 32),
                 "{family}: mapped netlist differs from AIG"
             );
             assert!(mapped.gate_count() > 0);
         }
+    }
+
+    #[test]
+    fn all_objectives_verify_and_order_sensibly() {
+        let aig = small_alu_aig();
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mut gates = Vec::new();
+            for objective in Objective::ALL {
+                let mapped = map_aig(&aig, &lib, &MapConfig::for_objective(objective))
+                    .expect("mapping succeeds");
+                assert!(
+                    verify_mapping(&aig, &mapped, &lib, 0xFEED, 32),
+                    "{family}/{objective}: mapped netlist differs from AIG"
+                );
+                gates.push(mapped.gate_count());
+            }
+            // Area mapping must not use more cells than delay mapping.
+            assert!(
+                gates[1] <= gates[0],
+                "{family}: area {} vs delay {}",
+                gates[1],
+                gates[0]
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_matches_private_cache() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let cache = NpnMatchCache::new(&lib).expect("INV present");
+        let config = MapConfig::default();
+        let private = map_aig(&aig, &lib, &config).expect("maps");
+        let shared = map_aig_with_cache(&aig, &lib, &cache, &config).expect("maps");
+        assert_eq!(private.instances, shared.instances);
+        assert_eq!(private.outputs(), shared.outputs());
+    }
+
+    #[test]
+    fn custom_cut_width_still_verifies() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::Cmos);
+        for k in [2usize, 4] {
+            let config = MapConfig {
+                cut_k: k,
+                ..MapConfig::default()
+            };
+            let mapped = map_aig(&aig, &lib, &config).expect("mapping succeeds");
+            assert!(verify_mapping(&aig, &mapped, &lib, 5, 16), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn invalid_cut_width_is_an_error() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::Cmos);
+        for k in [0usize, 1, 7] {
+            let config = MapConfig {
+                cut_k: k,
+                ..MapConfig::default()
+            };
+            assert_eq!(
+                map_aig(&aig, &lib, &config).err(),
+                Some(MapError::InvalidCutK { k })
+            );
+        }
+    }
+
+    #[test]
+    fn constant_output_is_an_error_not_a_panic() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let f = aig.and(a, b);
+        aig.output(f);
+        aig.output(aig::Lit::TRUE);
+        let lib = characterize_library(GateFamily::Cmos);
+        assert_eq!(
+            map_aig(&aig, &lib, &MapConfig::default()).err(),
+            Some(MapError::ConstantOutput { output: 1 })
+        );
+    }
+
+    #[test]
+    fn fixed_load_model_maps() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::Cmos);
+        let config = MapConfig {
+            load: LoadModel::Fixed(1e-16),
+            ..MapConfig::default()
+        };
+        let mapped = map_aig(&aig, &lib, &config).expect("mapping succeeds");
+        assert!(verify_mapping(&aig, &mapped, &lib, 7, 16));
     }
 
     #[test]
@@ -365,8 +577,8 @@ mod tests {
         }
         let gen = characterize_library(GateFamily::CntfetGeneralized);
         let cmos = characterize_library(GateFamily::Cmos);
-        let m_gen = map_aig(&aig, &gen);
-        let m_cmos = map_aig(&aig, &cmos);
+        let m_gen = map_default(&aig, &gen);
+        let m_cmos = map_default(&aig, &cmos);
         assert!(verify_mapping(&aig, &m_gen, &gen, 1, 8));
         assert!(verify_mapping(&aig, &m_cmos, &cmos, 1, 8));
         assert!(
@@ -384,8 +596,8 @@ mod tests {
         let aig = small_alu_aig();
         let cnt = characterize_library(GateFamily::CntfetConventional);
         let cmos = characterize_library(GateFamily::Cmos);
-        let m_cnt = map_aig(&aig, &cnt);
-        let m_cmos = map_aig(&aig, &cmos);
+        let m_cnt = map_default(&aig, &cnt);
+        let m_cmos = map_default(&aig, &cmos);
         assert_eq!(m_cnt.gate_count(), m_cmos.gate_count());
     }
 
@@ -402,7 +614,7 @@ mod tests {
         aig.output(f1);
         aig.output(f2);
         let lib = characterize_library(GateFamily::Cmos);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_default(&aig, &lib);
         assert!(verify_mapping(&aig, &mapped, &lib, 3, 8));
         let inv_count = mapped
             .instances
@@ -418,7 +630,7 @@ mod tests {
     fn instances_are_topologically_ordered() {
         let aig = small_alu_aig();
         let lib = characterize_library(GateFamily::CntfetGeneralized);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_default(&aig, &lib);
         for (i, inst) in mapped.instances.iter().enumerate() {
             for r in &inst.inputs {
                 assert!(

@@ -35,6 +35,11 @@ pub struct Instance {
 }
 
 /// A technology-mapped netlist.
+///
+/// Built once by [`MappedNetlist::new`] and immutable afterwards; the
+/// constructor precomputes the output-net index that the word-level
+/// readers ([`MappedNetlist::output_words`] and friends) use, so per-word
+/// hot loops never re-resolve [`NetRef`]s.
 #[derive(Clone, Debug)]
 pub struct MappedNetlist {
     /// The family this netlist was mapped onto.
@@ -43,11 +48,51 @@ pub struct MappedNetlist {
     pub pi_count: usize,
     /// Instances in topological order (fanins precede consumers).
     pub instances: Vec<Instance>,
-    /// Primary outputs.
-    pub outputs: Vec<NetRef>,
+    /// Primary outputs. Private so it cannot drift out of sync with the
+    /// precomputed `output_index`; read through
+    /// [`MappedNetlist::outputs`].
+    outputs: Vec<NetRef>,
+    /// Precomputed output-net index: `(net, complement mask)` per primary
+    /// output. The mask is `u64::MAX` for inverted taps so a word read is
+    /// one branch-free `values[net] ^ mask`.
+    output_index: Vec<(usize, u64)>,
 }
 
 impl MappedNetlist {
+    /// Assembles a netlist and precomputes its output-net index.
+    ///
+    /// Instances must be in topological order (every input net of instance
+    /// `i` below `pi_count + i`) and outputs must reference existing nets;
+    /// both are debug-asserted.
+    pub fn new(
+        family: GateFamily,
+        pi_count: usize,
+        instances: Vec<Instance>,
+        outputs: Vec<NetRef>,
+    ) -> Self {
+        debug_assert!(instances
+            .iter()
+            .enumerate()
+            .all(|(i, inst)| inst.inputs.iter().all(|r| r.net < pi_count + i)));
+        debug_assert!(outputs.iter().all(|r| r.net < pi_count + instances.len()));
+        let output_index = outputs
+            .iter()
+            .map(|r| (r.net, if r.inverted { u64::MAX } else { 0 }))
+            .collect();
+        Self {
+            family,
+            pi_count,
+            instances,
+            outputs,
+            output_index,
+        }
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NetRef] {
+        &self.outputs
+    }
+
     /// Total number of nets (PIs + instance outputs).
     pub fn net_count(&self) -> usize {
         self.pi_count + self.instances.len()
@@ -83,90 +128,71 @@ impl MappedNetlist {
     ///
     /// `pi_words[i]` carries the values of primary input `i`. Returns the
     /// word of every net (indexable by net id), with outputs read via
-    /// [`MappedNetlist::outputs`].
+    /// [`MappedNetlist::output_words`].
     ///
     /// # Panics
     ///
     /// Panics if `pi_words.len() != pi_count`.
     pub fn simulate64(&self, library: &CharacterizedLibrary, pi_words: &[u64]) -> Vec<u64> {
-        assert_eq!(pi_words.len(), self.pi_count, "primary input word count");
-        let mut values = vec![0u64; self.net_count()];
-        values[..self.pi_count].copy_from_slice(pi_words);
-        for (i, inst) in self.instances.iter().enumerate() {
-            let cell = &library.gates[inst.gate];
-            let f = cell.gate.function;
-            let pin_words: Vec<u64> = inst
-                .inputs
-                .iter()
-                .map(|r| {
-                    let w = values[r.net];
-                    if r.inverted {
-                        !w
-                    } else {
-                        w
-                    }
-                })
-                .collect();
-            values[self.pi_count + i] = eval_tt_words(f, &pin_words);
-        }
+        let mut values = Vec::new();
+        self.simulate64_into(library, pi_words, &mut values);
         values
     }
 
-    /// Reads the primary-output words from a simulated value vector.
-    pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
-        self.outputs
-            .iter()
-            .map(|r| {
+    /// Like [`MappedNetlist::simulate64`] but reusing a caller-provided
+    /// buffer — the allocation-free form the per-word power-simulation
+    /// loop runs on. Pin words live in a fixed stack array (cells have at
+    /// most [`logic::MAX_VARS`] pins), so a simulated word allocates
+    /// nothing beyond the one `values` growth on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != pi_count`.
+    pub fn simulate64_into(
+        &self,
+        library: &CharacterizedLibrary,
+        pi_words: &[u64],
+        values: &mut Vec<u64>,
+    ) {
+        assert_eq!(pi_words.len(), self.pi_count, "primary input word count");
+        values.clear();
+        values.resize(self.net_count(), 0);
+        values[..self.pi_count].copy_from_slice(pi_words);
+        let mut pins = [0u64; logic::MAX_VARS];
+        for (i, inst) in self.instances.iter().enumerate() {
+            let f = library.gates[inst.gate].gate.function;
+            for (k, r) in inst.inputs.iter().enumerate() {
                 let w = values[r.net];
-                if r.inverted {
-                    !w
-                } else {
-                    w
-                }
-            })
-            .collect()
+                pins[k] = if r.inverted { !w } else { w };
+            }
+            values[self.pi_count + i] = f.eval_words(&pins[..inst.inputs.len()]);
+        }
     }
-}
 
-/// Bitwise word evaluation of a truth table over input words.
-pub fn eval_tt_words(f: logic::TruthTable, pins: &[u64]) -> u64 {
-    debug_assert_eq!(pins.len(), f.n_vars());
-    let mut out = 0u64;
-    for m in 0..(1usize << f.n_vars()) {
-        if !f.eval_index(m) {
-            continue;
-        }
-        let mut term = u64::MAX;
-        for (i, &w) in pins.iter().enumerate() {
-            term &= if (m >> i) & 1 == 1 { w } else { !w };
-        }
-        out |= term;
+    /// Reads the primary-output words from a simulated value vector via
+    /// the precomputed output-net index.
+    pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.output_words_into(values, &mut out);
+        out
     }
-    out
+
+    /// Like [`MappedNetlist::output_words`] but reusing a caller-provided
+    /// buffer.
+    pub fn output_words_into(&self, values: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.output_index
+                .iter()
+                .map(|&(net, mask)| values[net] ^ mask),
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use charlib::characterize_library;
-    use logic::TruthTable;
-
-    #[test]
-    fn eval_tt_words_matches_scalar() {
-        let a = TruthTable::var(3, 0);
-        let b = TruthTable::var(3, 1);
-        let c = TruthTable::var(3, 2);
-        let f = (a & b) | (!a & c);
-        // 8 patterns in one word.
-        let wa = 0b10101010u64;
-        let wb = 0b11001100u64;
-        let wc = 0b11110000u64;
-        let out = eval_tt_words(f, &[wa, wb, wc]);
-        for k in 0..8 {
-            let bits = [(wa >> k) & 1 == 1, (wb >> k) & 1 == 1, (wc >> k) & 1 == 1];
-            assert_eq!((out >> k) & 1 == 1, f.eval(&bits), "pattern {k}");
-        }
-    }
 
     #[test]
     fn hand_built_netlist_simulates() {
@@ -182,10 +208,10 @@ mod tests {
             .iter()
             .position(|g| g.gate.name == "INV")
             .expect("INV");
-        let netlist = MappedNetlist {
-            family: GateFamily::Cmos,
-            pi_count: 2,
-            instances: vec![
+        let netlist = MappedNetlist::new(
+            GateFamily::Cmos,
+            2,
+            vec![
                 Instance {
                     gate: nand_idx,
                     inputs: vec![NetRef::plain(0), NetRef::plain(1)],
@@ -195,8 +221,8 @@ mod tests {
                     inputs: vec![NetRef::plain(2)],
                 },
             ],
-            outputs: vec![NetRef::plain(3)],
-        };
+            vec![NetRef::plain(3)],
+        );
         let values = netlist.simulate64(&lib, &[0b0101, 0b0011]);
         let out = netlist.output_words(&values);
         assert_eq!(out[0] & 0xF, 0b0001, "AND of the two inputs");
@@ -213,20 +239,56 @@ mod tests {
             .iter()
             .position(|g| g.gate.name == "INV")
             .expect("INV");
-        let netlist = MappedNetlist {
-            family: GateFamily::CntfetGeneralized,
-            pi_count: 1,
-            instances: vec![Instance {
+        let netlist = MappedNetlist::new(
+            GateFamily::CntfetGeneralized,
+            1,
+            vec![Instance {
                 gate: inv_idx,
                 inputs: vec![NetRef {
                     net: 0,
                     inverted: true,
                 }],
             }],
-            outputs: vec![NetRef::plain(1)],
-        };
+            vec![NetRef::plain(1)],
+        );
         let values = netlist.simulate64(&lib, &[0b01]);
         // INV of inverted input = identity.
         assert_eq!(netlist.output_words(&values)[0] & 0b11, 0b01);
+    }
+
+    #[test]
+    fn output_index_resolves_inverted_taps() {
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let inv_idx = lib
+            .gates
+            .iter()
+            .position(|g| g.gate.name == "INV")
+            .expect("INV");
+        let netlist = MappedNetlist::new(
+            GateFamily::CntfetGeneralized,
+            1,
+            vec![Instance {
+                gate: inv_idx,
+                inputs: vec![NetRef::plain(0)],
+            }],
+            vec![
+                NetRef::plain(1),
+                NetRef {
+                    net: 1,
+                    inverted: true,
+                },
+            ],
+        );
+        let mut values = Vec::new();
+        netlist.simulate64_into(&lib, &[0b0011], &mut values);
+        let mut out = Vec::new();
+        netlist.output_words_into(&values, &mut out);
+        // Output 0 is INV(a); output 1 is its complement rail, i.e. a.
+        assert_eq!(out[0] & 0xF, !0b0011u64 & 0xF);
+        assert_eq!(out[1] & 0xF, 0b0011);
+        // Buffers are reusable without stale state.
+        netlist.simulate64_into(&lib, &[0b0101], &mut values);
+        netlist.output_words_into(&values, &mut out);
+        assert_eq!(out[1] & 0xF, 0b0101);
     }
 }

@@ -41,7 +41,7 @@ pub fn critical_path(netlist: &MappedNetlist, library: &CharacterizedLibrary) ->
         net_arrival[out_net] = input_arrival + delay;
     }
     let critical = netlist
-        .outputs
+        .outputs()
         .iter()
         .map(|r| net_arrival[r.net])
         .fold(0.0f64, f64::max);
@@ -55,10 +55,15 @@ pub fn critical_path(netlist: &MappedNetlist, library: &CharacterizedLibrary) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MapConfig;
     use crate::mapper::map_aig;
     use aig::Aig;
-    use charlib::characterize_library;
+    use charlib::{characterize_library, CharacterizedLibrary};
     use gate_lib::GateFamily;
+
+    fn map_default(aig: &Aig, library: &CharacterizedLibrary) -> MappedNetlist {
+        map_aig(aig, library, &MapConfig::default()).expect("default mapping succeeds")
+    }
 
     fn adder_aig(bits: usize) -> Aig {
         let mut aig = Aig::new();
@@ -81,13 +86,13 @@ mod tests {
     fn arrival_increases_along_carry_chain() {
         let aig = adder_aig(6);
         let lib = characterize_library(GateFamily::Cmos);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_default(&aig, &lib);
         let report = critical_path(&mapped, &lib);
         assert!(report.critical.value() > 0.0);
         // Sum bit arrivals must be non-decreasing with bit index (the
         // carry chain dominates).
         let arrivals: Vec<f64> = mapped
-            .outputs
+            .outputs()
             .iter()
             .take(6)
             .map(|r| report.net_arrival[r.net])
@@ -103,8 +108,12 @@ mod tests {
         let aig = adder_aig(8);
         let cnt = characterize_library(GateFamily::CntfetConventional);
         let cmos = characterize_library(GateFamily::Cmos);
-        let d_cnt = critical_path(&map_aig(&aig, &cnt), &cnt).critical.value();
-        let d_cmos = critical_path(&map_aig(&aig, &cmos), &cmos).critical.value();
+        let d_cnt = critical_path(&map_default(&aig, &cnt), &cnt)
+            .critical
+            .value();
+        let d_cmos = critical_path(&map_default(&aig, &cmos), &cmos)
+            .critical
+            .value();
         let ratio = d_cmos / d_cnt;
         assert!(
             ratio > 3.0,
@@ -120,8 +129,12 @@ mod tests {
         aig.output(p);
         let gen = characterize_library(GateFamily::CntfetGeneralized);
         let conv = characterize_library(GateFamily::CntfetConventional);
-        let d_gen = critical_path(&map_aig(&aig, &gen), &gen).critical.value();
-        let d_conv = critical_path(&map_aig(&aig, &conv), &conv).critical.value();
+        let d_gen = critical_path(&map_default(&aig, &gen), &gen)
+            .critical
+            .value();
+        let d_conv = critical_path(&map_default(&aig, &conv), &conv)
+            .critical
+            .value();
         assert!(
             d_gen < d_conv,
             "generalized XOR cells shorten the parity tree: {d_gen} vs {d_conv}"
@@ -132,7 +145,7 @@ mod tests {
     fn loads_are_positive_for_driven_nets() {
         let aig = adder_aig(4);
         let lib = characterize_library(GateFamily::CntfetGeneralized);
-        let mapped = map_aig(&aig, &lib);
+        let mapped = map_default(&aig, &lib);
         let report = critical_path(&mapped, &lib);
         // Every net consumed by some instance has positive load.
         for inst in &mapped.instances {

@@ -31,7 +31,7 @@ fn main() {
     let mut results = Vec::new();
     for family in GateFamily::ALL {
         let library = engine::library(family);
-        let r = evaluate_circuit(&synthesized, library, &config);
+        let r = evaluate_circuit(&synthesized, library, &config).expect("mapping succeeds");
         println!(
             "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
             family.label(),

@@ -10,7 +10,7 @@ use ambipolar::engine;
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
 use bench_circuits::multiplier::multiplier_circuit;
 use gate_lib::GateFamily;
-use techmap::{map_aig, verify_mapping};
+use techmap::{map_aig_with_cache, verify_mapping, MapConfig};
 
 fn main() {
     let aig = multiplier_circuit(8);
@@ -36,12 +36,18 @@ fn main() {
     for family in GateFamily::ALL {
         let library = engine::library(family);
         // Functional check: the mapped netlist must match the AIG.
-        let mapped = map_aig(&synthesized, library);
+        let mapped = map_aig_with_cache(
+            &synthesized,
+            library,
+            engine::match_cache(family),
+            &MapConfig::default(),
+        )
+        .expect("mapping succeeds");
         assert!(
             verify_mapping(&synthesized, &mapped, library, 0xFEED, 64),
             "{family}: mapped netlist diverged"
         );
-        let r = evaluate_circuit(&synthesized, library, &config);
+        let r = evaluate_circuit(&synthesized, library, &config).expect("mapping succeeds");
         println!(
             "{:<22} {:>7} {:>12} {:>10} {:>10} {:>11.2e}",
             family.label(),

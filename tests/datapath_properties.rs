@@ -76,12 +76,12 @@ fn ecc_corrects_random_single_errors_after_mapping() {
     // codewords through the actual gate implementation.
     use charlib::characterize_library;
     use gate_lib::GateFamily;
-    use techmap::map_aig;
+    use techmap::{map_aig, MapConfig};
 
     let data_bits = 8;
     let aig = bench_circuits::ecc::sec_circuit(data_bits);
     let lib = characterize_library(GateFamily::CntfetGeneralized);
-    let mapped = map_aig(&aig, &lib);
+    let mapped = map_aig(&aig, &lib, &MapConfig::default()).expect("mapping succeeds");
     // Software encoder mirror (same layout as the generator).
     let n = data_bits + bench_circuits::ecc::parity_bits(data_bits);
     let mut encode_aig = Aig::new();

@@ -4,7 +4,7 @@
 use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
 use charlib::characterize_library;
 use gate_lib::GateFamily;
-use techmap::{map_aig, verify_mapping};
+use techmap::{map_aig, verify_mapping, MapConfig};
 
 fn quick_config() -> PipelineConfig {
     PipelineConfig {
@@ -25,7 +25,8 @@ fn mapped_netlists_are_functionally_correct_for_all_families() {
         );
         for family in GateFamily::ALL {
             let library = characterize_library(family);
-            let mapped = map_aig(&synthesized, &library);
+            let mapped =
+                map_aig(&synthesized, &library, &MapConfig::default()).expect("mapping succeeds");
             assert!(
                 verify_mapping(&synthesized, &mapped, &library, 0xBEEF, 64),
                 "{name}/{family}: mapping broke the function"
@@ -43,7 +44,7 @@ fn paper_orderings_hold_on_an_xor_rich_circuit() {
         .iter()
         .map(|&f| {
             let lib = characterize_library(f);
-            evaluate_circuit(&synthesized, &lib, &config)
+            evaluate_circuit(&synthesized, &lib, &config).expect("mapping succeeds")
         })
         .collect();
     let (gen, conv, cmos) = (&results[0], &results[1], &results[2]);
@@ -71,8 +72,8 @@ fn control_dominated_circuit_still_wins_but_less() {
         let synthesized = aig::synthesize(&bench.aig);
         let gen = characterize_library(GateFamily::CntfetGeneralized);
         let conv = characterize_library(GateFamily::CntfetConventional);
-        let r_gen = evaluate_circuit(&synthesized, &gen, &config);
-        let r_conv = evaluate_circuit(&synthesized, &conv, &config);
+        let r_gen = evaluate_circuit(&synthesized, &gen, &config).expect("mapping succeeds");
+        let r_conv = evaluate_circuit(&synthesized, &conv, &config).expect("mapping succeeds");
         r_conv.edp().value() / r_gen.edp().value()
     };
     let ecc = edp_gain("C1908");
@@ -98,7 +99,7 @@ fn static_power_well_below_dynamic_at_circuit_level() {
         (GateFamily::Cmos, 8.0),
     ] {
         let lib = characterize_library(family);
-        let r = evaluate_circuit(&synthesized, &lib, &config);
+        let r = evaluate_circuit(&synthesized, &lib, &config).expect("mapping succeeds");
         let ratio = r.power.dynamic.value() / r.power.static_sub.value();
         assert!(
             ratio > min_ratio,

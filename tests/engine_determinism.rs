@@ -11,7 +11,7 @@ use ambipolar::experiments::Table1Config;
 use ambipolar::pipeline::PipelineConfig;
 use gate_lib::GateFamily;
 use power_est::{simulate_activity, simulate_activity_serial, CHUNK_WORDS};
-use techmap::map_aig;
+use techmap::{map_aig_with_cache, MapConfig};
 
 fn small_netlist() -> (
     techmap::MappedNetlist,
@@ -20,7 +20,10 @@ fn small_netlist() -> (
     let bench = bench_circuits::benchmark_by_name("t481").expect("t481 exists");
     let synthesized = aig::synthesize(&bench.aig);
     let lib = engine::library(GateFamily::CntfetGeneralized);
-    (map_aig(&synthesized, lib), lib)
+    let cache = engine::match_cache(GateFamily::CntfetGeneralized);
+    let mapped = map_aig_with_cache(&synthesized, lib, cache, &MapConfig::default())
+        .expect("mapping succeeds");
+    (mapped, lib)
 }
 
 #[test]
@@ -61,8 +64,8 @@ fn engine_characterizes_each_family_at_most_once() {
         },
     };
     let names = Some(&["t481"][..]);
-    let first = engine::run_table1_subset(&config, names);
-    let second = engine::run_table1_subset(&config, names);
+    let first = engine::run_table1_subset(&config, names).expect("mapping succeeds");
+    let second = engine::run_table1_subset(&config, names).expect("mapping succeeds");
     assert_eq!(
         engine::characterization_count(),
         after_warm,
@@ -85,8 +88,8 @@ fn engine_table_matches_serial_reference_table() {
         },
     };
     let names = Some(&["t481", "C1355"][..]);
-    let par = engine::run_table1_subset(&config, names);
-    let ser = engine::run_table1_serial(&config, names);
+    let par = engine::run_table1_subset(&config, names).expect("mapping succeeds");
+    let ser = engine::run_table1_serial(&config, names).expect("mapping succeeds");
     assert_eq!(par.rows.len(), 2);
     assert_eq!(format!("{par}"), format!("{ser}"));
 }

@@ -1,0 +1,65 @@
+//! Full-catalog mapping coverage: every Table-1 benchmark × every gate
+//! family × every mapping objective must produce a `verify_mapping`-clean
+//! netlist, all through the engine's shared NPN match caches.
+
+use ambipolar::engine;
+use gate_lib::GateFamily;
+use rayon::prelude::*;
+use techmap::{map_aig_with_cache, verify_mapping, MapConfig, Objective};
+
+#[test]
+fn every_circuit_family_objective_triple_verifies() {
+    let benches = bench_circuits::table1_benchmarks();
+    // Synthesize each benchmark once (in parallel); the mapping matrix
+    // below reuses the synthesized networks.
+    let synthesized: Vec<(String, aig::Aig)> = benches
+        .par_iter()
+        .map(|bench| (bench.name.to_owned(), aig::synthesize(&bench.aig)))
+        .collect();
+
+    let jobs: Vec<(usize, GateFamily, Objective)> = (0..synthesized.len())
+        .flat_map(|ci| {
+            GateFamily::ALL.into_iter().flat_map(move |family| {
+                Objective::ALL
+                    .into_iter()
+                    .map(move |objective| (ci, family, objective))
+            })
+        })
+        .collect();
+    assert_eq!(jobs.len(), synthesized.len() * 9);
+
+    let failures: Vec<String> = jobs
+        .into_par_iter()
+        .map(|(ci, family, objective)| {
+            let (name, aig) = &synthesized[ci];
+            let library = engine::library(family);
+            let cache = engine::match_cache(family);
+            let config = MapConfig::for_objective(objective);
+            let mapped = match map_aig_with_cache(aig, library, cache, &config) {
+                Ok(mapped) => mapped,
+                Err(e) => return Some(format!("{name}/{family}/{objective}: map error {e}")),
+            };
+            if mapped.gate_count() == 0 {
+                return Some(format!("{name}/{family}/{objective}: empty netlist"));
+            }
+            if !verify_mapping(aig, &mapped, library, 0x0BEC ^ ci as u64, 8) {
+                return Some(format!(
+                    "{name}/{family}/{objective}: mapped netlist diverges from the AIG"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{failures:?}");
+
+    // The whole matrix must have shared one match cache per family.
+    assert!(
+        engine::match_cache_build_count() <= GateFamily::ALL.len(),
+        "match caches rebuilt: {}",
+        engine::match_cache_build_count()
+    );
+    assert!(engine::characterization_count() <= GateFamily::ALL.len());
+}

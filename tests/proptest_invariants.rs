@@ -57,6 +57,41 @@ proptest! {
     }
 
     #[test]
+    fn npn_canon_transform_round_trips(f in tt(4)) {
+        // The canonizing transform maps the original onto the canonical
+        // representative, and its inverse maps it back exactly.
+        let c = npn_canon(f);
+        prop_assert_eq!(c.transform.apply(f), c.canonical);
+        prop_assert_eq!(c.transform.inverse().apply(c.canonical), f);
+        // apply ∘ inverse is the identity in the other direction too.
+        prop_assert_eq!(c.transform.apply(c.transform.inverse().apply(f)), f);
+    }
+
+    #[test]
+    fn npn_canon_is_a_fixpoint(f in tt(3)) {
+        // Canonizing a canonical representative returns it unchanged.
+        let c = npn_canon(f).canonical;
+        prop_assert_eq!(npn_canon(c).canonical, c);
+    }
+
+    #[test]
+    fn npn_canon_invariant_under_transform_chains(f in tt(3), a in transform(3), b in transform(3)) {
+        // Invariance must survive chained random transforms, not just one.
+        let g = b.apply(a.apply(f));
+        prop_assert_eq!(npn_canon(g).canonical, npn_canon(f).canonical);
+    }
+
+    #[test]
+    fn npn_canon_round_trips_at_full_arity(f in tt(5), t in transform(5)) {
+        // The mapper canonizes up to 6-variable cut functions; exercise a
+        // larger arity than the other properties.
+        let c = npn_canon(f);
+        prop_assert_eq!(c.transform.apply(f), c.canonical);
+        prop_assert_eq!(t.inverse().apply(t.apply(f)), f);
+        prop_assert_eq!(npn_canon(t.apply(f)).canonical, c.canonical);
+    }
+
+    #[test]
     fn isop_covers_exactly(f in tt(4)) {
         let cover = isop(f);
         let rebuilt = cover
@@ -201,7 +236,8 @@ proptest! {
         prop_assume!(aig.output_lits().iter().all(|l| l.node() != 0));
         for family in GateFamily::ALL {
             let lib = charlib::characterize_library(family);
-            let mapped = techmap::map_aig(&aig, &lib);
+            let mapped = techmap::map_aig(&aig, &lib, &techmap::MapConfig::default())
+                .expect("mapping succeeds");
             prop_assert!(
                 techmap::verify_mapping(&aig, &mapped, &lib, 0xF00D, 16),
                 "{} mapping diverged", family

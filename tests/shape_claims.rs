@@ -16,6 +16,7 @@ fn subset() -> ambipolar::experiments::Table1 {
         },
     };
     table1_subset(&config, Some(&["C2670", "C1908", "t481", "C1355"]))
+        .expect("built-in benchmarks map")
 }
 
 #[test]
