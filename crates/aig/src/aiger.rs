@@ -1,9 +1,11 @@
-//! AIGER ASCII (`aag`) reader/writer.
+//! AIGER reader/writer, ASCII (`aag`) and binary (`aig`).
 //!
 //! The benchmark circuits in this repository are synthetic stand-ins; the
 //! AIGER format bridge lets users run the *original* ISCAS'85/MCNC
-//! netlists (or anything else ABC can export with `write_aiger -s`)
-//! through the exact same characterize → map → estimate pipeline.
+//! netlists (or anything else ABC can export with `write_aiger -s` or
+//! `write_aiger`) through the exact same characterize → map → estimate
+//! pipeline. [`from_aiger_auto`] sniffs the header and accepts either
+//! format.
 //!
 //! Only the combinational subset is supported: latches are rejected.
 
@@ -207,6 +209,214 @@ pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
     Ok(aig)
 }
 
+/// Serializes an AIG in AIGER binary format (`aig`): implicit input
+/// literals, outputs as ASCII lines, AND definitions as LEB128 deltas.
+///
+/// Node indices are renumbered densely (inputs first, then AND nodes in
+/// topological order) exactly as in [`to_aiger_ascii`], which guarantees
+/// the `lhs > rhs0 >= rhs1` ordering the binary format requires.
+pub fn to_aiger_binary(aig: &Aig) -> Vec<u8> {
+    use crate::graph::Node;
+    let mut var_of = vec![0u32; aig.len()];
+    let mut next = 1u32;
+    for &i in aig.input_nodes() {
+        var_of[i as usize] = next;
+        next += 1;
+    }
+    let mut ands = Vec::new();
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let Node::And(a, b) = node {
+            var_of[i] = next;
+            next += 1;
+            ands.push((i, *a, *b));
+        }
+    }
+    let aiger_lit =
+        |l: Lit| -> u32 { 2 * var_of[l.node() as usize] + u32::from(l.is_complement()) };
+    let m = next - 1;
+    let mut out: Vec<u8> = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {m} {} 0 {} {}\n",
+            aig.input_count(),
+            aig.output_count(),
+            ands.len()
+        )
+        .as_bytes(),
+    );
+    for o in aig.output_lits() {
+        out.extend_from_slice(format!("{}\n", aiger_lit(*o)).as_bytes());
+    }
+    for (i, a, b) in ands {
+        let lhs = 2 * var_of[i];
+        let (r0, r1) = {
+            let x = aiger_lit(a);
+            let y = aiger_lit(b);
+            if x >= y {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        };
+        write_varint(&mut out, lhs - r0);
+        write_varint(&mut out, r0 - r1);
+    }
+    out
+}
+
+/// LEB128-style unsigned varint (7 bits per byte, MSB = continuation).
+fn write_varint(out: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        out.push((x & 0x7F) as u8 | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u32, ParseAigerError> {
+    // Accumulate in u64 so the fifth byte (shift 28) cannot silently drop
+    // high bits; anything that does not fit u32 is a malformed file.
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| ParseAigerError::new("truncated delta", 0))?;
+        *pos += 1;
+        if shift > 28 {
+            return Err(ParseAigerError::new("delta overflows 32 bits", 0));
+        }
+        x |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return u32::try_from(x)
+                .map_err(|_| ParseAigerError::new("delta overflows 32 bits", 0));
+        }
+        shift += 7;
+    }
+}
+
+/// Parses an AIGER binary (`aig`) file into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed input or latches.
+pub fn from_aiger_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
+    // Header and output lines are ASCII, terminated by '\n'.
+    let mut pos = 0usize;
+    let read_line = |pos: &mut usize| -> Result<String, ParseAigerError> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'\n' {
+            *pos += 1;
+        }
+        if *pos >= bytes.len() {
+            return Err(ParseAigerError::new("missing newline", 0));
+        }
+        let line = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| ParseAigerError::new("non-UTF-8 header", 0))?
+            .to_owned();
+        *pos += 1;
+        Ok(line)
+    };
+    let header = read_line(&mut pos)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aig" {
+        return Err(ParseAigerError::new("expected `aig M I L O A` header", 1));
+    }
+    let parse = |s: &str| -> Result<usize, ParseAigerError> {
+        s.parse()
+            .map_err(|_| ParseAigerError::new(format!("bad number `{s}`"), 1))
+    };
+    let m = parse(fields[1])?;
+    let i = parse(fields[2])?;
+    let l = parse(fields[3])?;
+    let o = parse(fields[4])?;
+    let a = parse(fields[5])?;
+    if l != 0 {
+        return Err(ParseAigerError::new("latches are not supported", 1));
+    }
+    if i.checked_add(a) != Some(m) {
+        return Err(ParseAigerError::new("binary header requires M = I + A", 1));
+    }
+    // Sanity bounds before any allocation: literals must fit the u32
+    // packing, every AND costs at least two delta bytes and every output
+    // line at least two characters on disk. Inputs have no on-disk
+    // footprint in the binary format, so a crafted header could demand
+    // terabyte allocations from a few-byte file — cap them at a count no
+    // real netlist approaches.
+    const MAX_BINARY_INPUTS: usize = 1 << 24;
+    if i > MAX_BINARY_INPUTS {
+        return Err(ParseAigerError::new("input count implausibly large", 1));
+    }
+    if a > bytes.len() / 2 || o > bytes.len() || m > (u32::MAX / 2 - 1) as usize {
+        return Err(ParseAigerError::new("header counts exceed file size", 1));
+    }
+    let mut outputs = Vec::with_capacity(o);
+    for k in 0..o {
+        let line = read_line(&mut pos)?;
+        let raw: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseAigerError::new("bad output literal", k + 2))?;
+        outputs.push(raw);
+    }
+    let mut aig = Aig::new();
+    let mut lit_of: Vec<Lit> = Vec::with_capacity(m + 1);
+    lit_of.push(Lit::FALSE);
+    for _ in 0..i {
+        lit_of.push(aig.input());
+    }
+    for k in 0..a {
+        let lhs = 2 * (i + k + 1) as u32;
+        let d0 = read_varint(bytes, &mut pos)?;
+        let d1 = read_varint(bytes, &mut pos)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseAigerError::new("delta0 exceeds lhs", 0))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseAigerError::new("delta1 exceeds rhs0", 0))?;
+        if r0 >= lhs {
+            return Err(ParseAigerError::new("rhs not below lhs", 0));
+        }
+        let resolve = |raw: u32| -> Lit {
+            let base = lit_of[(raw / 2) as usize];
+            if raw % 2 == 1 {
+                base.not()
+            } else {
+                base
+            }
+        };
+        let (fa, fb) = (resolve(r0), resolve(r1));
+        lit_of.push(aig.and(fa, fb));
+    }
+    for raw in outputs {
+        if raw / 2 > m {
+            return Err(ParseAigerError::new(
+                format!("undefined output literal {raw}"),
+                0,
+            ));
+        }
+        let base = lit_of[raw / 2];
+        aig.output(if raw % 2 == 1 { base.not() } else { base });
+    }
+    Ok(aig)
+}
+
+/// Parses either AIGER format, sniffing the `aag`/`aig` header.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed input in either format.
+pub fn from_aiger_auto(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
+    if bytes.starts_with(b"aig ") {
+        from_aiger_binary(bytes)
+    } else {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ParseAigerError::new("not UTF-8 and not binary AIGER", 1))?;
+        from_aiger_ascii(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +482,66 @@ mod tests {
         let text = to_aiger_ascii(&aig);
         let parsed = from_aiger_ascii(&text).expect("parses");
         assert_eq!(crate::sim::evaluate(&parsed, &[false]), vec![true]);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_function() {
+        let aig = sample_aig();
+        let bytes = to_aiger_binary(&aig);
+        let parsed = from_aiger_binary(&bytes).expect("own output parses");
+        assert_eq!(parsed.input_count(), aig.input_count());
+        assert_eq!(parsed.output_count(), aig.output_count());
+        assert!(equivalent(&aig, &parsed, 0xB1B2, 8));
+    }
+
+    #[test]
+    fn auto_detects_both_formats() {
+        let aig = sample_aig();
+        let ascii = to_aiger_ascii(&aig);
+        let binary = to_aiger_binary(&aig);
+        let from_ascii = from_aiger_auto(ascii.as_bytes()).expect("ascii parses");
+        let from_binary = from_aiger_auto(&binary).expect("binary parses");
+        assert!(equivalent(&from_ascii, &from_binary, 7, 8));
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_aiger_binary(b"").is_err());
+        assert!(from_aiger_binary(b"aag 1 1 0 1 0\n2\n2\n").is_err());
+        // Latches.
+        assert!(from_aiger_binary(b"aig 2 1 1 0 0\n2\n").is_err());
+        // Header M != I + A.
+        assert!(from_aiger_binary(b"aig 9 1 0 1 0\n2\n").is_err());
+        // Truncated AND section.
+        assert!(from_aiger_binary(b"aig 3 2 0 1 1\n6\n").is_err());
+        // Delta varint overflowing 32 bits must be rejected, not
+        // silently truncated into a different (valid-looking) circuit.
+        assert!(from_aiger_binary(b"aig 3 2 0 1 1\n6\n\xFF\xFF\xFF\xFF\x7F\x00").is_err());
+        assert!(from_aiger_binary(b"aig 3 2 0 1 1\n6\n\x80\x80\x80\x80\x80\x01\x00").is_err());
+        // Absurd header counts must be a parse error, not an
+        // allocation-failure abort or an integer overflow.
+        assert!(from_aiger_binary(b"aig 4000000000000 4000000000000 0 0 0\n").is_err());
+        assert!(from_aiger_binary(b"aig 200000000 200000000 0 0 0\n").is_err());
+        assert!(from_aiger_binary(b"aig 1000000 0 0 1000000 0\n2\n").is_err());
+        let max = usize::MAX;
+        let overflow = format!("aig {max} {max} 0 0 {max}\n");
+        assert!(from_aiger_binary(overflow.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_varints_cover_multi_byte_deltas() {
+        // A wide OR forces AND deltas beyond one varint byte.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..80).map(|_| aig.input()).collect();
+        // Serial chain so late ANDs reference early inputs (big deltas).
+        let mut acc = aig.and(xs[0], xs[1]);
+        for &x in &xs[2..] {
+            acc = aig.and(acc, x);
+        }
+        aig.output(acc);
+        let bytes = to_aiger_binary(&aig);
+        let parsed = from_aiger_binary(&bytes).expect("parses");
+        assert!(equivalent(&aig, &parsed, 3, 8));
     }
 
     #[test]

@@ -1,87 +1,510 @@
-//! Combinational equivalence checking by simulation: exhaustive when the
-//! input count is small, random otherwise.
+//! Combinational equivalence checking: random-simulation filtering closed
+//! by SAT — sound and complete at every input count.
+//!
+//! The checker is a SAT sweeper in the spirit of ABC's `cec`/fraiging:
+//! both networks are imported into one structurally hashed graph over
+//! shared inputs, nodes are partitioned into candidate-equivalence
+//! classes by 64-bit random simulation, and each candidate is either
+//! *proven* equal to its class representative (a budgeted incremental SAT
+//! query over the Tseitin encoding) and merged, or *refuted* by a model
+//! that becomes a new distinguishing simulation pattern. The primary
+//! outputs are then proven pairwise equal with unbounded queries, so
+//! [`Equivalence::Equal`] is a theorem, not a sample — and a failed proof
+//! yields a concrete [`Equivalence::Counterexample`] input pattern.
 
-use crate::graph::Aig;
-use crate::sim::simulate64;
+use crate::graph::{Aig, Lit, Node};
+use sat::{SolveResult, Solver};
+use std::collections::HashMap;
 
-/// Checks whether two AIGs compute the same outputs.
-///
-/// With ≤ 16 inputs the check is exhaustive (sound and complete); beyond
-/// that, `rounds` words of 64 random patterns are simulated, making a
-/// `false` answer definitive and a `true` answer probabilistic — the usual
-/// simulation-based CEC trade-off, sufficient for the synthetic benchmarks
-/// here.
-///
-/// # Panics
-///
-/// Panics if the two AIGs disagree on input or output counts.
-pub fn equivalent(a: &Aig, b: &Aig, seed: u64, rounds: usize) -> bool {
-    assert_eq!(a.input_count(), b.input_count(), "input count mismatch");
-    assert_eq!(a.output_count(), b.output_count(), "output count mismatch");
-    let n = a.input_count();
-    if n == 0 {
-        return simulate64(a, &[]) == simulate64(b, &[]);
-    }
-    if n <= 16 {
-        return exhaustive(a, b);
-    }
-    let mut state = seed | 1;
-    let mut next = move || {
-        // xorshift64*.
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    };
-    for _ in 0..rounds {
-        let inputs: Vec<u64> = (0..n).map(|_| next()).collect();
-        if simulate64(a, &inputs) != simulate64(b, &inputs) {
-            return false;
-        }
-    }
-    true
+/// Outcome of an equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The two networks compute the same function (SAT-proven).
+    Equal,
+    /// A concrete input assignment (one bool per primary input, in input
+    /// order) on which the networks disagree.
+    Counterexample(Vec<bool>),
 }
 
-/// Exhaustive check over all `2^n` assignments, 64 at a time.
-fn exhaustive(a: &Aig, b: &Aig) -> bool {
-    let n = a.input_count();
-    let total: u64 = 1u64 << n;
-    let mut base = 0u64;
-    while base < total {
-        // Pattern k of this word is assignment (base + k).
-        let inputs: Vec<u64> = (0..n)
-            .map(|i| {
-                let mut w = 0u64;
-                for k in 0..64u64 {
-                    if ((base + k) >> i) & 1 == 1 {
-                        w |= 1 << k;
-                    }
-                }
-                w
-            })
-            .collect();
-        let va = simulate64(a, &inputs);
-        let vb = simulate64(b, &inputs);
-        let valid_bits = (total - base).min(64);
-        let mask = if valid_bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << valid_bits) - 1
+impl Equivalence {
+    /// Whether the check proved equality.
+    pub fn is_equal(&self) -> bool {
+        matches!(self, Equivalence::Equal)
+    }
+}
+
+/// The two networks cannot be compared: their interface widths differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// `(left, right)` primary-input counts.
+    pub inputs: (usize, usize),
+    /// `(left, right)` primary-output counts.
+    pub outputs: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shape mismatch: {} vs {} inputs, {} vs {} outputs",
+            self.inputs.0, self.inputs.1, self.outputs.0, self.outputs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
+fn check_shapes(a: &Aig, b: &Aig) -> Result<(), ShapeMismatch> {
+    if a.input_count() != b.input_count() || a.output_count() != b.output_count() {
+        return Err(ShapeMismatch {
+            inputs: (a.input_count(), b.input_count()),
+            outputs: (a.output_count(), b.output_count()),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the miter of two same-shape networks: one structurally hashed
+/// graph over shared inputs whose single output is 1 iff the networks
+/// disagree on some output (OR over per-output XORs) — the classic CEC
+/// construction. `miter(a, b)` is satisfiable iff `a` and `b` differ.
+///
+/// # Errors
+///
+/// [`ShapeMismatch`] when input or output counts differ.
+///
+/// # Example
+///
+/// ```
+/// use aig::{Aig, check::miter};
+///
+/// let mut x = Aig::new();
+/// let (a, b) = (x.input(), x.input());
+/// let f = x.and(a, b);
+/// x.output(f);
+/// let m = miter(&x, &x).expect("same shape");
+/// assert_eq!(m.input_count(), 2);
+/// assert_eq!(m.output_count(), 1);
+/// // Identical structure cancels outright: the miter output is constant
+/// // false, so no SAT call is even needed here.
+/// assert_eq!(m.output_lits()[0], aig::Lit::FALSE);
+/// ```
+pub fn miter(a: &Aig, b: &Aig) -> Result<Aig, ShapeMismatch> {
+    check_shapes(a, b)?;
+    let mut m = Aig::new();
+    let inputs: Vec<Lit> = (0..a.input_count()).map(|_| m.input()).collect();
+    let oa = copy_into(&mut m, a, &inputs);
+    let ob = copy_into(&mut m, b, &inputs);
+    let diffs: Vec<Lit> = oa
+        .iter()
+        .zip(ob.iter())
+        .map(|(&x, &y)| m.xor(x, y))
+        .collect();
+    let out = m.or_many(&diffs);
+    m.output(out);
+    Ok(m)
+}
+
+/// Structurally copies `src` into `dst` with `src`'s primary inputs bound
+/// to `inputs`; returns the copied output literals.
+fn copy_into(dst: &mut Aig, src: &Aig, inputs: &[Lit]) -> Vec<Lit> {
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
+    for (i, node) in src.nodes().iter().enumerate() {
+        map[i] = match *node {
+            Node::Const => Lit::FALSE,
+            Node::Input(k) => inputs[k as usize],
+            Node::And(a, b) => {
+                let fa = resolve(&map, a);
+                let fb = resolve(&map, b);
+                dst.and(fa, fb)
+            }
         };
-        for (x, y) in va.iter().zip(vb.iter()) {
-            if (x ^ y) & mask != 0 {
-                return false;
+    }
+    src.output_lits()
+        .iter()
+        .map(|&l| resolve(&map, l))
+        .collect()
+}
+
+fn resolve(map: &[Lit], l: Lit) -> Lit {
+    let base = map[l.node() as usize];
+    if l.is_complement() {
+        base.not()
+    } else {
+        base
+    }
+}
+
+/// Checks two networks for equivalence (sound and complete).
+///
+/// Random simulation filters candidate equivalences; incremental SAT over
+/// the shared fraig closes the proof. See the module docs for the
+/// algorithm.
+///
+/// # Errors
+///
+/// [`ShapeMismatch`] when input or output counts differ — the typed
+/// replacement for the panic the old probabilistic checker raised.
+///
+/// # Example
+///
+/// ```
+/// use aig::{Aig, check::{check_equivalence, Equivalence}};
+///
+/// // !(a & b) == !a | !b (DeMorgan) — proven, not sampled.
+/// let mut lhs = Aig::new();
+/// let (a, b) = (lhs.input(), lhs.input());
+/// let nand = lhs.and(a, b).not();
+/// lhs.output(nand);
+///
+/// let mut rhs = Aig::new();
+/// let (x, y) = (rhs.input(), rhs.input());
+/// let or = rhs.or(x.not(), y.not());
+/// rhs.output(or);
+///
+/// assert_eq!(check_equivalence(&lhs, &rhs), Ok(Equivalence::Equal));
+/// ```
+pub fn check_equivalence(a: &Aig, b: &Aig) -> Result<Equivalence, ShapeMismatch> {
+    check_equivalence_seeded(a, b, 0x5EED_CEC1, 8)
+}
+
+/// [`check_equivalence`] with an explicit simulation seed and initial
+/// random-word count (64 patterns per word). More words refine candidate
+/// classes harder before SAT gets involved; the result is identical.
+pub fn check_equivalence_seeded(
+    a: &Aig,
+    b: &Aig,
+    seed: u64,
+    words: usize,
+) -> Result<Equivalence, ShapeMismatch> {
+    check_shapes(a, b)?;
+    let a = a.cleanup();
+    let b = b.cleanup();
+    let mut sweeper = Sweeper::new(a.input_count(), seed, words.clamp(1, 64));
+    let oa = sweeper.import(&a);
+    let ob = sweeper.import(&b);
+    for (&la, &lb) in oa.iter().zip(ob.iter()) {
+        if la == lb {
+            continue;
+        }
+        // Simulation refutes first (free); SAT decides the rest.
+        if let Some(cex) = sweeper.sim_difference(la, lb) {
+            return Ok(Equivalence::Counterexample(cex));
+        }
+        match sweeper.prove_lits_equal(la, lb, None) {
+            Prove::Equal => {}
+            Prove::Diff(cex) => return Ok(Equivalence::Counterexample(cex)),
+            Prove::Unknown => unreachable!("unbounded query cannot give up"),
+        }
+    }
+    Ok(Equivalence::Equal)
+}
+
+/// Compatibility wrapper: `true` iff the networks are provably
+/// equivalent.
+///
+/// Unlike the pre-SAT version this is **sound and complete at any input
+/// count** — `seed` and `rounds` only steer the simulation prefilter
+/// (`rounds` random 64-pattern words), never the verdict. Networks of
+/// mismatched shape compare unequal instead of panicking; use
+/// [`check_equivalence`] to observe the mismatch or the counterexample.
+pub fn equivalent(a: &Aig, b: &Aig, seed: u64, rounds: usize) -> bool {
+    matches!(
+        check_equivalence_seeded(a, b, seed, rounds.clamp(1, 64)),
+        Ok(Equivalence::Equal)
+    )
+}
+
+/// Conflict budget for speculative class-merge queries; unproven
+/// candidates just stay unmerged (sound), so this only trades sweep
+/// strength against time.
+const MERGE_CONFLICT_BUDGET: u64 = 1_000;
+
+enum Prove {
+    Equal,
+    Diff(Vec<bool>),
+    Unknown,
+}
+
+/// The SAT sweeper: a growing fraig with per-node simulation signatures,
+/// candidate classes, and an incremental Tseitin encoding.
+struct Sweeper {
+    f: Aig,
+    solver: Solver,
+    /// Solver variable per fraig node (encoded at creation).
+    enc: Vec<sat::Var>,
+    /// Simulation signature per fraig node (same length everywhere).
+    sims: Vec<Vec<u64>>,
+    /// Representative literal per fraig node (identity unless merged).
+    repr: Vec<Lit>,
+    /// Normalized signature → class-representative nodes.
+    classes: HashMap<Vec<u64>, Vec<u32>>,
+    /// Fraig node index of each primary input.
+    input_nodes: Vec<u32>,
+    rng: crate::sim::PatternRng,
+}
+
+impl Sweeper {
+    fn new(n_inputs: usize, seed: u64, words: usize) -> Self {
+        let mut s = Self {
+            f: Aig::new(),
+            solver: Solver::new(),
+            enc: Vec::new(),
+            sims: Vec::new(),
+            repr: Vec::new(),
+            classes: HashMap::new(),
+            input_nodes: Vec::new(),
+            rng: crate::sim::PatternRng::new(seed),
+        };
+        // Constant node: a variable forced false, an all-zero signature.
+        let v0 = s.solver.new_var();
+        s.solver.add_clause(&[sat::Lit::negative(v0)]);
+        s.enc.push(v0);
+        s.sims.push(vec![0; words]);
+        s.repr.push(Lit::FALSE);
+        s.register_class(0);
+        for _ in 0..n_inputs {
+            let lit = s.f.input();
+            let node = lit.node();
+            s.input_nodes.push(node);
+            s.enc.push(s.solver.new_var());
+            let sig = (0..words).map(|_| s.rng.next_word()).collect();
+            s.sims.push(sig);
+            s.repr.push(lit);
+            s.register_class(node);
+        }
+        s
+    }
+
+    fn sig_word(&self, l: Lit, w: usize) -> u64 {
+        let v = self.sims[l.node() as usize][w];
+        if l.is_complement() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Phase-normalized signature (complemented if pattern 0 reads 1), as
+    /// the class key.
+    fn class_key(&self, node: u32) -> Vec<u64> {
+        let sig = &self.sims[node as usize];
+        if sig[0] & 1 == 1 {
+            sig.iter().map(|w| !w).collect()
+        } else {
+            sig.clone()
+        }
+    }
+
+    fn register_class(&mut self, node: u32) {
+        let key = self.class_key(node);
+        self.classes.entry(key).or_default().push(node);
+    }
+
+    fn resolve(&self, l: Lit) -> Lit {
+        let r = self.repr[l.node() as usize];
+        if l.is_complement() {
+            r.not()
+        } else {
+            r
+        }
+    }
+
+    /// Imports a source network, returning its output literals in the
+    /// fraig (representative-resolved).
+    fn import(&mut self, src: &Aig) -> Vec<Lit> {
+        let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
+        for (i, node) in src.nodes().iter().enumerate() {
+            map[i] = match *node {
+                Node::Const => Lit::FALSE,
+                Node::Input(k) => Lit::new(self.input_nodes[k as usize], false),
+                Node::And(a, b) => {
+                    let fa = self.resolve(resolve(&map, a));
+                    let fb = self.resolve(resolve(&map, b));
+                    self.fraig_and(fa, fb)
+                }
+            };
+        }
+        src.output_lits()
+            .iter()
+            .map(|&l| self.resolve(resolve(&map, l)))
+            .collect()
+    }
+
+    /// Strashed AND with on-the-fly fraiging: a structurally new node is
+    /// Tseitin-encoded, simulated, and — when simulation puts it in an
+    /// existing candidate class — SAT-merged into the class
+    /// representative.
+    fn fraig_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let before = self.f.len();
+        let raw = self.f.and(a, b);
+        if (raw.node() as usize) < before {
+            // Constant folding or a strash hit: decided earlier.
+            return self.resolve(raw);
+        }
+        let node = raw.node();
+        // Tseitin clauses for node = a ∧ b.
+        let v = self.solver.new_var();
+        let la = sat::Lit::new(self.enc[a.node() as usize], a.is_complement());
+        let lb = sat::Lit::new(self.enc[b.node() as usize], b.is_complement());
+        let lv = sat::Lit::positive(v);
+        self.solver.add_clause(&[!lv, la]);
+        self.solver.add_clause(&[!lv, lb]);
+        self.solver.add_clause(&[lv, !la, !lb]);
+        self.enc.push(v);
+        // Signature from the fanin signatures.
+        let words = self.sims[0].len();
+        let sig: Vec<u64> = (0..words)
+            .map(|w| self.sig_word(a, w) & self.sig_word(b, w))
+            .collect();
+        self.sims.push(sig);
+        self.repr.push(raw);
+        debug_assert_eq!(self.enc.len(), self.f.len());
+        self.try_merge(node);
+        self.resolve(raw)
+    }
+
+    /// Attempts to merge `node` into an existing class representative;
+    /// refuted candidates refine the simulation until the node either
+    /// merges or founds its own class.
+    fn try_merge(&mut self, node: u32) {
+        'refine: loop {
+            let key = self.class_key(node);
+            let bucket: Vec<u32> = self.classes.get(&key).cloned().unwrap_or_default();
+            for cand in bucket {
+                // Skip self and stale entries (a candidate that itself
+                // merged after registration — its representative is in
+                // this bucket too, so nothing is lost).
+                if cand == node || self.repr[cand as usize] != Lit::new(cand, false) {
+                    continue;
+                }
+                // Same key ⇒ equal or complementary signatures.
+                let phase = self.sims[node as usize] != self.sims[cand as usize];
+                let target = Lit::new(cand, phase);
+                match self.prove_lits_equal(
+                    Lit::new(node, false),
+                    target,
+                    Some(MERGE_CONFLICT_BUDGET),
+                ) {
+                    Prove::Equal => {
+                        self.repr[node as usize] = target;
+                        // Record the proven equivalence as clauses; they
+                        // are implied, and they help later queries.
+                        let ln = sat::Lit::positive(self.enc[node as usize]);
+                        let lc = sat::Lit::new(self.enc[cand as usize], phase);
+                        self.solver.add_clause(&[!ln, lc]);
+                        self.solver.add_clause(&[ln, !lc]);
+                        return;
+                    }
+                    Prove::Diff(pattern) => {
+                        self.refine(&pattern);
+                        continue 'refine;
+                    }
+                    Prove::Unknown => {} // budget out: try the next candidate
+                }
+            }
+            // A refine round rebuilds `classes` with `node` already in
+            // it; guard against registering it twice.
+            let bucket = self.classes.entry(key).or_default();
+            if !bucket.contains(&node) {
+                bucket.push(node);
+            }
+            return;
+        }
+    }
+
+    /// Proves two fraig literals equal (both implications UNSAT), or
+    /// returns a distinguishing input pattern, or gives up on budget.
+    fn prove_lits_equal(&mut self, x: Lit, y: Lit, budget: Option<u64>) -> Prove {
+        let (vx, cx) = (self.enc[x.node() as usize], x.is_complement());
+        let (vy, cy) = (self.enc[y.node() as usize], y.is_complement());
+        // Query 1: x true, y false; query 2: x false, y true.
+        for (ax, ay) in [(cx, !cy), (!cx, cy)] {
+            let assumptions = [sat::Lit::new(vx, ax), sat::Lit::new(vy, ay)];
+            match budget {
+                Some(limit) => match self.solver.solve_limited(&assumptions, limit) {
+                    Some(SolveResult::Unsat) => {}
+                    Some(SolveResult::Sat) => return Prove::Diff(self.model_pattern()),
+                    None => return Prove::Unknown,
+                },
+                None => match self.solver.solve_assuming(&assumptions) {
+                    SolveResult::Unsat => {}
+                    SolveResult::Sat => return Prove::Diff(self.model_pattern()),
+                },
             }
         }
-        base += 64;
+        Prove::Equal
     }
-    true
+
+    /// The primary-input assignment of the solver's current model.
+    fn model_pattern(&self) -> Vec<bool> {
+        self.input_nodes
+            .iter()
+            .map(|&n| {
+                self.solver
+                    .model_value(self.enc[n as usize])
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Appends one simulation word seeded with `pattern` (bit 0) plus 63
+    /// fresh random patterns, resimulates the whole fraig, and rebuilds
+    /// the candidate classes.
+    fn refine(&mut self, pattern: &[bool]) {
+        for (k, &bit) in pattern.iter().enumerate() {
+            let w = self.rng.next_word() & !1 | u64::from(bit);
+            let n = self.input_nodes[k];
+            self.sims[n as usize].push(w);
+        }
+        // Indexed walk (Node is Copy) — no clone of the node array.
+        for i in 0..self.f.len() {
+            match self.f.node(i as u32) {
+                Node::Const => self.sims[i].push(0),
+                Node::Input(_) => {} // already extended
+                Node::And(a, b) => {
+                    let w = self.sims[a.node() as usize].last().expect("extended")
+                        ^ if a.is_complement() { u64::MAX } else { 0 };
+                    let w2 = self.sims[b.node() as usize].last().expect("extended")
+                        ^ if b.is_complement() { u64::MAX } else { 0 };
+                    self.sims[i].push(w & w2);
+                }
+            }
+        }
+        // Rebuild classes from the (still live) representatives.
+        let live: Vec<u32> = (0..self.f.len() as u32)
+            .filter(|&n| self.repr[n as usize] == Lit::new(n, false))
+            .collect();
+        self.classes.clear();
+        for n in live {
+            self.register_class(n);
+        }
+    }
+
+    /// A counterexample straight from the simulation signatures, if the
+    /// two literals already differ on a simulated pattern.
+    fn sim_difference(&self, x: Lit, y: Lit) -> Option<Vec<bool>> {
+        let words = self.sims[0].len();
+        for w in 0..words {
+            let diff = self.sig_word(x, w) ^ self.sig_word(y, w);
+            if diff != 0 {
+                let bit = diff.trailing_zeros();
+                return Some(
+                    self.input_nodes
+                        .iter()
+                        .map(|&n| (self.sims[n as usize][w] >> bit) & 1 == 1)
+                        .collect(),
+                );
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Lit;
+    use crate::sim::evaluate;
 
     fn xor_aig() -> Aig {
         let mut aig = Aig::new();
@@ -95,23 +518,41 @@ mod tests {
     #[test]
     fn equivalent_to_itself() {
         let a = xor_aig();
+        assert_eq!(check_equivalence(&a, &a), Ok(Equivalence::Equal));
         assert!(equivalent(&a, &a, 1, 4));
     }
 
     #[test]
-    fn detects_difference() {
+    fn detects_difference_with_counterexample() {
         let a = xor_aig();
         let mut b = Aig::new();
         let x = b.input();
         let y = b.input();
         let f = b.and(x, y);
         b.output(f);
+        let Ok(Equivalence::Counterexample(cex)) = check_equivalence(&a, &b) else {
+            panic!("must find a counterexample");
+        };
+        assert_ne!(evaluate(&a, &cex), evaluate(&b, &cex), "cex must be real");
+        assert!(!equivalent(&a, &b, 1, 4));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error_not_a_panic() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.input();
+        b.output(x);
+        let err = check_equivalence(&a, &b).expect_err("shapes differ");
+        assert_eq!(err.inputs, (2, 1));
+        assert_eq!(err.outputs, (1, 1));
+        assert!(err.to_string().contains("2 vs 1 inputs"));
+        // The bool wrapper reports inequivalence instead of panicking.
         assert!(!equivalent(&a, &b, 1, 4));
     }
 
     #[test]
     fn demorgan_forms_are_equivalent() {
-        // !(a & b) == !a | !b.
         let mut lhs = Aig::new();
         let a = lhs.input();
         let b = lhs.input();
@@ -123,21 +564,21 @@ mod tests {
         let y = rhs.input();
         let or = rhs.or(x.not(), y.not());
         rhs.output(or);
-        assert!(equivalent(&lhs, &rhs, 3, 4));
+        assert_eq!(check_equivalence(&lhs, &rhs), Ok(Equivalence::Equal));
     }
 
     #[test]
-    fn exhaustive_catches_single_minterm_difference() {
-        // Two 10-input functions differing in exactly one assignment.
+    fn single_minterm_difference_is_found_at_any_width() {
+        // Two 24-input functions differing in exactly one assignment —
+        // beyond the old 16-input exhaustive window, hopeless for random
+        // simulation, easy for SAT.
         let build = |tweak: bool| {
             let mut aig = Aig::new();
-            let xs: Vec<Lit> = (0..10).map(|_| aig.input()).collect();
+            let xs: Vec<Lit> = (0..24).map(|_| aig.input()).collect();
             let all = aig.and_many(&xs);
             let f = if tweak {
-                let extra = aig.xor_many(&xs);
-                let not_any = aig.or_many(&xs).not();
-                let bump = aig.and(extra.not(), not_any);
-                aig.or(all, bump)
+                let none = aig.or_many(&xs).not();
+                aig.or(all, none)
             } else {
                 all
             };
@@ -146,7 +587,11 @@ mod tests {
         };
         let a = build(false);
         let b = build(true);
-        assert!(!equivalent(&a, &b, 1, 4));
+        let Ok(Equivalence::Counterexample(cex)) = check_equivalence(&a, &b) else {
+            panic!("must find the single differing minterm");
+        };
+        assert!(cex.iter().all(|&x| !x), "the all-zero minterm is the diff");
+        assert_ne!(evaluate(&a, &cex), evaluate(&b, &cex));
     }
 
     #[test]
@@ -158,6 +603,94 @@ mod tests {
         let x = b.input();
         let one = b.or(x, x.not());
         b.output(one);
-        assert!(equivalent(&a, &b, 9, 4));
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn zero_input_networks() {
+        let mut a = Aig::new();
+        a.output(Lit::TRUE);
+        let mut b = Aig::new();
+        b.output(Lit::FALSE);
+        assert_eq!(
+            check_equivalence(&a, &b),
+            Ok(Equivalence::Counterexample(Vec::new()))
+        );
+        assert_eq!(check_equivalence(&a, &a), Ok(Equivalence::Equal));
+    }
+
+    #[test]
+    fn miter_of_equal_circuits_is_unsat() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.input();
+        let y = b.input();
+        let t1 = b.and(x, y.not());
+        let t2 = b.and(x.not(), y);
+        let f = b.or(t1, t2);
+        b.output(f);
+        let m = miter(&a, &b).expect("same shape");
+        assert_eq!(m.input_count(), 2);
+        assert_eq!(m.output_count(), 1);
+        let mut solver = Solver::new();
+        let enc = crate::cnf::encode(&m, &mut solver);
+        solver.add_clause(&[enc.outputs[0]]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn miter_of_different_circuits_is_sat() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.input();
+        let y = b.input();
+        let f = b.or(x, y);
+        b.output(f);
+        let m = miter(&a, &b).expect("same shape");
+        let mut solver = Solver::new();
+        let enc = crate::cnf::encode(&m, &mut solver);
+        solver.add_clause(&[enc.outputs[0]]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        // The model is a real disagreement.
+        let cex: Vec<bool> = enc
+            .inputs
+            .iter()
+            .map(|&v| solver.model_value(v).unwrap_or(false))
+            .collect();
+        assert_ne!(evaluate(&a, &cex), evaluate(&b, &cex));
+    }
+
+    #[test]
+    fn miter_shape_mismatch() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.input();
+        b.output(x);
+        b.output(x.not());
+        assert!(miter(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sweeper_merges_shared_structure() {
+        // A moderately wide adder checked against itself restructured:
+        // the sweep must prove it without the exhaustive 2^n walk.
+        let build = |serial: bool| {
+            let mut aig = Aig::new();
+            let xs: Vec<Lit> = (0..20).map(|_| aig.input()).collect();
+            let f = if serial {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = aig.xor(acc, x);
+                }
+                acc
+            } else {
+                aig.xor_many(&xs)
+            };
+            aig.output(f);
+            aig
+        };
+        let a = build(true);
+        let b = build(false);
+        assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
     }
 }

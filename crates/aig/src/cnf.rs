@@ -1,0 +1,190 @@
+//! Tseitin CNF encoding of AIGs into a [`sat::Solver`].
+//!
+//! Every AND node `v = a ∧ b` becomes the three clauses
+//! `(¬v ∨ a) (¬v ∨ b) (v ∨ ¬a ∨ ¬b)`; complemented edges fold into the
+//! literal signs, so the encoding is linear in the cone size. Combined
+//! with [`miter`](crate::check::miter) this is the standard CEC
+//! construction: the miter output is satisfiable iff the two circuits
+//! differ.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::{Aig, cnf};
+//! use sat::{SolveResult, Solver};
+//!
+//! // XOR two ways; the miter of the two must be UNSAT.
+//! let mut x1 = Aig::new();
+//! let (a, b) = (x1.input(), x1.input());
+//! let f = x1.xor(a, b);
+//! x1.output(f);
+//!
+//! let mut x2 = Aig::new();
+//! let (a, b) = (x2.input(), x2.input());
+//! let t1 = x2.and(a, b.not());
+//! let t2 = x2.and(a.not(), b);
+//! let g = x2.or(t1, t2);
+//! x2.output(g);
+//!
+//! let miter = aig::check::miter(&x1, &x2).expect("same shape");
+//! let mut solver = Solver::new();
+//! let enc = cnf::encode(&miter, &mut solver);
+//! solver.add_clause(&[enc.outputs[0]]); // assert "the circuits differ"
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! // solver.to_dimacs() would export the query for external debugging.
+//! ```
+
+use crate::graph::{Aig, Lit, Node};
+use sat::{Solver, Var};
+
+/// Lazily encodes AIG cones into a solver, one node at a time.
+///
+/// The encoder memoizes the solver variable of every encoded node, so
+/// repeated [`CnfEncoder::sat_lit`] calls over overlapping cones add each
+/// node's clauses exactly once. The AIG may grow between calls
+/// (the SAT-sweeping usage); shrinking or mutating already-encoded nodes
+/// is not supported.
+#[derive(Default)]
+pub struct CnfEncoder {
+    var_of: Vec<Option<Var>>,
+}
+
+impl CnfEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solver literal for an AIG literal, Tseitin-encoding its cone
+    /// into `solver` on first use.
+    pub fn sat_lit(&mut self, aig: &Aig, solver: &mut Solver, lit: Lit) -> sat::Lit {
+        if self.var_of.len() < aig.len() {
+            self.var_of.resize(aig.len(), None);
+        }
+        let mut stack = vec![lit.node()];
+        while let Some(&n) = stack.last() {
+            if self.var_of[n as usize].is_some() {
+                stack.pop();
+                continue;
+            }
+            match aig.node(n) {
+                Node::Const => {
+                    let v = solver.new_var();
+                    solver.add_clause(&[sat::Lit::negative(v)]);
+                    self.var_of[n as usize] = Some(v);
+                }
+                Node::Input(_) => {
+                    self.var_of[n as usize] = Some(solver.new_var());
+                }
+                Node::And(a, b) => {
+                    let (fa, fb) = (a.node() as usize, b.node() as usize);
+                    if self.var_of[fa].is_none() || self.var_of[fb].is_none() {
+                        stack.push(a.node());
+                        stack.push(b.node());
+                        continue;
+                    }
+                    let v = solver.new_var();
+                    let la = sat::Lit::new(self.var_of[fa].expect("encoded"), a.is_complement());
+                    let lb = sat::Lit::new(self.var_of[fb].expect("encoded"), b.is_complement());
+                    let lv = sat::Lit::positive(v);
+                    solver.add_clause(&[!lv, la]);
+                    solver.add_clause(&[!lv, lb]);
+                    solver.add_clause(&[lv, !la, !lb]);
+                    self.var_of[n as usize] = Some(v);
+                }
+            }
+        }
+        let v = self.var_of[lit.node() as usize].expect("cone encoded");
+        sat::Lit::new(v, lit.is_complement())
+    }
+
+    /// The solver variable already assigned to `node`, if its cone has
+    /// been encoded.
+    pub fn var_of(&self, node: u32) -> Option<Var> {
+        self.var_of.get(node as usize).copied().flatten()
+    }
+}
+
+/// A fully encoded AIG: one solver variable per primary input, one solver
+/// literal per primary output.
+pub struct EncodedAig {
+    /// Solver variable of each primary input, in input order.
+    pub inputs: Vec<Var>,
+    /// Solver literal of each primary output, in output order.
+    pub outputs: Vec<sat::Lit>,
+}
+
+/// Encodes the full AIG (cones of every output) into `solver`.
+pub fn encode(aig: &Aig, solver: &mut Solver) -> EncodedAig {
+    let mut enc = CnfEncoder::new();
+    // Inputs first so they get stable variables even if dangling.
+    let inputs: Vec<Var> = aig
+        .input_nodes()
+        .iter()
+        .map(|&n| enc.sat_lit(aig, solver, Lit::new(n, false)).var())
+        .collect();
+    let outputs: Vec<sat::Lit> = aig
+        .output_lits()
+        .iter()
+        .map(|&l| enc.sat_lit(aig, solver, l))
+        .collect();
+    EncodedAig { inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::SolveResult;
+
+    #[test]
+    fn and_gate_encodes_its_truth_table() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let f = aig.and(a, b);
+        aig.output(f);
+        for pattern in 0..4u32 {
+            let mut solver = Solver::new();
+            let enc = encode(&aig, &mut solver);
+            solver.add_clause(&[sat::Lit::new(enc.inputs[0], pattern & 1 == 0)]);
+            solver.add_clause(&[sat::Lit::new(enc.inputs[1], pattern & 2 == 0)]);
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            let expect = pattern == 3;
+            let out = enc.outputs[0];
+            assert_eq!(
+                solver.model_value(out.var()).map(|v| v != out.is_negated()),
+                Some(expect),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_and_complemented_outputs_encode() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        aig.output(Lit::TRUE);
+        aig.output(a.not());
+        let mut solver = Solver::new();
+        let enc = encode(&aig, &mut solver);
+        // Constant-true output must be implied outright.
+        solver.add_clause(&[!enc.outputs[0]]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn shared_cones_encode_once() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.and(a, b);
+        let y = aig.and(x, a.not());
+        aig.output(x);
+        aig.output(y);
+        let mut solver = Solver::new();
+        let _ = encode(&aig, &mut solver);
+        // 2 inputs + 2 ANDs = 4 variables; the shared cone of `x` must
+        // not be duplicated for the second output.
+        assert_eq!(solver.num_vars(), 4);
+    }
+}

@@ -16,8 +16,9 @@
 //! * [`synthesize()`](crate::synth::synthesize) — the `resyn2rs`-style
 //!   script combining the passes with revert-on-regression;
 //! * [`sim`] — 64-way bit-parallel simulation;
-//! * [`check`] — equivalence checking (exhaustive for small
-//!   input counts, random otherwise).
+//! * [`check`] — SAT-based combinational equivalence checking
+//!   (simulation-filtered, closed by a CDCL proof over the Tseitin
+//!   encoding from [`cnf`]) with concrete counterexamples.
 //!
 //! # Example
 //!
@@ -38,15 +39,18 @@
 pub mod aiger;
 pub mod balance;
 pub mod check;
+pub mod cnf;
 pub mod cuts;
 pub mod graph;
 pub mod refactor;
 pub mod sim;
 pub mod synth;
 
-pub use aiger::{from_aiger_ascii, to_aiger_ascii};
+pub use aiger::{
+    from_aiger_ascii, from_aiger_auto, from_aiger_binary, to_aiger_ascii, to_aiger_binary,
+};
 pub use balance::balance;
-pub use check::equivalent;
+pub use check::{check_equivalence, equivalent, miter, Equivalence, ShapeMismatch};
 pub use cuts::{enumerate_cuts, Cut, CutConfig};
 pub use graph::{Aig, Lit};
 pub use refactor::refactor;

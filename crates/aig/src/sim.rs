@@ -47,6 +47,30 @@ pub fn lit_word(lit: Lit, values: &[u64]) -> u64 {
     }
 }
 
+/// The xorshift64* pattern generator shared by every simulation-based
+/// checker in the workspace (the equivalence sweeper's signature words,
+/// `techmap`'s simulation verifier): one algorithm, one seeding rule, so
+/// fixed-seed runs stay reproducible across call sites.
+#[derive(Clone, Copy, Debug)]
+pub struct PatternRng {
+    state: u64,
+}
+
+impl PatternRng {
+    /// A generator seeded with `seed` (zero is mapped to a nonzero state).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    /// The next 64-pattern random word.
+    pub fn next_word(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
 /// Evaluates the AIG on a single assignment (convenience for tests).
 pub fn evaluate(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
     let words: Vec<u64> = inputs

@@ -13,6 +13,11 @@ use crate::refactor::refactor;
 /// reduce the AND count. Two rounds suffice to reach a fixpoint on the
 /// benchmark set.
 ///
+/// In debug builds, every accepted pass is SAT-proven equivalent to its
+/// input ([`crate::check::check_equivalence`]); an unsound pass panics
+/// with the counterexample pattern instead of silently corrupting the
+/// network.
+///
 /// # Example
 ///
 /// ```
@@ -34,19 +39,36 @@ pub fn synthesize(aig: &Aig) -> Aig {
     for _round in 0..2 {
         let balanced = balance(&best);
         if accept_balance(&best, &balanced) {
+            debug_assert_pass_sound(&best, &balanced, "balance");
             best = balanced;
         }
         let refactored = refactor(&best);
         if refactored.and_count() < best.and_count() {
+            debug_assert_pass_sound(&best, &refactored, "refactor");
             best = refactored;
         }
     }
     // Final balance for depth.
     let balanced = balance(&best);
     if accept_balance(&best, &balanced) {
+        debug_assert_pass_sound(&best, &balanced, "balance");
         best = balanced;
     }
     best
+}
+
+/// Debug-build soundness gate: an accepted pass must be SAT-provably
+/// equivalent to its input. Compiled out of release builds.
+fn debug_assert_pass_sound(before: &Aig, after: &Aig, pass: &str) {
+    if cfg!(debug_assertions) {
+        match crate::check::check_equivalence(before, after) {
+            Ok(crate::check::Equivalence::Equal) => {}
+            Ok(crate::check::Equivalence::Counterexample(cex)) => {
+                panic!("{pass} changed the function; counterexample {cex:?}")
+            }
+            Err(e) => panic!("{pass} changed the interface: {e}"),
+        }
+    }
 }
 
 /// Accepts a balanced candidate when it helps depth without an outsized

@@ -1,10 +1,12 @@
-//! Runs an external AIGER ASCII (`aag`) circuit through the full
-//! pipeline — the bridge for evaluating the *original* ISCAS'85/MCNC
-//! netlists (export them from ABC with `&write_aiger -s` or `write_aiger`)
-//! instead of this repository's synthetic stand-ins.
+//! Runs an external AIGER circuit (ASCII `aag` or binary `aig`, sniffed
+//! from the header) through the full pipeline — the bridge for evaluating
+//! the *original* ISCAS'85/MCNC netlists (export them from ABC with
+//! `&write_aiger -s` or `write_aiger`) instead of this repository's
+//! synthetic stand-ins. With `--verify sat` every mapped netlist is
+//! SAT-proven equivalent to the synthesized AIG before being reported.
 //!
 //! ```text
-//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag [--patterns N] [--seed S] [--objective delay|area|energy] [--cut-k N]
+//! cargo run --release -p bench --bin map_aiger -- path/to/circuit.aag [--patterns N] [--seed S] [--objective delay|area|energy] [--cut-k N] [--verify off|sim|sat]
 //! ```
 
 use ambipolar::engine;
@@ -16,16 +18,16 @@ fn main() {
     let args = BenchArgs::parse();
     let Some(path) = args.positional.first() else {
         eprintln!(
-            "usage: map_aiger <circuit.aag> [--patterns N] [--seed S] \
-             [--objective delay|area|energy] [--cut-k N]"
+            "usage: map_aiger <circuit.aag|circuit.aig> [--patterns N] [--seed S] \
+             [--objective delay|area|energy] [--cut-k N] [--verify off|sim|sat]"
         );
         std::process::exit(2);
     };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let aig = aig::from_aiger_ascii(&text).unwrap_or_else(|e| {
+    let aig = aig::from_aiger_auto(&bytes).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(2);
     });
@@ -43,8 +45,8 @@ fn main() {
     );
     let config = args.pipeline_config();
     println!(
-        "mapping objective: {}, cut width: {}",
-        config.map.objective, config.map.cut_k
+        "mapping objective: {}, cut width: {}, verification: {}",
+        config.map.objective, config.map.cut_k, config.verify
     );
     println!(
         "\n{:<22} {:>7} {:>10} {:>10} {:>10} {:>12}",

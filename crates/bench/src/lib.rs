@@ -17,7 +17,7 @@
 
 use ambipolar::experiments::Table1Config;
 use ambipolar::pipeline::PipelineConfig;
-use techmap::Objective;
+use techmap::{Objective, Verify};
 
 /// The flag surface shared by every bench binary.
 ///
@@ -29,6 +29,8 @@ use techmap::Objective;
 /// * `--objective delay|area|energy` — mapping objective (default:
 ///   delay, the paper's setting);
 /// * `--cut-k N` — cut width for the mapper, `2..=6` (default: 6);
+/// * `--verify off|sim|sat` — post-mapping verification (default: off;
+///   `sat` proves every mapped netlist equivalent to its source AIG);
 /// * positional arguments (e.g. the AIGER path for `map_aiger`) are
 ///   collected in order.
 #[derive(Clone, Debug, Default)]
@@ -41,6 +43,8 @@ pub struct BenchArgs {
     pub objective: Option<Objective>,
     /// `--cut-k N`, if given.
     pub cut_k: Option<usize>,
+    /// `--verify MODE`, if given.
+    pub verify: Option<Verify>,
     /// Whether `--paper` was given.
     pub paper: bool,
     /// Positional (non-flag) arguments, in order.
@@ -57,7 +61,8 @@ impl BenchArgs {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--patterns N] [--seed S] [--paper] \
-                     [--objective delay|area|energy] [--cut-k N] [positional...]"
+                     [--objective delay|area|energy] [--cut-k N] \
+                     [--verify off|sim|sat] [positional...]"
                 );
                 std::process::exit(2);
             }
@@ -75,6 +80,7 @@ impl BenchArgs {
             || args.seed.is_some()
             || args.objective.is_some()
             || args.cut_k.is_some()
+            || args.verify.is_some()
             || args.paper
             || !args.positional.is_empty()
         {
@@ -125,6 +131,10 @@ impl BenchArgs {
                     }
                     out.cut_k = Some(k);
                 }
+                "--verify" => {
+                    let value = iter.next().ok_or("--verify requires a value")?;
+                    out.verify = Some(value.parse().map_err(|e| format!("--verify: {e}"))?);
+                }
                 "--paper" => out.paper = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag: {flag}"));
@@ -155,6 +165,9 @@ impl BenchArgs {
         }
         if let Some(cut_k) = self.cut_k {
             config.map.cut_k = cut_k;
+        }
+        if let Some(verify) = self.verify {
+            config.verify = verify;
         }
         config
     }
@@ -195,6 +208,8 @@ mod tests {
             "area",
             "--cut-k",
             "4",
+            "--verify",
+            "sat",
         ])
         .unwrap();
         assert!(args.paper);
@@ -202,6 +217,7 @@ mod tests {
         assert_eq!(args.seed, Some(42));
         assert_eq!(args.objective, Some(Objective::Area));
         assert_eq!(args.cut_k, Some(4));
+        assert_eq!(args.verify, Some(Verify::Sat));
         assert_eq!(args.positional, ["circuit.aag"]);
     }
 
@@ -234,6 +250,11 @@ mod tests {
             .pipeline_config();
         assert_eq!(config.map.objective, Objective::Energy);
         assert_eq!(config.map.cut_k, 5);
+        assert_eq!(config.verify, Verify::Off, "verification defaults off");
+        let verified = BenchArgs::parse_from(["--verify", "sat"])
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(verified.verify, Verify::Sat);
         // Untouched knobs keep their defaults.
         assert_eq!(config.map.max_cuts, techmap::MapConfig::DEFAULT_MAX_CUTS);
     }
@@ -249,5 +270,7 @@ mod tests {
         assert!(BenchArgs::parse_from(["--cut-k", "7"]).is_err());
         assert!(BenchArgs::parse_from(["--cut-k", "1"]).is_err());
         assert!(BenchArgs::parse_from(["--cut-k", "six"]).is_err());
+        assert!(BenchArgs::parse_from(["--verify"]).is_err());
+        assert!(BenchArgs::parse_from(["--verify", "prove"]).is_err());
     }
 }

@@ -19,16 +19,16 @@
 //! deterministic (fixed seeds, order-preserving joins), so the parallel
 //! table is identical to the serial one. Mapping failures (impossible for
 //! the built-in libraries, reachable with external ones) propagate as
-//! [`MapError`] instead of panicking.
+//! [`PipelineError`] instead of panicking.
 
 use crate::experiments::{Table1, Table1Config, Table1Row};
-use crate::pipeline::{evaluate_circuit, CircuitResult};
+use crate::pipeline::{evaluate_circuit, CircuitResult, PipelineError};
 use charlib::{characterize_library, CharacterizedLibrary};
 use gate_lib::GateFamily;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use techmap::{MapError, NpnMatchCache};
+use techmap::NpnMatchCache;
 
 static LIBRARIES: [OnceLock<CharacterizedLibrary>; GateFamily::ALL.len()] =
     [OnceLock::new(), OnceLock::new(), OnceLock::new()];
@@ -105,9 +105,9 @@ pub fn match_cache_build_count() -> usize {
 ///
 /// # Errors
 ///
-/// Propagates the first [`MapError`] in row order (unreachable with the
+/// Propagates the first [`PipelineError`] in row order (unreachable with the
 /// built-in libraries and benchmarks).
-pub fn run_table1(config: &Table1Config) -> Result<Table1, MapError> {
+pub fn run_table1(config: &Table1Config) -> Result<Table1, PipelineError> {
     run_table1_subset(config, None)
 }
 
@@ -121,11 +121,11 @@ pub fn run_table1(config: &Table1Config) -> Result<Table1, MapError> {
 ///
 /// # Errors
 ///
-/// Propagates the first [`MapError`] in row order.
+/// Propagates the first [`PipelineError`] in row order.
 pub fn run_table1_subset(
     config: &Table1Config,
     names: Option<&[&str]>,
-) -> Result<Table1, MapError> {
+) -> Result<Table1, PipelineError> {
     let libs = libraries();
     let benches = selected_benchmarks(names);
     let synthesized: Vec<aig::Aig> = benches
@@ -135,7 +135,7 @@ pub fn run_table1_subset(
     let jobs: Vec<(usize, usize)> = (0..benches.len())
         .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
         .collect();
-    let results: Vec<Result<CircuitResult, MapError>> = jobs
+    let results: Vec<Result<CircuitResult, PipelineError>> = jobs
         .into_par_iter()
         .map(|(ci, fi)| evaluate_circuit(&synthesized[ci], libs[fi], &config.pipeline))
         .collect();
@@ -153,11 +153,11 @@ pub fn run_table1_subset(
 ///
 /// # Errors
 ///
-/// Propagates the first [`MapError`] in row order.
+/// Propagates the first [`PipelineError`] in row order.
 pub fn run_table1_serial(
     config: &Table1Config,
     names: Option<&[&str]>,
-) -> Result<Table1, MapError> {
+) -> Result<Table1, PipelineError> {
     let libs = libraries();
     let benches = selected_benchmarks(names);
     let synthesized: Vec<aig::Aig> = benches

@@ -135,9 +135,9 @@ pub struct Improvement {
 ///
 /// # Errors
 ///
-/// Propagates the first mapping failure ([`techmap::MapError`]) in row
+/// Propagates the first mapping failure ([`crate::pipeline::PipelineError`]) in row
 /// order; unreachable with the built-in libraries and benchmarks.
-pub fn table1(config: &Table1Config) -> Result<Table1, techmap::MapError> {
+pub fn table1(config: &Table1Config) -> Result<Table1, crate::pipeline::PipelineError> {
     engine::run_table1(config)
 }
 
@@ -150,7 +150,7 @@ pub fn table1(config: &Table1Config) -> Result<Table1, techmap::MapError> {
 pub fn table1_subset(
     config: &Table1Config,
     names: Option<&[&str]>,
-) -> Result<Table1, techmap::MapError> {
+) -> Result<Table1, crate::pipeline::PipelineError> {
     engine::run_table1_subset(config, names)
 }
 

@@ -5,7 +5,10 @@ use aig::Aig;
 use charlib::CharacterizedLibrary;
 use device::{EnergyDelay, Power, Time};
 use power_est::{estimate_power, simulate_activity, PowerBreakdown};
-use techmap::{critical_path, map_aig_with_cache, MapConfig, MapError, MappedNetlist};
+use techmap::{
+    critical_path, map_aig_with_cache, verify_mapping_with, MapConfig, MapError, MappedNetlist,
+    Verify, VerifyError,
+};
 
 /// Pipeline knobs.
 #[derive(Clone, Copy, Debug)]
@@ -19,6 +22,9 @@ pub struct PipelineConfig {
     /// Technology-mapping configuration (objective, cut shape, load
     /// model). The default reproduces the paper's delay-oriented mapping.
     pub map: MapConfig,
+    /// Post-mapping verification: `Off` (default), `Sim`, or `Sat`
+    /// (SAT-proof of every mapped netlist against its synthesized AIG).
+    pub verify: Verify,
 }
 
 impl Default for PipelineConfig {
@@ -28,7 +34,42 @@ impl Default for PipelineConfig {
             frequency_hz: charlib::OPERATING_FREQUENCY_HZ,
             seed: 0xDA7E_2010,
             map: MapConfig::default(),
+            verify: Verify::Off,
         }
+    }
+}
+
+/// Why a pipeline run failed: the mapper could not produce a netlist, or
+/// the produced netlist failed verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// Technology mapping failed.
+    Map(MapError),
+    /// The mapped netlist is not equivalent to its source AIG (carries
+    /// the counterexample) or has a malformed interface.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
+            PipelineError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<MapError> for PipelineError {
+    fn from(e: MapError) -> Self {
+        PipelineError::Map(e)
+    }
+}
+
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> Self {
+        PipelineError::Verify(e)
     }
 }
 
@@ -74,19 +115,23 @@ impl CircuitResult {
 /// Mapping goes through the engine's shared per-family
 /// [`NpnMatchCache`](techmap::NpnMatchCache)
 /// ([`crate::engine::match_cache`]) — valid for any technology point of
-/// the family, so V_DD-sweep libraries share it too.
+/// the family, so V_DD-sweep libraries share it too. When
+/// [`PipelineConfig::verify`] is `Sim` or `Sat`, the mapped netlist is
+/// verified against the input AIG before any metric is computed.
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] from the mapper (unreachable with the built-in
-/// libraries and benchmarks).
+/// [`PipelineError::Map`] when mapping fails (unreachable with the
+/// built-in libraries and benchmarks); [`PipelineError::Verify`] when the
+/// configured verification refutes the netlist.
 pub fn evaluate_circuit(
     synthesized: &Aig,
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
-) -> Result<CircuitResult, MapError> {
+) -> Result<CircuitResult, PipelineError> {
     let cache = crate::engine::match_cache(library.family);
     let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    verify_mapped(synthesized, &mapped, library, config)?;
     Ok(evaluate_mapped(&mapped, library, config))
 }
 
@@ -96,20 +141,32 @@ pub fn evaluate_circuit(
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] from the mapper.
+/// As [`evaluate_circuit`].
 pub fn evaluate_circuit_serial(
     synthesized: &Aig,
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
-) -> Result<CircuitResult, MapError> {
+) -> Result<CircuitResult, PipelineError> {
     let cache = crate::engine::match_cache(library.family);
     let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    verify_mapped(synthesized, &mapped, library, config)?;
     Ok(evaluate_mapped_with(
         &mapped,
         library,
         config,
         power_est::simulate_activity_serial,
     ))
+}
+
+/// Applies the configured post-mapping verification.
+fn verify_mapped(
+    synthesized: &Aig,
+    mapped: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> Result<(), VerifyError> {
+    // 16 words = 1024 random patterns in Sim mode beyond 16 inputs.
+    verify_mapping_with(synthesized, mapped, library, config.verify, config.seed, 16)
 }
 
 /// Evaluates an existing mapped netlist (exposed for reuse by benches).
@@ -169,6 +226,23 @@ mod tests {
             assert!(r.edp().value() > 0.0);
             assert!(r.area > 0.0);
             assert!(r.transistors > r.gates);
+        }
+    }
+
+    #[test]
+    fn verify_knob_proves_the_mapping_in_the_pipeline() {
+        let aig = bench_circuits::benchmark_by_name("t481").expect("t481").aig;
+        let synthesized = aig::synthesize(&aig);
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        for verify in techmap::Verify::ALL {
+            let config = PipelineConfig {
+                patterns: 1024,
+                verify,
+                ..PipelineConfig::default()
+            };
+            let r = evaluate_circuit(&synthesized, &lib, &config)
+                .unwrap_or_else(|e| panic!("{verify}: {e}"));
+            assert!(r.gates > 0);
         }
     }
 

@@ -1,0 +1,140 @@
+//! DIMACS CNF parsing — the bridge for replaying exported queries
+//! ([`Solver::to_dimacs`]) and for the solver's fixture-based self-tests.
+
+use crate::solver::{Lit, Solver, Var};
+
+/// Error produced when a DIMACS CNF file fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError {
+    message: String,
+    line: usize,
+}
+
+impl DimacsError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        Self {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF file into a ready-to-solve [`Solver`].
+///
+/// Comment lines (`c …`) are skipped; the `p cnf VARS CLAUSES` header
+/// sizes the variable pool; every clause must be terminated by `0`.
+/// Variables beyond the declared count are rejected.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] for a missing/malformed header, an unterminated
+/// clause, or an out-of-range variable.
+pub fn parse_dimacs(text: &str) -> Result<Solver, DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut solver = Solver::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    let mut open = false;
+    let mut last_line = 0;
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        last_line = line_no;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            if num_vars.is_some() {
+                return Err(DimacsError::new("duplicate header", line_no));
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 || fields[0] != "p" || fields[1] != "cnf" {
+                return Err(DimacsError::new("expected `p cnf VARS CLAUSES`", line_no));
+            }
+            let vars: usize = fields[2]
+                .parse()
+                .map_err(|_| DimacsError::new("bad variable count", line_no))?;
+            let _clauses: usize = fields[3]
+                .parse()
+                .map_err(|_| DimacsError::new("bad clause count", line_no))?;
+            for _ in 0..vars {
+                solver.new_var();
+            }
+            num_vars = Some(vars);
+            continue;
+        }
+        let Some(vars) = num_vars else {
+            return Err(DimacsError::new("clause before header", line_no));
+        };
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::new(format!("bad literal `{tok}`"), line_no))?;
+            if v == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+                open = false;
+            } else {
+                let var = v.unsigned_abs() - 1;
+                if var >= vars as u64 {
+                    return Err(DimacsError::new(
+                        format!("variable {} out of range", v.unsigned_abs()),
+                        line_no,
+                    ));
+                }
+                clause.push(Lit::new(var as Var, v < 0));
+                open = true;
+            }
+        }
+    }
+    if open {
+        return Err(DimacsError::new("unterminated clause", last_line));
+    }
+    if num_vars.is_none() {
+        return Err(DimacsError::new("missing `p cnf` header", last_line));
+    }
+    Ok(solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parses_with_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 2\n1 -2 0\nc mid comment\n2 0\n";
+        let mut s = parse_dimacs(text).expect("parses");
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(1), Some(true));
+        assert_eq!(s.model_value(0), Some(true));
+    }
+
+    #[test]
+    fn clause_may_span_lines() {
+        let text = "p cnf 3 1\n1\n2\n3 0\n";
+        let mut s = parse_dimacs(text).expect("parses");
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_dimacs("").is_err());
+        assert!(parse_dimacs("1 2 0\n").is_err(), "clause before header");
+        assert!(parse_dimacs("p cnf x 1\n").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err(), "unterminated");
+        assert!(parse_dimacs("p cnf 2 1\n3 0\n").is_err(), "out of range");
+        assert!(
+            parse_dimacs("p cnf 1 0\np cnf 1 0\n").is_err(),
+            "dup header"
+        );
+    }
+}

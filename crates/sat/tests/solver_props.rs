@@ -1,0 +1,177 @@
+//! Property-based self-tests: the solver against brute force, and solver
+//! models against the formulas that produced them.
+
+use proptest::prelude::*;
+use sat::{Lit, SolveResult, Solver, Var};
+
+/// A random CNF as (variable count, clauses of DIMACS-style literals).
+fn cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2usize..=max_vars).prop_perturb(move |n, mut rng| {
+        let n_clauses = 1 + rng.next_u32() as usize % max_clauses;
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let len = 1 + rng.next_u32() as usize % 4;
+                (0..len)
+                    .map(|_| {
+                        let v = 1 + (rng.next_u32() as usize % n) as i32;
+                        if rng.next_u32() & 1 == 1 {
+                            -v
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (n, clauses)
+    })
+}
+
+fn build(n: usize, clauses: &[Vec<i32>]) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..n {
+        s.new_var();
+    }
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&v| Lit::new((v.unsigned_abs() - 1) as Var, v < 0))
+            .collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn clause_satisfied(clause: &[i32], model: impl Fn(usize) -> bool) -> bool {
+    clause
+        .iter()
+        .any(|&v| model(v.unsigned_abs() as usize - 1) != (v < 0))
+}
+
+/// Exhaustive satisfiability for small variable counts.
+fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
+    (0u64..1 << n).any(|bits| {
+        clauses
+            .iter()
+            .all(|c| clause_satisfied(c, |v| (bits >> v) & 1 == 1))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn models_satisfy_the_formula((n, clauses) in cnf(12, 40)) {
+        let mut s = build(n, &clauses);
+        if s.solve() == SolveResult::Sat {
+            for c in &clauses {
+                prop_assert!(
+                    clause_satisfied(c, |v| s.model_value(v as Var) == Some(true)),
+                    "model violates clause {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force((n, clauses) in cnf(10, 30)) {
+        let mut s = build(n, &clauses);
+        let expected = if brute_force_sat(n, &clauses) {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        prop_assert_eq!(s.solve(), expected);
+    }
+
+    #[test]
+    fn incremental_assumptions_agree_with_rebuilt_solver((n, clauses) in cnf(8, 20)) {
+        // Query the same formula under each single-literal assumption,
+        // incrementally; every answer must match a from-scratch solve of
+        // the formula plus that unit.
+        let mut s = build(n, &clauses);
+        for v in 0..n {
+            for neg in [false, true] {
+                let a = Lit::new(v as Var, neg);
+                let incremental = s.solve_assuming(&[a]);
+                let mut clauses_with_unit = clauses.clone();
+                clauses_with_unit.push(vec![if neg { -(v as i32 + 1) } else { v as i32 + 1 }]);
+                let expected = if brute_force_sat(n, &clauses_with_unit) {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                };
+                prop_assert_eq!(incremental, expected, "assumption {}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_satisfiability((n, clauses) in cnf(10, 30)) {
+        let mut s = build(n, &clauses);
+        let mut reparsed = sat::parse_dimacs(&s.to_dimacs()).expect("own export parses");
+        prop_assert_eq!(s.solve(), reparsed.solve());
+    }
+}
+
+#[test]
+fn known_unsat_dimacs_fixture() {
+    // R(3,3) lower-bound style fixture: complete graph K6 two-colored
+    // without monochromatic triangles is impossible. Variables = edges.
+    let mut edges = std::collections::HashMap::new();
+    let mut next = 0i32;
+    for i in 0..6u32 {
+        for j in i + 1..6 {
+            next += 1;
+            edges.insert((i, j), next);
+        }
+    }
+    let mut text = format!("c K6 triangle-free 2-coloring\np cnf {next} 40\n");
+    for i in 0..6u32 {
+        for j in i + 1..6 {
+            for k in j + 1..6 {
+                let (a, b, c) = (edges[&(i, j)], edges[&(j, k)], edges[&(i, k)]);
+                text.push_str(&format!("{a} {b} {c} 0\n"));
+                text.push_str(&format!("{} {} {} 0\n", -a, -b, -c));
+            }
+        }
+    }
+    let mut s = sat::parse_dimacs(&text).expect("fixture parses");
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn known_sat_dimacs_fixture() {
+    // Same construction on K5 is satisfiable (C5 + its complement).
+    let mut edges = std::collections::HashMap::new();
+    let mut next = 0i32;
+    for i in 0..5u32 {
+        for j in i + 1..5 {
+            next += 1;
+            edges.insert((i, j), next);
+        }
+    }
+    let mut text = format!("p cnf {next} 20\n");
+    let mut clauses: Vec<Vec<i32>> = Vec::new();
+    for i in 0..5u32 {
+        for j in i + 1..5 {
+            for k in j + 1..5 {
+                let (a, b, c) = (edges[&(i, j)], edges[&(j, k)], edges[&(i, k)]);
+                clauses.push(vec![a, b, c]);
+                clauses.push(vec![-a, -b, -c]);
+            }
+        }
+    }
+    for c in &clauses {
+        text.push_str(&format!("{} {} {} 0\n", c[0], c[1], c[2]));
+    }
+    let mut s = sat::parse_dimacs(&text).expect("fixture parses");
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for c in &clauses {
+        assert!(
+            c.iter()
+                .any(|&v| s.model_value(v.unsigned_abs() - 1) == Some(v > 0)),
+            "model violates {c:?}"
+        );
+    }
+}

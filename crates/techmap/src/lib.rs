@@ -28,6 +28,13 @@
 //! Load-dependent static timing ([`sta`]) reports the mapped critical
 //! path.
 //!
+//! Every mapping is *checkable*: [`MappedNetlist::to_aig`] rebuilds the
+//! netlist as an AIG and [`verify_mapping`] SAT-proves it equivalent to
+//! the source network (a failed proof carries a concrete [`CexReport`]
+//! input pattern). The cheaper simulation mode and the off switch hang
+//! off the [`Verify`] knob that the pipeline and bench binaries expose as
+//! `--verify off|sim|sat`.
+//!
 //! # Example
 //!
 //! ```
@@ -55,10 +62,14 @@ pub mod mapper;
 pub mod matching;
 pub mod netlist;
 pub mod sta;
+pub mod verify;
 
 pub use config::{LoadModel, MapConfig, MapError, Objective};
 pub use export::{cell_histogram, to_structural_verilog};
-pub use mapper::{map_aig, map_aig_with_cache, verify_mapping};
+pub use mapper::{map_aig, map_aig_with_cache};
 pub use matching::{MatchCandidate, Matcher, NpnMatchCache};
 pub use netlist::{Instance, MappedNetlist, NetRef};
 pub use sta::{critical_path, StaReport};
+pub use verify::{
+    verify_mapping, verify_mapping_sim, verify_mapping_with, CexReport, Verify, VerifyError,
+};

@@ -360,74 +360,11 @@ fn materialize(
     MappedNetlist::new(library.family, pi_count, instances, outputs)
 }
 
-/// Verifies a mapped netlist against its source AIG by simulation
-/// (exhaustive for ≤ 16 inputs, random otherwise).
-pub fn verify_mapping(
-    aig: &Aig,
-    netlist: &MappedNetlist,
-    library: &CharacterizedLibrary,
-    seed: u64,
-    rounds: usize,
-) -> bool {
-    let aig = aig.cleanup();
-    let n = aig.input_count();
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    };
-    let total_rounds = if n <= 16 {
-        (1usize << n).div_ceil(64)
-    } else {
-        rounds
-    };
-    let mut values = Vec::new();
-    let mut got = Vec::new();
-    for round in 0..total_rounds {
-        let inputs: Vec<u64> = if n <= 16 {
-            let base = (round * 64) as u64;
-            (0..n)
-                .map(|i| {
-                    let mut w = 0u64;
-                    for k in 0..64u64 {
-                        if ((base + k) >> i) & 1 == 1 {
-                            w |= 1 << k;
-                        }
-                    }
-                    w
-                })
-                .collect()
-        } else {
-            (0..n).map(|_| next()).collect()
-        };
-        let expected = aig::simulate64(&aig, &inputs);
-        netlist.simulate64_into(library, &inputs, &mut values);
-        netlist.output_words_into(&values, &mut got);
-        let mask = if n <= 16 {
-            let remaining = (1u64 << n).saturating_sub((round * 64) as u64);
-            if remaining >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << remaining) - 1
-            }
-        } else {
-            u64::MAX
-        };
-        for (e, g) in expected.iter().zip(got.iter()) {
-            if (e ^ g) & mask != 0 {
-                return false;
-            }
-        }
-    }
-    true
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::LoadModel;
+    use crate::verify::verify_mapping;
     use charlib::characterize_library;
     use gate_lib::GateFamily;
 
@@ -464,7 +401,7 @@ mod tests {
             let lib = characterize_library(family);
             let mapped = map_default(&aig, &lib);
             assert!(
-                verify_mapping(&aig, &mapped, &lib, 0xFEED, 32),
+                verify_mapping(&aig, &mapped, &lib).is_ok(),
                 "{family}: mapped netlist differs from AIG"
             );
             assert!(mapped.gate_count() > 0);
@@ -481,7 +418,7 @@ mod tests {
                 let mapped = map_aig(&aig, &lib, &MapConfig::for_objective(objective))
                     .expect("mapping succeeds");
                 assert!(
-                    verify_mapping(&aig, &mapped, &lib, 0xFEED, 32),
+                    verify_mapping(&aig, &mapped, &lib).is_ok(),
                     "{family}/{objective}: mapped netlist differs from AIG"
                 );
                 gates.push(mapped.gate_count());
@@ -518,7 +455,7 @@ mod tests {
                 ..MapConfig::default()
             };
             let mapped = map_aig(&aig, &lib, &config).expect("mapping succeeds");
-            assert!(verify_mapping(&aig, &mapped, &lib, 5, 16), "k = {k}");
+            assert!(verify_mapping(&aig, &mapped, &lib).is_ok(), "k = {k}");
         }
     }
 
@@ -562,7 +499,7 @@ mod tests {
             ..MapConfig::default()
         };
         let mapped = map_aig(&aig, &lib, &config).expect("mapping succeeds");
-        assert!(verify_mapping(&aig, &mapped, &lib, 7, 16));
+        assert!(verify_mapping(&aig, &mapped, &lib).is_ok());
     }
 
     #[test]
@@ -579,8 +516,8 @@ mod tests {
         let cmos = characterize_library(GateFamily::Cmos);
         let m_gen = map_default(&aig, &gen);
         let m_cmos = map_default(&aig, &cmos);
-        assert!(verify_mapping(&aig, &m_gen, &gen, 1, 8));
-        assert!(verify_mapping(&aig, &m_cmos, &cmos, 1, 8));
+        assert!(verify_mapping(&aig, &m_gen, &gen).is_ok());
+        assert!(verify_mapping(&aig, &m_cmos, &cmos).is_ok());
         assert!(
             m_gen.gate_count() < m_cmos.gate_count(),
             "generalized {} vs CMOS {}",
@@ -615,7 +552,7 @@ mod tests {
         aig.output(f2);
         let lib = characterize_library(GateFamily::Cmos);
         let mapped = map_default(&aig, &lib);
-        assert!(verify_mapping(&aig, &mapped, &lib, 3, 8));
+        assert!(verify_mapping(&aig, &mapped, &lib).is_ok());
         let inv_count = mapped
             .instances
             .iter()

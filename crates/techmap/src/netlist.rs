@@ -169,6 +169,34 @@ impl MappedNetlist {
         }
     }
 
+    /// Rebuilds the netlist as an [`Aig`](aig::Aig) — the back-conversion
+    /// that makes mapped results checkable against their source network.
+    ///
+    /// Each cell instance becomes the ISOP cover of its library function
+    /// over the instance's pin literals (dual-rail `inverted` references
+    /// become complemented edges), so the result computes exactly what
+    /// [`MappedNetlist::simulate64`] computes. Feed it to
+    /// [`aig::check_equivalence`] — or use
+    /// [`verify_mapping`](crate::verify::verify_mapping), which does — to
+    /// *prove* the mapping correct.
+    pub fn to_aig(&self, library: &CharacterizedLibrary) -> aig::Aig {
+        let mut out = aig::Aig::new();
+        let mut nets: Vec<aig::Lit> = (0..self.pi_count).map(|_| out.input()).collect();
+        for inst in &self.instances {
+            let pins: Vec<aig::Lit> = inst
+                .inputs
+                .iter()
+                .map(|r| apply_phase(nets[r.net], r.inverted))
+                .collect();
+            let f = tt_to_aig(&mut out, library.gates[inst.gate].gate.function, &pins);
+            nets.push(f);
+        }
+        for r in self.outputs() {
+            out.output(apply_phase(nets[r.net], r.inverted));
+        }
+        out
+    }
+
     /// Reads the primary-output words from a simulated value vector via
     /// the precomputed output-net index.
     pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
@@ -189,10 +217,87 @@ impl MappedNetlist {
     }
 }
 
+fn apply_phase(l: aig::Lit, inverted: bool) -> aig::Lit {
+    if inverted {
+        l.not()
+    } else {
+        l
+    }
+}
+
+/// Builds a cell function as the OR of its ISOP cubes over pin literals.
+fn tt_to_aig(out: &mut aig::Aig, tt: logic::TruthTable, pins: &[aig::Lit]) -> aig::Lit {
+    // Same contract as `TruthTable::eval_words`: one pin per variable. A
+    // mismatch must fail loudly here too — silently dropping cube
+    // literals would make the back-conversion (and thus the SAT "proof"
+    // built on it) model a different function than the netlist computes.
+    assert_eq!(pins.len(), tt.n_vars(), "pin count vs cell function arity");
+    if tt.is_zero() {
+        return aig::Lit::FALSE;
+    }
+    if tt.is_one() {
+        return aig::Lit::TRUE;
+    }
+    let terms: Vec<aig::Lit> = logic::isop(tt)
+        .iter()
+        .map(|cube| {
+            let lits: Vec<aig::Lit> = (0..tt.n_vars())
+                .filter(|&v| (cube.care >> v) & 1 == 1)
+                .map(|v| apply_phase(pins[v], (cube.polarity >> v) & 1 == 0))
+                .collect();
+            out.and_many(&lits)
+        })
+        .collect();
+    out.or_many(&terms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use charlib::characterize_library;
+
+    #[test]
+    fn to_aig_matches_word_simulation() {
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        // XNOR2 cell driven with one inverted pin, plus an inverted
+        // output tap: the back-conversion must reproduce both phases.
+        let xor_idx = lib
+            .gates
+            .iter()
+            .position(|g| g.gate.name == "XNOR2")
+            .expect("generalized family has an XNOR2 cell");
+        let netlist = MappedNetlist::new(
+            GateFamily::CntfetGeneralized,
+            2,
+            vec![Instance {
+                gate: xor_idx,
+                inputs: vec![
+                    NetRef {
+                        net: 0,
+                        inverted: true,
+                    },
+                    NetRef::plain(1),
+                ],
+            }],
+            vec![
+                NetRef::plain(2),
+                NetRef {
+                    net: 2,
+                    inverted: true,
+                },
+            ],
+        );
+        let rebuilt = netlist.to_aig(&lib);
+        assert_eq!(rebuilt.input_count(), 2);
+        assert_eq!(rebuilt.output_count(), 2);
+        let words = [0b0101u64, 0b0011];
+        let values = netlist.simulate64(&lib, &words);
+        let expect = netlist.output_words(&values);
+        let got = aig::simulate64(&rebuilt, &words);
+        for (e, g) in expect.iter().zip(got.iter()) {
+            assert_eq!(e & 0xF, g & 0xF);
+        }
+    }
 
     #[test]
     fn hand_built_netlist_simulates() {

@@ -10,6 +10,7 @@
 //! * [`gate_lib`] — the 46-gate static ambipolar transmission-gate library
 //! * [`charlib`] — power characterization (I_off pattern classification, activity factors)
 //! * [`aig`] / [`techmap`] — logic synthesis and technology mapping
+//! * [`sat`] — the CDCL solver behind the equivalence-checking subsystem
 //! * [`bench_circuits`] — generators for the 12 Table-1 benchmark stand-ins
 //! * [`power_est`] — random-pattern power estimation
 
@@ -21,5 +22,6 @@ pub use device;
 pub use gate_lib;
 pub use logic;
 pub use power_est;
+pub use sat;
 pub use spice_lite;
 pub use techmap;

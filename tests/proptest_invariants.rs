@@ -221,26 +221,70 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn synthesis_preserves_function(ops in prop::collection::vec(op_strategy(), 1..40)) {
+    fn synthesis_is_sat_proven_sound(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        // Every synthesis pass is *proven* equivalent (miter UNSAT), not
+        // sampled — the probabilistic `equivalent(seed, rounds)` check
+        // this replaces could in principle miss a divergence.
         let aig = random_aig(ops, 6, 3);
         let opt = aig::synthesize(&aig);
-        prop_assert!(aig::equivalent(&aig, &opt, 0xABCD, 32));
+        prop_assert_eq!(
+            aig::check_equivalence(&aig, &opt),
+            Ok(aig::Equivalence::Equal)
+        );
         prop_assert!(opt.and_count() <= aig.and_count());
     }
 
     #[test]
-    fn mapping_preserves_function_all_families(ops in prop::collection::vec(op_strategy(), 1..30)) {
+    fn balance_and_refactor_are_sat_proven_sound(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let aig = random_aig(ops, 6, 3);
+        let balanced = aig::balance(&aig);
+        prop_assert_eq!(
+            aig::check_equivalence(&aig, &balanced),
+            Ok(aig::Equivalence::Equal)
+        );
+        let refactored = aig::refactor(&aig);
+        prop_assert_eq!(
+            aig::check_equivalence(&aig, &refactored),
+            Ok(aig::Equivalence::Equal)
+        );
+    }
+
+    #[test]
+    fn mapping_is_sat_proven_sound_all_families(ops in prop::collection::vec(op_strategy(), 1..30)) {
         let aig = random_aig(ops, 5, 2);
         // Skip degenerate cases where every output folded to a constant.
-        prop_assume!(aig.output_lits().iter().any(|l| l.node() != 0));
         prop_assume!(aig.output_lits().iter().all(|l| l.node() != 0));
         for family in GateFamily::ALL {
             let lib = charlib::characterize_library(family);
             let mapped = techmap::map_aig(&aig, &lib, &techmap::MapConfig::default())
                 .expect("mapping succeeds");
-            prop_assert!(
-                techmap::verify_mapping(&aig, &mapped, &lib, 0xF00D, 16),
-                "{} mapping diverged", family
+            if let Err(e) = techmap::verify_mapping(&aig, &mapped, &lib) {
+                return Err(TestCaseError::fail(format!("{family} mapping refuted: {e}")));
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_back_conversion_matches_word_simulation(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        words in prop::collection::vec(any::<u64>(), 5),
+    ) {
+        // The SAT proof of `verify_mapping` rests on `to_aig` being a
+        // faithful model of the netlist; pin random mapped netlists'
+        // back-conversions against the word-level simulator directly.
+        let aig = random_aig(ops, 5, 2);
+        prop_assume!(aig.output_lits().iter().all(|l| l.node() != 0));
+        for family in GateFamily::ALL {
+            let lib = charlib::characterize_library(family);
+            let mapped = techmap::map_aig(&aig, &lib, &techmap::MapConfig::default())
+                .expect("mapping succeeds");
+            let rebuilt = mapped.to_aig(&lib);
+            let values = mapped.simulate64(&lib, &words);
+            let netlist_out = mapped.output_words(&values);
+            let rebuilt_out = aig::simulate64(&rebuilt, &words);
+            prop_assert_eq!(
+                &netlist_out, &rebuilt_out,
+                "{} back-conversion diverges from word simulation", family
             );
         }
     }
