@@ -26,6 +26,27 @@ impl Cut {
         }
     }
 
+    /// Whether this is the trivial self-cut of `root` (the cut every AND
+    /// node carries in addition to its merged cuts). Both the technology
+    /// mapper and the rewriting engine skip it — a node cannot cover or
+    /// rewrite itself.
+    pub fn is_trivial(&self, root: u32) -> bool {
+        self.leaves.len() == 1 && self.leaves[0] == root
+    }
+
+    /// The cut function restricted to its true support: the
+    /// support-shrunk truth table plus, per remaining variable, the leaf
+    /// *node* it reads. This is the one shared derivation both consumers
+    /// of cut enumeration build on — the mapper matches the shrunk
+    /// function against library cells and wires cell pins to the
+    /// returned leaves; the rewriting engine NPN-canonizes it and wires
+    /// the class subgraph to the same leaves.
+    pub fn function_over_support(&self) -> (TruthTable, Vec<u32>) {
+        let (tt, kept) = self.tt.shrink_to_support();
+        let leaves = kept.iter().map(|&k| self.leaves[k]).collect();
+        (tt, leaves)
+    }
+
     /// Whether this cut's leaves are a subset of another's (dominance).
     pub fn dominates(&self, other: &Cut) -> bool {
         self.leaves.len() <= other.leaves.len()
@@ -265,6 +286,42 @@ mod tests {
                 assert!(cut.leaves.len() <= 4);
             }
         }
+    }
+
+    #[test]
+    fn trivial_cut_detection_and_support_projection() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let f = aig.and(a, b);
+        aig.output(f);
+        let cuts = enumerate_cuts(&aig, CutConfig::default());
+        let root = f.node();
+        let trivial = cuts[root as usize]
+            .iter()
+            .find(|c| c.is_trivial(root))
+            .expect("every AND node keeps its trivial cut");
+        assert_eq!(trivial.leaves, vec![root]);
+        let full = cuts[root as usize]
+            .iter()
+            .find(|c| c.leaves.len() == 2)
+            .expect("2-leaf cut");
+        let (tt, leaves) = full.function_over_support();
+        assert_eq!(tt.n_vars(), 2);
+        assert_eq!(leaves, vec![a.node(), b.node()]);
+    }
+
+    #[test]
+    fn function_over_support_drops_irrelevant_leaves() {
+        // A cut whose function ignores one leaf must project it away.
+        let cut = Cut {
+            leaves: vec![3, 5, 9],
+            tt: TruthTable::var(3, 0) & TruthTable::var(3, 2),
+        };
+        let (tt, leaves) = cut.function_over_support();
+        assert_eq!(tt.n_vars(), 2);
+        assert_eq!(leaves, vec![3, 9]);
+        assert_eq!(tt, TruthTable::var(2, 0) & TruthTable::var(2, 1));
     }
 
     #[test]

@@ -96,24 +96,34 @@ impl Aig {
     /// AND of two literals, with constant folding, trivial-case reduction
     /// and structural hashing.
     pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
-        // Constant / trivial cases.
-        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
-            return Lit::FALSE;
-        }
-        if a == Lit::TRUE {
-            return b;
-        }
-        if b == Lit::TRUE || a == b {
-            return a;
+        if let Some(lit) = self.find_and(a, b) {
+            return lit;
         }
         let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        if let Some(&n) = self.strash.get(&(x.0, y.0)) {
-            return Lit::new(n, false);
-        }
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node::And(x, y));
         self.strash.insert((x.0, y.0), idx);
         Lit::new(idx, false)
+    }
+
+    /// What [`Aig::and`] would return *without inserting a node*: the
+    /// folded constant/trivial result, the structurally hashed existing
+    /// node, or `None` when the AND would have to allocate. Lets callers
+    /// (the rewriting engine's gain accounting) price a candidate
+    /// subgraph against the strash before committing to build it.
+    pub fn find_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        // Constant / trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE || a == b {
+            return Some(a);
+        }
+        let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.strash.get(&(x.0, y.0)).map(|&n| Lit::new(n, false))
     }
 
     /// OR via DeMorgan.
@@ -326,6 +336,25 @@ mod tests {
         assert_eq!(aig.and(a, a), a);
         assert_eq!(aig.and(a, a.not()), Lit::FALSE);
         assert_eq!(aig.and_count(), 0);
+    }
+
+    #[test]
+    fn find_and_probes_without_inserting() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.and(a, b);
+        let before = aig.len();
+        // Folding cases resolve without allocation.
+        assert_eq!(aig.find_and(a, Lit::FALSE), Some(Lit::FALSE));
+        assert_eq!(aig.find_and(Lit::TRUE, b), Some(b));
+        assert_eq!(aig.find_and(a, a), Some(a));
+        assert_eq!(aig.find_and(a, a.not()), Some(Lit::FALSE));
+        // Hashed node found in either operand order; unknown pairs miss.
+        assert_eq!(aig.find_and(a, b), Some(x));
+        assert_eq!(aig.find_and(b, a), Some(x));
+        assert_eq!(aig.find_and(a, b.not()), None);
+        assert_eq!(aig.len(), before, "probing must not allocate");
     }
 
     #[test]

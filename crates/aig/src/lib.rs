@@ -13,8 +13,15 @@
 //!   rebalancing;
 //! * [`refactor()`](crate::refactor::refactor) — cut-based resynthesis via
 //!   irredundant SOPs, accepted only when it shrinks the network;
-//! * [`synthesize()`](crate::synth::synthesize) — the `resyn2rs`-style
-//!   script combining the passes with revert-on-regression;
+//! * [`rewrite()`](crate::rewrite::rewrite) — DAG-aware 4-cut rewriting
+//!   against a precomputed per-NPN-class optimal-subgraph library with
+//!   MFFC gain accounting (and a zero-gain `-z` mode);
+//! * [`Flow`] — the scripted pass manager: parses
+//!   `"b; rw; rf; b; rw -z; rf; b"`-style scripts, applies per-pass accept
+//!   criteria and the centralized debug SAT-soundness gate, and reports
+//!   per-pass deltas and timing ([`synth::FlowReport`]);
+//! * [`synthesize()`](crate::synth::synthesize) — the default flow
+//!   ([`synth::DEFAULT_FLOW`]);
 //! * [`sim`] — 64-way bit-parallel simulation;
 //! * [`check`] — SAT-based combinational equivalence checking
 //!   (simulation-filtered, closed by a CDCL proof over the Tseitin
@@ -43,6 +50,7 @@ pub mod cnf;
 pub mod cuts;
 pub mod graph;
 pub mod refactor;
+pub mod rewrite;
 pub mod sim;
 pub mod synth;
 
@@ -54,5 +62,6 @@ pub use check::{check_equivalence, equivalent, miter, Equivalence, ShapeMismatch
 pub use cuts::{enumerate_cuts, Cut, CutConfig};
 pub use graph::{Aig, Lit};
 pub use refactor::refactor;
+pub use rewrite::{rewrite, rewrite_with, RewriteConfig, RewriteLibrary};
 pub use sim::simulate64;
-pub use synth::synthesize;
+pub use synth::{synthesize, Flow, FlowError, FlowReport, Metrics, Pass, DEFAULT_FLOW};

@@ -1,22 +1,386 @@
-//! The `resyn2rs`-style synthesis script: interleaved balancing and
-//! refactoring with revert-on-regression.
+//! The scripted synthesis flow engine: a [`Pass`] trait, a [`Flow`] that
+//! parses and runs `"b; rw; rf; b; rw -z; b"`-style scripts, and the
+//! [`synthesize`] entry point (the default flow).
+//!
+//! Each pass proposes a functionally equivalent network; the flow engine
+//! applies the pass's own accept criterion to the (depth, size) metrics
+//! and keeps or discards the candidate. Every *accepted* pass goes
+//! through one centralized soundness gate: in debug builds the candidate
+//! is SAT-proven equivalent to its input
+//! ([`crate::check::check_equivalence`]) and an unsound pass panics with
+//! the counterexample instead of silently corrupting the network.
+//! [`Flow::run_with_report`] additionally returns a [`FlowReport`] with
+//! per-pass node/depth deltas and wall-clock timing.
 
 use crate::balance::balance;
 use crate::graph::Aig;
 use crate::refactor::refactor;
+use crate::rewrite::{rewrite_with, RewriteConfig};
+use std::time::{Duration, Instant};
 
-/// Synthesizes an AIG: cleanup, then alternating balance/refactor rounds.
+/// The default synthesis script: balance for depth, rewrite and refactor
+/// for size, a zero-gain rewrite to perturb out of local minima, and a
+/// final balance. This is the flow [`synthesize`] runs and the flow the
+/// Table-1 drivers use unless overridden (`--flow` on the bench
+/// binaries).
+pub const DEFAULT_FLOW: &str = "b; rw; rf; b; rw -z; rf; b";
+
+/// Network metrics a pass is judged on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Metrics {
+    /// AND-node count (the synthesis cost metric).
+    pub ands: usize,
+    /// Logic depth in AND levels.
+    pub depth: u32,
+}
+
+impl Metrics {
+    /// Reads the metrics off a network.
+    pub fn of(aig: &Aig) -> Self {
+        Self {
+            ands: aig.and_count(),
+            depth: aig.depth(),
+        }
+    }
+}
+
+/// One synthesis pass: a transformation plus its accept criterion.
 ///
-/// Every step is accepted only if it improves the (depth, size) objective
-/// lexicographically the way ABC's scripts do in aggregate: `balance` must
-/// not worsen size by more than it helps depth, `refactor` must strictly
-/// reduce the AND count. Two rounds suffice to reach a fixpoint on the
-/// benchmark set.
+/// `apply` must return a functionally equivalent network (the flow
+/// SAT-checks that in debug builds); `accept` decides whether the
+/// candidate's metrics are an improvement worth keeping — the flow
+/// discards rejected candidates, so a pass never needs to guard against
+/// regressions itself.
+pub trait Pass {
+    /// Script token for reports and error messages (`"b"`, `"rw -z"`, …).
+    fn name(&self) -> &'static str;
+    /// Proposes a rewritten network.
+    fn apply(&self, aig: &Aig) -> Aig;
+    /// Whether the candidate should replace the current network.
+    fn accept(&self, before: Metrics, after: Metrics) -> bool;
+}
+
+/// Delay-oriented AND-tree balancing (`b`).
+pub struct BalancePass;
+
+impl Pass for BalancePass {
+    fn name(&self) -> &'static str {
+        "b"
+    }
+
+    fn apply(&self, aig: &Aig) -> Aig {
+        balance(aig)
+    }
+
+    /// Accepts when depth improves without an outsized size regression,
+    /// or size shrinks at equal depth (ABC's aggregate script behavior).
+    fn accept(&self, before: Metrics, after: Metrics) -> bool {
+        if after.depth < before.depth {
+            after.ands <= before.ands + before.ands / 5
+        } else {
+            after.depth == before.depth && after.ands <= before.ands
+        }
+    }
+}
+
+/// DAG-aware NPN-class cut rewriting (`rw`, `rw -z`).
+pub struct RewritePass {
+    /// `-z`: accept zero-gain (structure-changing, size-neutral)
+    /// replacements.
+    pub zero_gain: bool,
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        if self.zero_gain {
+            "rw -z"
+        } else {
+            "rw"
+        }
+    }
+
+    fn apply(&self, aig: &Aig) -> Aig {
+        rewrite_with(
+            aig,
+            &RewriteConfig {
+                zero_gain: self.zero_gain,
+                ..RewriteConfig::default()
+            },
+        )
+    }
+
+    /// `rw` must strictly shrink; `rw -z` may also hold size constant
+    /// (that is its purpose — the structural perturbation pays off in a
+    /// later pass). Either way depth may not regress by more than ~12 %:
+    /// the synthesized network feeds a delay-objective mapper by
+    /// default, and a large depth trade for a marginal size gain is a
+    /// net loss there (balance cannot always recover it).
+    fn accept(&self, before: Metrics, after: Metrics) -> bool {
+        let size_ok = if self.zero_gain {
+            after.ands <= before.ands
+        } else {
+            after.ands < before.ands
+        };
+        size_ok && after.depth <= before.depth + before.depth / 8
+    }
+}
+
+/// Cut-based SOP refactoring (`rf`).
+pub struct RefactorPass;
+
+impl Pass for RefactorPass {
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+
+    fn apply(&self, aig: &Aig) -> Aig {
+        refactor(aig)
+    }
+
+    fn accept(&self, before: Metrics, after: Metrics) -> bool {
+        after.ands < before.ands
+    }
+}
+
+/// A flow script failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// The script contains no passes.
+    Empty,
+    /// An unrecognized pass token.
+    UnknownPass(String),
+    /// A flag the named pass does not take.
+    UnknownFlag {
+        /// The pass the flag was attached to.
+        pass: String,
+        /// The offending flag.
+        flag: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Empty => write!(f, "empty flow script (expected e.g. \"{DEFAULT_FLOW}\")"),
+            FlowError::UnknownPass(p) => {
+                write!(f, "unknown pass `{p}` (expected b, rw, rw -z, or rf)")
+            }
+            FlowError::UnknownFlag { pass, flag } => {
+                write!(f, "pass `{pass}` does not take flag `{flag}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A parsed synthesis script: an ordered list of passes.
+pub struct Flow {
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
+}
+
+impl Flow {
+    /// Parses a flow script.
+    ///
+    /// Grammar: passes separated by `;` (empty segments are ignored, so
+    /// trailing separators are fine). Each segment is a pass token plus
+    /// optional flags, whitespace-separated:
+    ///
+    /// * `b` — balance;
+    /// * `rw` — cut rewriting (`-z` accepts zero-gain replacements);
+    /// * `rf` — SOP refactoring.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] on an empty script, unknown pass, or invalid flag.
+    pub fn parse(script: &str) -> Result<Self, FlowError> {
+        let mut passes: Vec<Box<dyn Pass + Send + Sync>> = Vec::new();
+        for segment in script.split(';') {
+            let mut tokens = segment.split_whitespace();
+            let Some(name) = tokens.next() else {
+                continue; // empty segment
+            };
+            let flags: Vec<&str> = tokens.collect();
+            let reject_flags = |pass: &str| -> Result<(), FlowError> {
+                match flags.first() {
+                    Some(&flag) => Err(FlowError::UnknownFlag {
+                        pass: pass.to_owned(),
+                        flag: flag.to_owned(),
+                    }),
+                    None => Ok(()),
+                }
+            };
+            match name {
+                "b" | "balance" => {
+                    reject_flags(name)?;
+                    passes.push(Box::new(BalancePass));
+                }
+                "rf" | "refactor" => {
+                    reject_flags(name)?;
+                    passes.push(Box::new(RefactorPass));
+                }
+                "rw" | "rewrite" => {
+                    let mut zero_gain = false;
+                    for &flag in &flags {
+                        if flag == "-z" {
+                            zero_gain = true;
+                        } else {
+                            return Err(FlowError::UnknownFlag {
+                                pass: name.to_owned(),
+                                flag: flag.to_owned(),
+                            });
+                        }
+                    }
+                    passes.push(Box::new(RewritePass { zero_gain }));
+                }
+                other => return Err(FlowError::UnknownPass(other.to_owned())),
+            }
+        }
+        if passes.is_empty() {
+            return Err(FlowError::Empty);
+        }
+        Ok(Self { passes })
+    }
+
+    /// The parsed default flow ([`DEFAULT_FLOW`]).
+    pub fn default_flow() -> Self {
+        Self::parse(DEFAULT_FLOW).expect("the default flow parses")
+    }
+
+    /// Number of passes in the script.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the flow has no passes (unreachable through `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Whether any pass is a rewrite (`rw` / `rw -z`) — drivers use this
+    /// to decide whether warming the shared rewrite library is worth it.
+    pub fn uses_rewrite(&self) -> bool {
+        self.passes.iter().any(|p| p.name().starts_with("rw"))
+    }
+
+    /// The script tokens, re-serialized (`"b; rw; …"`).
+    pub fn script(&self) -> String {
+        self.passes
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Runs the flow: cleanup, then each pass in order under its accept
+    /// criterion and the centralized debug SAT-soundness gate.
+    pub fn run(&self, aig: &Aig) -> Aig {
+        self.run_with_report(aig).0
+    }
+
+    /// Like [`Flow::run`], also returning the per-pass [`FlowReport`].
+    pub fn run_with_report(&self, aig: &Aig) -> (Aig, FlowReport) {
+        let started = Instant::now();
+        let mut best = aig.cleanup();
+        let initial = Metrics::of(&best);
+        let mut reports = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let before = Metrics::of(&best);
+            let t0 = Instant::now();
+            let candidate = pass.apply(&best);
+            let elapsed = t0.elapsed();
+            let after = Metrics::of(&candidate);
+            let accepted = pass.accept(before, after);
+            if accepted {
+                debug_assert_pass_sound(&best, &candidate, pass.name());
+                best = candidate;
+            }
+            reports.push(PassReport {
+                name: pass.name().to_owned(),
+                accepted,
+                before,
+                after,
+                elapsed,
+            });
+        }
+        let report = FlowReport {
+            initial,
+            final_metrics: Metrics::of(&best),
+            passes: reports,
+            elapsed: started.elapsed(),
+        };
+        (best, report)
+    }
+}
+
+impl std::fmt::Debug for Flow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Flow({:?})", self.script())
+    }
+}
+
+/// What one pass of a flow run did.
+#[derive(Clone, Debug)]
+pub struct PassReport {
+    /// Script token of the pass.
+    pub name: String,
+    /// Whether the candidate was kept.
+    pub accepted: bool,
+    /// Metrics going in.
+    pub before: Metrics,
+    /// Metrics of the candidate (even when rejected).
+    pub after: Metrics,
+    /// Wall-clock time the pass took.
+    pub elapsed: Duration,
+}
+
+/// Per-pass metrics and timing of one [`Flow`] run.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Metrics after the initial cleanup.
+    pub initial: Metrics,
+    /// Metrics of the returned network.
+    pub final_metrics: Metrics,
+    /// One entry per scripted pass, in order.
+    pub passes: Vec<PassReport>,
+    /// Total wall-clock time including cleanup and metric reads.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "flow: {} ands / depth {} -> {} ands / depth {} in {:.1?}",
+            self.initial.ands,
+            self.initial.depth,
+            self.final_metrics.ands,
+            self.final_metrics.depth,
+            self.elapsed
+        )?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  {:<6} {:>5} -> {:>5} ands, depth {:>3} -> {:>3}  {:>9.1?}  {}",
+                p.name,
+                p.before.ands,
+                p.after.ands,
+                p.before.depth,
+                p.after.depth,
+                p.elapsed,
+                if p.accepted { "accepted" } else { "rejected" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Synthesizes an AIG by running the default flow ([`DEFAULT_FLOW`]):
+/// `Flow::parse(DEFAULT_FLOW).run(aig)`.
 ///
 /// In debug builds, every accepted pass is SAT-proven equivalent to its
-/// input ([`crate::check::check_equivalence`]); an unsound pass panics
-/// with the counterexample pattern instead of silently corrupting the
-/// network.
+/// input; an unsound pass panics with the counterexample pattern instead
+/// of silently corrupting the network.
 ///
 /// # Example
 ///
@@ -35,30 +399,11 @@ use crate::refactor::refactor;
 /// assert!(equivalent(&aig, &opt, 7, 32));
 /// ```
 pub fn synthesize(aig: &Aig) -> Aig {
-    let mut best = aig.cleanup();
-    for _round in 0..2 {
-        let balanced = balance(&best);
-        if accept_balance(&best, &balanced) {
-            debug_assert_pass_sound(&best, &balanced, "balance");
-            best = balanced;
-        }
-        let refactored = refactor(&best);
-        if refactored.and_count() < best.and_count() {
-            debug_assert_pass_sound(&best, &refactored, "refactor");
-            best = refactored;
-        }
-    }
-    // Final balance for depth.
-    let balanced = balance(&best);
-    if accept_balance(&best, &balanced) {
-        debug_assert_pass_sound(&best, &balanced, "balance");
-        best = balanced;
-    }
-    best
+    Flow::default_flow().run(aig)
 }
 
-/// Debug-build soundness gate: an accepted pass must be SAT-provably
-/// equivalent to its input. Compiled out of release builds.
+/// The centralized debug-build soundness gate: an accepted pass must be
+/// SAT-provably equivalent to its input. Compiled out of release builds.
 fn debug_assert_pass_sound(before: &Aig, after: &Aig, pass: &str) {
     if cfg!(debug_assertions) {
         match crate::check::check_equivalence(before, after) {
@@ -68,18 +413,6 @@ fn debug_assert_pass_sound(before: &Aig, after: &Aig, pass: &str) {
             }
             Err(e) => panic!("{pass} changed the interface: {e}"),
         }
-    }
-}
-
-/// Accepts a balanced candidate when it helps depth without an outsized
-/// size regression, or shrinks at equal depth.
-fn accept_balance(current: &Aig, candidate: &Aig) -> bool {
-    let (d0, n0) = (current.depth(), current.and_count());
-    let (d1, n1) = (candidate.depth(), candidate.and_count());
-    if d1 < d0 {
-        n1 <= n0 + n0 / 5
-    } else {
-        d1 == d0 && n1 <= n0
     }
 }
 
@@ -142,5 +475,71 @@ mod tests {
         let twice = synthesize(&once);
         assert_eq!(once.and_count(), twice.and_count());
         assert_eq!(once.depth(), twice.depth());
+    }
+
+    #[test]
+    fn default_flow_includes_rewrite() {
+        let flow = Flow::default_flow();
+        assert!(flow.uses_rewrite());
+        assert!(flow.len() >= 3);
+        assert_eq!(
+            Flow::parse(&flow.script()).expect("round trip").script(),
+            flow.script()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scripts() {
+        assert_eq!(Flow::parse("").err(), Some(FlowError::Empty));
+        assert_eq!(Flow::parse(" ;; ").err(), Some(FlowError::Empty));
+        assert_eq!(
+            Flow::parse("b; frobnicate").err(),
+            Some(FlowError::UnknownPass("frobnicate".into()))
+        );
+        assert_eq!(
+            Flow::parse("b -z").err(),
+            Some(FlowError::UnknownFlag {
+                pass: "b".into(),
+                flag: "-z".into()
+            })
+        );
+        assert_eq!(
+            Flow::parse("rw -q").err(),
+            Some(FlowError::UnknownFlag {
+                pass: "rw".into(),
+                flag: "-q".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_accepts_long_names_and_loose_separators() {
+        let flow = Flow::parse("balance ; rewrite -z;; refactor;").expect("parses");
+        assert_eq!(flow.script(), "b; rw -z; rf");
+    }
+
+    #[test]
+    fn report_tracks_deltas_and_acceptance() {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..8).map(|_| aig.input()).collect();
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.output(acc);
+        let flow = Flow::parse("b; rw").expect("parses");
+        let (opt, report) = flow.run_with_report(&aig);
+        assert_eq!(report.passes.len(), 2);
+        assert_eq!(report.passes[0].name, "b");
+        assert!(
+            report.passes[0].accepted,
+            "balancing a chain must be accepted"
+        );
+        assert!(report.passes[0].after.depth < report.passes[0].before.depth);
+        assert_eq!(report.final_metrics, Metrics::of(&opt));
+        assert_eq!(report.initial.ands, aig.and_count());
+        // The display form renders one line per pass.
+        let text = report.to_string();
+        assert_eq!(text.lines().count(), 1 + report.passes.len());
     }
 }

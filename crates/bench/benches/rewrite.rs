@@ -1,0 +1,51 @@
+//! Criterion bench: the DAG-aware rewriting engine — cold library build,
+//! the `rw` / `rw -z` passes alone, and full flow scripts — on a Table-1
+//! benchmark. Run once in `--test` mode by CI to keep the pass callable;
+//! run normally to track the perf trajectory.
+
+use aig::rewrite::{rewrite_with, RewriteConfig, RewriteLibrary};
+use aig::Flow;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let aig = bench_circuits::benchmark_by_name("C1355")
+        .expect("C1355 exists")
+        .aig;
+    // Warm the shared library so the pass benches measure rewriting, not
+    // the one-off build (measured separately below).
+    aig::rewrite::library();
+
+    let mut group = c.benchmark_group("rewrite_library");
+    group.sample_size(10);
+    group.bench_function("cold_build", |b| b.iter(RewriteLibrary::new));
+    group.finish();
+
+    let mut group = c.benchmark_group("rewrite_c1355");
+    group.sample_size(10);
+    group.bench_function("rw", |b| {
+        b.iter(|| rewrite_with(&aig, &RewriteConfig::default()))
+    });
+    group.bench_function("rw_z", |b| {
+        b.iter(|| {
+            rewrite_with(
+                &aig,
+                &RewriteConfig {
+                    zero_gain: true,
+                    ..RewriteConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("flow_c1355");
+    group.sample_size(10);
+    let default_flow = Flow::default_flow();
+    group.bench_function("default_flow", |b| b.iter(|| default_flow.run(&aig)));
+    let legacy = Flow::parse("b; rf; b; rf; b").expect("legacy script parses");
+    group.bench_function("legacy_balance_refactor", |b| b.iter(|| legacy.run(&aig)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -60,6 +60,7 @@ fn measured_sc_fraction(tech: &TechParams, c_load: f64, t_edge: f64) -> f64 {
 
 fn main() {
     let args = BenchArgs::parse();
+    args.reject_json("ablation_psc");
     println!("Measured short-circuit fraction E_SC/E_D (switching inverter, FO3-class load),");
     println!("as a function of the input slew relative to the gate's own edge:");
     println!(
@@ -83,7 +84,7 @@ fn main() {
          three families alike and cannot flip any Table-1 comparison (quantified below).\n"
     );
     let bench = bench_circuits::benchmark_by_name("C3540").expect("C3540 exists");
-    let synthesized = aig::synthesize(&bench.aig);
+    let synthesized = args.flow().run(&bench.aig);
     println!("P_SC sensitivity on {} ({}):", bench.name, bench.function);
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12}",

@@ -20,7 +20,8 @@ use aig::{check_equivalence, Aig, Equivalence};
 fn usage() -> ! {
     eprintln!(
         "usage: cec <a.aag|a.aig> <b.aag|b.aig>   prove two AIGER circuits equivalent\n\
-         \x20      cec --catalog NAME              prove balance/synthesize of a Table-1 circuit sound"
+         \x20      cec --catalog NAME [FLOW]       prove balance + flow synthesis of a Table-1 circuit sound\n\
+         \x20                                      (FLOW e.g. \"b;rw;rf;b;rw -z;b\"; default: the default flow)"
     );
     std::process::exit(2);
 }
@@ -64,10 +65,18 @@ fn prove(label: &str, a: &Aig, b: &Aig) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ok = match args.as_slice() {
-        [flag, name] if flag == "--catalog" => {
+        [flag, rest @ ..] if flag == "--catalog" && matches!(rest.len(), 1 | 2) => {
+            let name = &rest[0];
             let Some(bench) = bench_circuits::benchmark_by_name(name) else {
                 eprintln!("unknown catalog circuit `{name}`");
                 std::process::exit(2);
+            };
+            let flow = match rest.get(1) {
+                Some(script) => aig::Flow::parse(script).unwrap_or_else(|e| {
+                    eprintln!("bad flow script: {e}");
+                    std::process::exit(2);
+                }),
+                None => aig::Flow::default_flow(),
             };
             println!(
                 "{name}: {} inputs, {} outputs, {} AND nodes",
@@ -76,10 +85,10 @@ fn main() {
                 bench.aig.and_count()
             );
             let balanced = aig::balance(&bench.aig);
-            let synthesized = aig::synthesize(&bench.aig);
+            let synthesized = flow.run(&bench.aig);
             let ok_bal = prove(&format!("{name} vs balance({name})"), &bench.aig, &balanced);
             let ok_syn = prove(
-                &format!("{name} vs synthesize({name})"),
+                &format!("{name} vs flow \"{}\"({name})", flow.script()),
                 &bench.aig,
                 &synthesized,
             );

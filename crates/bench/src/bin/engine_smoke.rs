@@ -6,13 +6,18 @@
 //! 2. **match cache**: the NPN class table of each family is built exactly
 //!    once and every later access is a pointer read (build vs hit timing
 //!    is printed);
-//! 3. **speedup**: the parallel circuit × family driver beats the serial
+//! 3. **rewrite library**: the NPN-class optimal-subgraph library behind
+//!    the `rw` pass is built exactly once (build vs hit timing printed),
+//!    and the configured flow's per-pass timing is measured on a sample
+//!    circuit;
+//! 4. **speedup**: the parallel circuit × family driver beats the serial
 //!    reference loop wall-clock (on a multi-core machine; on one core the
 //!    two are equivalent by construction), with bit-identical output.
 //!
 //! ```text
 //! cargo run --release -p bench --bin engine_smoke
 //! cargo run --release -p bench --bin engine_smoke -- --patterns 16384
+//! cargo run --release -p bench --bin engine_smoke -- --flow "b;rw;b" --json smoke.json
 //! ```
 
 use ambipolar::engine;
@@ -21,11 +26,12 @@ use gate_lib::GateFamily;
 use std::time::Instant;
 
 fn main() {
-    let config = BenchArgs::parse().table1_config();
+    let args = BenchArgs::parse();
+    let config = args.table1_config();
     let threads = rayon::current_num_threads();
     println!(
-        "engine smoke: quick Table 1, {} patterns/circuit, {} objective, {} worker thread(s)",
-        config.pipeline.patterns, config.pipeline.map.objective, threads
+        "engine smoke: quick Table 1, {} patterns/circuit, {} objective, flow \"{}\", {} worker thread(s)",
+        config.pipeline.patterns, config.pipeline.map.objective, config.pipeline.flow, threads
     );
 
     // NPN match caches: time the cold build and a warm hit per family.
@@ -49,6 +55,34 @@ fn main() {
         "built {match_builds} match caches for {} families",
         GateFamily::ALL.len()
     );
+
+    // Rewrite library: time the cold build and a warm hit.
+    let t_build = Instant::now();
+    let rewrite_lib = engine::rewrite_library();
+    let rewrite_build = t_build.elapsed();
+    let t_hit = Instant::now();
+    let again = engine::rewrite_library();
+    let rewrite_hit = t_hit.elapsed();
+    assert!(std::ptr::eq(rewrite_lib, again), "hits share one instance");
+    println!(
+        "  rewrite library: {} NPN classes over {} arena ANDs, build {rewrite_build:?}, hit {rewrite_hit:?}",
+        rewrite_lib.class_count(),
+        rewrite_lib.and_count(),
+    );
+    assert!(
+        engine::rewrite_library_build_count() <= 1,
+        "the rewrite library must build at most once"
+    );
+
+    // Flow stage timing: run the configured flow on an XOR-rich sample
+    // circuit and report per-pass deltas and wall-clock.
+    let flow = args.flow();
+    let sample = bench_circuits::benchmark_by_name("C1355").expect("C1355");
+    let (_, flow_report) = flow.run_with_report(&sample.aig);
+    println!("  flow stages on {} ({}):", sample.name, sample.function);
+    for line in flow_report.to_string().lines() {
+        println!("    {line}");
+    }
 
     // Warm the library cache outside the timed region so both drivers
     // time pure pipeline work (and so the cache claim is checked exactly).
@@ -93,7 +127,43 @@ fn main() {
     println!("  tables bit-identical:                            yes");
     println!("  characterizations after full run:                {after_warm} (one per family)");
     println!("  match-cache builds after full run:               {match_builds} (one per family)");
+    println!(
+        "  rewrite-library builds after full run:           {} (at most one)",
+        engine::rewrite_library_build_count()
+    );
     if threads == 1 {
         println!("  note: single-core machine — speedup ~1x expected; rerun on a multi-core host for the >=2x target");
+    }
+
+    if let Some(path) = &args.json {
+        let flow_passes: Vec<String> = flow_report
+            .passes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"pass\": {}, \"accepted\": {}, \"ands_before\": {}, \"ands_after\": {}, \
+                     \"depth_before\": {}, \"depth_after\": {}, \"seconds\": {}}}",
+                    bench::qor::json_string(&p.name),
+                    p.accepted,
+                    p.before.ands,
+                    p.after.ands,
+                    p.before.depth,
+                    p.after.depth,
+                    bench::qor::json_seconds(p.elapsed),
+                )
+            })
+            .collect();
+        let extra = [
+            ("serial_seconds", bench::qor::json_seconds(serial_time)),
+            ("parallel_seconds", bench::qor::json_seconds(parallel_time)),
+            (
+                "rewrite_library_build_seconds",
+                bench::qor::json_seconds(rewrite_build),
+            ),
+            ("flow_stages_c1355", format!("[{}]", flow_passes.join(", "))),
+        ];
+        let doc =
+            bench::qor::table1_json("engine_smoke", &parallel, &config, parallel_time, &extra);
+        bench::qor::write_or_exit(path, &doc);
     }
 }

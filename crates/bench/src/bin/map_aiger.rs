@@ -16,10 +16,12 @@ use gate_lib::GateFamily;
 
 fn main() {
     let args = BenchArgs::parse();
+    args.reject_json("map_aiger");
     let Some(path) = args.positional.first() else {
         eprintln!(
             "usage: map_aiger <circuit.aag|circuit.aig> [--patterns N] [--seed S] \
-             [--objective delay|area|energy] [--cut-k N] [--verify off|sim|sat]"
+             [--flow SCRIPT] [--objective delay|area|energy] [--cut-k N] \
+             [--verify off|sim|sat]"
         );
         std::process::exit(2);
     };
@@ -37,12 +39,15 @@ fn main() {
         aig.output_count(),
         aig.and_count()
     );
-    let synthesized = aig::synthesize(&aig);
+    let flow = args.flow();
+    let (synthesized, report) = flow.run_with_report(&aig);
     println!(
-        "after synthesis: {} AND nodes, depth {}",
+        "after flow \"{}\": {} AND nodes, depth {}",
+        flow.script(),
         synthesized.and_count(),
         synthesized.depth()
     );
+    print!("{report}");
     let config = args.pipeline_config();
     println!(
         "mapping objective: {}, cut width: {}, verification: {}",

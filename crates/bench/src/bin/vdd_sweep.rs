@@ -10,8 +10,9 @@ use gate_lib::GateFamily;
 
 fn main() {
     let args = BenchArgs::parse();
+    args.reject_json("vdd_sweep");
     let bench = bench_circuits::benchmark_by_name("C1908").expect("C1908 exists");
-    let synthesized = aig::synthesize(&bench.aig);
+    let synthesized = args.flow().run(&bench.aig);
     // Off-default technology points (V_DD ≠ 0.9 V) cannot come from the
     // engine cache; each sweep point characterizes its own library below.
     let config = PipelineConfig {

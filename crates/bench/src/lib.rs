@@ -19,6 +19,8 @@ use ambipolar::experiments::Table1Config;
 use ambipolar::pipeline::PipelineConfig;
 use techmap::{Objective, Verify};
 
+pub mod qor;
+
 /// The flag surface shared by every bench binary.
 ///
 /// * `--patterns N` — random patterns per circuit (rounded up to a
@@ -26,25 +28,34 @@ use techmap::{Objective, Verify};
 /// * `--seed S` — simulation seed (decimal or `0x…` hex);
 /// * `--paper` — the paper's full setting (640 K patterns), overridden by
 ///   an explicit `--patterns`;
+/// * `--flow SCRIPT` — the pre-mapping synthesis flow (e.g.
+///   `"b; rw; rf; b; rw -z; b"`; default: [`aig::DEFAULT_FLOW`]),
+///   validated at parse time;
 /// * `--objective delay|area|energy` — mapping objective (default:
 ///   delay, the paper's setting);
 /// * `--cut-k N` — cut width for the mapper, `2..=6` (default: 6);
 /// * `--verify off|sim|sat` — post-mapping verification (default: off;
 ///   `sat` proves every mapped netlist equivalent to its source AIG);
-/// * positional arguments (e.g. the AIGER path for `map_aiger`) are
-///   collected in order.
+/// * `--json PATH` — write the machine-readable QoR/runtime artifact
+///   (supported by `table1` and `engine_smoke`);
+/// * positional arguments (e.g. the AIGER path for `map_aiger`, circuit
+///   names for `table1`) are collected in order.
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     /// `--patterns N`, if given.
     pub patterns: Option<usize>,
     /// `--seed S`, if given.
     pub seed: Option<u64>,
+    /// `--flow SCRIPT`, if given (already validated to parse).
+    pub flow: Option<String>,
     /// `--objective OBJ`, if given.
     pub objective: Option<Objective>,
     /// `--cut-k N`, if given.
     pub cut_k: Option<usize>,
     /// `--verify MODE`, if given.
     pub verify: Option<Verify>,
+    /// `--json PATH`, if given.
+    pub json: Option<String>,
     /// Whether `--paper` was given.
     pub paper: bool,
     /// Positional (non-flag) arguments, in order.
@@ -60,9 +71,9 @@ impl BenchArgs {
             Err(msg) => {
                 eprintln!("{msg}");
                 eprintln!(
-                    "usage: [--patterns N] [--seed S] [--paper] \
+                    "usage: [--patterns N] [--seed S] [--paper] [--flow SCRIPT] \
                      [--objective delay|area|energy] [--cut-k N] \
-                     [--verify off|sim|sat] [positional...]"
+                     [--verify off|sim|sat] [--json PATH] [positional...]"
                 );
                 std::process::exit(2);
             }
@@ -78,9 +89,11 @@ impl BenchArgs {
         let args = Self::parse();
         if args.patterns.is_some()
             || args.seed.is_some()
+            || args.flow.is_some()
             || args.objective.is_some()
             || args.cut_k.is_some()
             || args.verify.is_some()
+            || args.json.is_some()
             || args.paper
             || !args.positional.is_empty()
         {
@@ -95,6 +108,28 @@ impl BenchArgs {
     pub fn patterns_or(&self, default: usize) -> usize {
         self.patterns
             .unwrap_or(if self.paper { 640 * 1024 } else { default })
+    }
+
+    /// Rejects `--json` for binaries that emit no QoR artifact (only
+    /// `table1` and `engine_smoke` do) — silently ignoring the flag in a
+    /// scripted pipeline would look like lost data.
+    pub fn reject_json(&self, bin: &str) {
+        if self.json.is_some() {
+            eprintln!(
+                "{bin} emits no QoR artifact; --json is only supported by table1 and engine_smoke"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// The parsed synthesis flow these flags select (the default flow
+    /// when `--flow` was not given). Infallible: `--flow` scripts are
+    /// validated during argument parsing.
+    pub fn flow(&self) -> aig::Flow {
+        match &self.flow {
+            Some(script) => aig::Flow::parse(script).expect("--flow validated at parse time"),
+            None => aig::Flow::default_flow(),
+        }
     }
 
     /// Parses an explicit argument list (test hook).
@@ -118,6 +153,17 @@ impl BenchArgs {
                 "--seed" => {
                     let value = iter.next().ok_or("--seed requires a value")?;
                     out.seed = Some(parse_u64(&value).map_err(|e| format!("--seed {value}: {e}"))?);
+                }
+                "--flow" => {
+                    let value = iter.next().ok_or("--flow requires a script")?;
+                    // Validate up front so a typo fails at the command
+                    // line, not rows deep into a run.
+                    aig::Flow::parse(&value).map_err(|e| format!("--flow: {e}"))?;
+                    out.flow = Some(value);
+                }
+                "--json" => {
+                    let value = iter.next().ok_or("--json requires a path")?;
+                    out.json = Some(value);
                 }
                 "--objective" => {
                     let value = iter.next().ok_or("--objective requires a value")?;
@@ -159,6 +205,9 @@ impl BenchArgs {
         }
         if let Some(seed) = self.seed {
             config.seed = seed;
+        }
+        if let Some(flow) = &self.flow {
+            config.flow = flow.clone();
         }
         if let Some(objective) = self.objective {
             config.map.objective = objective;
@@ -204,21 +253,46 @@ mod tests {
             "4096",
             "--seed",
             "0x2A",
+            "--flow",
+            "b; rw -z; rf",
             "--objective",
             "area",
             "--cut-k",
             "4",
             "--verify",
             "sat",
+            "--json",
+            "out.json",
         ])
         .unwrap();
         assert!(args.paper);
         assert_eq!(args.patterns, Some(4096));
         assert_eq!(args.seed, Some(42));
+        assert_eq!(args.flow.as_deref(), Some("b; rw -z; rf"));
         assert_eq!(args.objective, Some(Objective::Area));
         assert_eq!(args.cut_k, Some(4));
         assert_eq!(args.verify, Some(Verify::Sat));
+        assert_eq!(args.json.as_deref(), Some("out.json"));
         assert_eq!(args.positional, ["circuit.aag"]);
+    }
+
+    #[test]
+    fn flow_reaches_the_pipeline_config_and_parses() {
+        let config = BenchArgs::parse_from(["--flow", "b;rw;b"])
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(config.flow, "b;rw;b");
+        let default = BenchArgs::parse_from(std::iter::empty::<String>())
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(default.flow, aig::DEFAULT_FLOW);
+        // The convenience accessor hands back the parsed flow.
+        let args = BenchArgs::parse_from(["--flow", "rw -z"]).unwrap();
+        assert_eq!(args.flow().script(), "rw -z");
+        assert!(BenchArgs::parse_from(std::iter::empty::<String>())
+            .unwrap()
+            .flow()
+            .uses_rewrite());
     }
 
     #[test]
@@ -272,5 +346,9 @@ mod tests {
         assert!(BenchArgs::parse_from(["--cut-k", "six"]).is_err());
         assert!(BenchArgs::parse_from(["--verify"]).is_err());
         assert!(BenchArgs::parse_from(["--verify", "prove"]).is_err());
+        assert!(BenchArgs::parse_from(["--flow"]).is_err());
+        assert!(BenchArgs::parse_from(["--flow", "b; frobnicate"]).is_err());
+        assert!(BenchArgs::parse_from(["--flow", ""]).is_err());
+        assert!(BenchArgs::parse_from(["--json"]).is_err());
     }
 }

@@ -1,0 +1,166 @@
+//! The machine-readable QoR/runtime artifact behind `--json`: one JSON
+//! document per run capturing the configuration, per-circuit synthesis
+//! quality (AND count, depth), per-family mapping quality (gates, delay,
+//! area, power, per-cycle energy, EDP) and wall-clock runtime — the
+//! format the perf trajectory is tracked in (`BENCH_table1.json` at the
+//! repo root is the committed baseline).
+//!
+//! Emission is hand-rolled: the workspace is offline-vendored and the
+//! structure is flat enough that a serializer dependency would be pure
+//! weight. Every number is either an integer or `{:e}`-formatted (JSON
+//! accepts exponent notation); strings are plain ASCII labels.
+
+use ambipolar::experiments::{Table1, Table1Config};
+use gate_lib::GateFamily;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renders the Table-1 QoR artifact. `extra` entries are appended as
+/// additional top-level fields; each value must already be valid JSON
+/// (use [`json_string`] / [`json_seconds`] to build them).
+pub fn table1_json(
+    artifact: &str,
+    table: &Table1,
+    config: &Table1Config,
+    wall: Duration,
+    extra: &[(&str, String)],
+) -> String {
+    let p = &config.pipeline;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"artifact\": {},", json_string(artifact));
+    let _ = writeln!(out, "  \"patterns\": {},", p.patterns);
+    let _ = writeln!(out, "  \"seed\": {},", p.seed);
+    let _ = writeln!(out, "  \"flow\": {},", json_string(&p.flow));
+    let _ = writeln!(
+        out,
+        "  \"objective\": {},",
+        json_string(&p.map.objective.to_string())
+    );
+    let _ = writeln!(out, "  \"cut_k\": {},", p.map.cut_k);
+    let _ = writeln!(out, "  \"verify\": {},", json_string(&p.verify.to_string()));
+    let _ = writeln!(out, "  \"frequency_hz\": {},", json_f64(p.frequency_hz));
+    let _ = writeln!(out, "  \"wall_seconds\": {},", json_f64(wall.as_secs_f64()));
+    for (key, value) in extra {
+        let _ = writeln!(out, "  \"{key}\": {value},");
+    }
+    let families: Vec<String> = GateFamily::ALL
+        .iter()
+        .map(|f| json_string(f.label()))
+        .collect();
+    let _ = writeln!(out, "  \"families\": [{}],", families.join(", "));
+    out.push_str("  \"circuits\": [\n");
+    for (i, row) in table.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"function\": {}, \"and_count\": {}, \"depth\": {}, \"results\": [",
+            json_string(&row.name),
+            json_string(&row.function),
+            row.ands,
+            row.depth
+        );
+        for (k, r) in row.results.iter().enumerate() {
+            let energy = r.total_power().value() / p.frequency_hz;
+            let _ = write!(
+                out,
+                "{}{{\"gates\": {}, \"delay_s\": {}, \"area_m2\": {}, \"pd_w\": {}, \
+                 \"ps_w\": {}, \"pt_w\": {}, \"energy_j\": {}, \"edp_js\": {}, \
+                 \"transistors\": {}}}",
+                if k == 0 { "" } else { ", " },
+                r.gates,
+                json_f64(r.delay.value()),
+                json_f64(r.area),
+                json_f64(r.power.dynamic.value()),
+                json_f64(r.power.static_sub.value()),
+                json_f64(r.total_power().value()),
+                json_f64(energy),
+                json_f64(r.edp().value()),
+                r.transistors,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "]}}{}",
+            if i + 1 == table.rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"averages\": [");
+    for (k, a) in table.averages().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"gates\": {}, \"delay_s\": {}, \"pd_w\": {}, \"ps_w\": {}, \
+             \"pt_w\": {}, \"edp_js\": {}}}",
+            if k == 0 { "" } else { ", " },
+            json_f64(a.gates),
+            json_f64(a.delay),
+            json_f64(a.pd),
+            json_f64(a.ps),
+            json_f64(a.pt),
+            json_f64(a.edp),
+        );
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// A JSON string literal (the labels emitted here are plain ASCII, but
+/// quotes and backslashes are escaped for safety).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for a duration, in seconds.
+pub fn json_seconds(d: Duration) -> String {
+    json_f64(d.as_secs_f64())
+}
+
+/// A finite `f64` as a JSON number (exponent notation).
+pub fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "QoR metrics are finite");
+    format!("{x:.6e}")
+}
+
+/// Writes an artifact to `path`, exiting with a message on I/O failure
+/// (binary helper).
+pub fn write_or_exit(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote QoR artifact to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn numbers_are_json_compatible() {
+        assert_eq!(json_f64(0.0), "0.000000e0");
+        assert_eq!(json_f64(1.5e-12), "1.500000e-12");
+        // Exponent-notation numbers round-trip as numbers.
+        assert_eq!(json_f64(6.02e23).parse::<f64>().unwrap(), 6.02e23);
+    }
+}

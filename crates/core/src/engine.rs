@@ -11,6 +11,11 @@
 //!   cell NPN-canonized once). All circuits and all worker threads share
 //!   one instance; a mapping run only allocates its per-run canonization
 //!   memo. Test hook: [`match_cache_build_count`].
+//! * [`rewrite_library`] — the NPN-class optimal-subgraph library the
+//!   `rw` synthesis pass rewrites against (one instance per process,
+//!   shared by every flow run on every thread; the drivers warm it before
+//!   fanning out so no worker pays the build). Test hook:
+//!   [`rewrite_library_build_count`].
 //!
 //! On top of the caches, [`run_table1_subset`] fans the circuit × family
 //! evaluation matrix out over the rayon pool: benchmark synthesis is one
@@ -99,6 +104,22 @@ pub fn match_cache_build_count() -> usize {
     MATCH_CACHE_BUILDS.load(Ordering::Relaxed)
 }
 
+/// The process-wide rewrite library (the per-NPN-class optimal subgraphs
+/// the `rw` pass instantiates). The `OnceLock` lives in `aig::rewrite` so
+/// the pass itself can reach it; this accessor is the engine-level warm
+/// point — the Table-1 drivers call it once before fanning out whenever
+/// the configured flow contains a rewrite pass.
+pub fn rewrite_library() -> &'static aig::RewriteLibrary {
+    aig::rewrite::library()
+}
+
+/// How many times the rewrite library has been built in this process
+/// (test hook: at most once, however many flows ran on however many
+/// threads).
+pub fn rewrite_library_build_count() -> usize {
+    aig::rewrite::library_build_count()
+}
+
 /// Runs the full Table-1 experiment through the engine: libraries and
 /// match caches from the process caches, circuit × family matrix on the
 /// rayon pool.
@@ -114,6 +135,11 @@ pub fn run_table1(config: &Table1Config) -> Result<Table1, PipelineError> {
 /// Like [`run_table1`] but restricted to the named benchmark rows (pass
 /// `None` for all twelve).
 ///
+/// Synthesis runs the flow script of
+/// [`PipelineConfig::flow`](crate::pipeline::PipelineConfig::flow),
+/// parsed once per call; the shared rewrite library is warmed before the
+/// fan-out whenever the flow rewrites.
+///
 /// Parallel structure: one synthesis task per benchmark, then one pipeline
 /// task per (circuit, family) pair — for the full table that is 12 + 36
 /// independent tasks. Joins preserve input order, so rows come back in
@@ -121,16 +147,21 @@ pub fn run_table1(config: &Table1Config) -> Result<Table1, PipelineError> {
 ///
 /// # Errors
 ///
-/// Propagates the first [`PipelineError`] in row order.
+/// [`PipelineError::Flow`] when the flow script is malformed; otherwise
+/// the first [`PipelineError`] in row order.
 pub fn run_table1_subset(
     config: &Table1Config,
     names: Option<&[&str]>,
 ) -> Result<Table1, PipelineError> {
+    let flow = aig::Flow::parse(&config.pipeline.flow)?;
+    if flow.uses_rewrite() {
+        rewrite_library();
+    }
     let libs = libraries();
     let benches = selected_benchmarks(names);
     let synthesized: Vec<aig::Aig> = benches
         .par_iter()
-        .map(|bench| aig::synthesize(&bench.aig))
+        .map(|bench| flow.run(&bench.aig))
         .collect();
     let jobs: Vec<(usize, usize)> = (0..benches.len())
         .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
@@ -140,7 +171,7 @@ pub fn run_table1_subset(
         .map(|(ci, fi)| evaluate_circuit(&synthesized[ci], libs[fi], &config.pipeline))
         .collect();
     let results: Vec<CircuitResult> = results.into_iter().collect::<Result<_, _>>()?;
-    Ok(assemble(benches, results))
+    Ok(assemble(benches, &synthesized, results))
 }
 
 /// Serial reference implementation of [`run_table1_subset`]: identical
@@ -158,12 +189,10 @@ pub fn run_table1_serial(
     config: &Table1Config,
     names: Option<&[&str]>,
 ) -> Result<Table1, PipelineError> {
+    let flow = aig::Flow::parse(&config.pipeline.flow)?;
     let libs = libraries();
     let benches = selected_benchmarks(names);
-    let synthesized: Vec<aig::Aig> = benches
-        .iter()
-        .map(|bench| aig::synthesize(&bench.aig))
-        .collect();
+    let synthesized: Vec<aig::Aig> = benches.iter().map(|bench| flow.run(&bench.aig)).collect();
     let results: Vec<CircuitResult> = synthesized
         .iter()
         .flat_map(|aig| {
@@ -171,7 +200,7 @@ pub fn run_table1_serial(
                 .map(|lib| crate::pipeline::evaluate_circuit_serial(aig, lib, &config.pipeline))
         })
         .collect::<Result<_, _>>()?;
-    Ok(assemble(benches, results))
+    Ok(assemble(benches, &synthesized, results))
 }
 
 fn selected_benchmarks(names: Option<&[&str]>) -> Vec<bench_circuits::Benchmark> {
@@ -181,17 +210,25 @@ fn selected_benchmarks(names: Option<&[&str]>) -> Vec<bench_circuits::Benchmark>
         .collect()
 }
 
-fn assemble(benches: Vec<bench_circuits::Benchmark>, results: Vec<CircuitResult>) -> Table1 {
+fn assemble(
+    benches: Vec<bench_circuits::Benchmark>,
+    synthesized: &[aig::Aig],
+    results: Vec<CircuitResult>,
+) -> Table1 {
     let families = GateFamily::ALL.len();
     assert_eq!(results.len(), benches.len() * families);
+    assert_eq!(synthesized.len(), benches.len());
     let mut results = results.into_iter();
     let rows = benches
         .into_iter()
-        .map(|bench| {
+        .zip(synthesized)
+        .map(|(bench, aig)| {
             let per_family: Vec<CircuitResult> = results.by_ref().take(families).collect();
             Table1Row {
                 name: bench.name.to_owned(),
                 function: bench.function.to_owned(),
+                ands: aig.and_count(),
+                depth: aig.depth(),
                 results: per_family.try_into().expect("three families per row"),
             }
         })
@@ -247,6 +284,64 @@ mod tests {
             "table runs must reuse the shared match caches"
         );
         assert!(match_cache_build_count() <= GateFamily::ALL.len());
+    }
+
+    #[test]
+    fn rewrite_library_is_shared_and_built_at_most_once() {
+        let a = rewrite_library();
+        let b = rewrite_library();
+        assert!(std::ptr::eq(a, b), "same shared instance on every access");
+        assert_eq!(a.class_count(), 222, "all 4-variable NPN classes");
+        assert!(rewrite_library_build_count() <= 1);
+    }
+
+    #[test]
+    fn malformed_flow_is_a_typed_error_not_a_panic() {
+        let config = Table1Config {
+            pipeline: crate::pipeline::PipelineConfig {
+                flow: "b; frobnicate".to_owned(),
+                patterns: 64,
+                ..Default::default()
+            },
+        };
+        let err = run_table1_subset(&config, Some(&["t481"])).unwrap_err();
+        assert!(matches!(err, PipelineError::Flow(_)), "{err}");
+    }
+
+    #[test]
+    fn custom_flow_threads_through_the_table_drivers() {
+        // A balance-only flow must hand the mapper a network no smaller
+        // than the default flow's (which rewrites and refactors too) —
+        // and both must run end to end through the parallel driver.
+        let pipeline = crate::pipeline::PipelineConfig {
+            patterns: 256,
+            ..Default::default()
+        };
+        let names = Some(&["t481"][..]);
+        let default_run = run_table1_subset(
+            &Table1Config {
+                pipeline: pipeline.clone(),
+            },
+            names,
+        )
+        .expect("default flow maps");
+        let balance_only = run_table1_subset(
+            &Table1Config {
+                pipeline: crate::pipeline::PipelineConfig {
+                    flow: "b".to_owned(),
+                    ..pipeline
+                },
+            },
+            names,
+        )
+        .expect("balance-only flow maps");
+        assert!(
+            default_run.rows[0].ands <= balance_only.rows[0].ands,
+            "default {} vs balance-only {}",
+            default_run.rows[0].ands,
+            balance_only.rows[0].ands
+        );
+        assert!(default_run.rows[0].depth > 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use gate_lib::GateFamily;
 use std::fmt;
 
 /// Configuration for the Table-1 run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Table1Config {
     /// Per-circuit pipeline settings.
     pub pipeline: PipelineConfig,
@@ -44,6 +44,11 @@ pub struct Table1Row {
     pub name: String,
     /// The paper's "Function" column.
     pub function: String,
+    /// AND count of the synthesized AIG handed to the mapper (QoR of the
+    /// pre-mapping flow; feeds the `--json` perf artifact).
+    pub ands: usize,
+    /// Logic depth of the synthesized AIG.
+    pub depth: u32,
     /// Results in family order (generalized, conventional, CMOS).
     pub results: [CircuitResult; 3],
 }

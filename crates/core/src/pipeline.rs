@@ -11,7 +11,7 @@ use techmap::{
 };
 
 /// Pipeline knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Random patterns for power estimation (the paper uses 640 K).
     pub patterns: usize,
@@ -19,6 +19,11 @@ pub struct PipelineConfig {
     pub frequency_hz: f64,
     /// Simulation seed (fixed for reproducibility).
     pub seed: u64,
+    /// The pre-mapping synthesis flow script (see [`aig::Flow`]); parsed
+    /// and applied per benchmark by the Table-1 drivers
+    /// (`ambipolar::engine::run_table1*`). [`evaluate_circuit`] itself
+    /// takes an already-synthesized AIG and does not consult this field.
+    pub flow: String,
     /// Technology-mapping configuration (objective, cut shape, load
     /// model). The default reproduces the paper's delay-oriented mapping.
     pub map: MapConfig,
@@ -33,16 +38,20 @@ impl Default for PipelineConfig {
             patterns: 1 << 16,
             frequency_hz: charlib::OPERATING_FREQUENCY_HZ,
             seed: 0xDA7E_2010,
+            flow: aig::DEFAULT_FLOW.to_owned(),
             map: MapConfig::default(),
             verify: Verify::Off,
         }
     }
 }
 
-/// Why a pipeline run failed: the mapper could not produce a netlist, or
-/// the produced netlist failed verification.
+/// Why a pipeline run failed: the synthesis flow script did not parse,
+/// the mapper could not produce a netlist, or the produced netlist failed
+/// verification.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
+    /// The configured synthesis flow script is malformed.
+    Flow(aig::FlowError),
     /// Technology mapping failed.
     Map(MapError),
     /// The mapped netlist is not equivalent to its source AIG (carries
@@ -53,6 +62,7 @@ pub enum PipelineError {
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PipelineError::Flow(e) => write!(f, "flow script failed to parse: {e}"),
             PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
             PipelineError::Verify(e) => write!(f, "verification failed: {e}"),
         }
@@ -60,6 +70,12 @@ impl std::fmt::Display for PipelineError {
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<aig::FlowError> for PipelineError {
+    fn from(e: aig::FlowError) -> Self {
+        PipelineError::Flow(e)
+    }
+}
 
 impl From<MapError> for PipelineError {
     fn from(e: MapError) -> Self {

@@ -151,20 +151,19 @@ fn select_matches(
         };
         let mut best: Option<(f64, f64, Chosen)> = None;
         for cut in &cuts[idx] {
-            // Skip the trivial self-cut.
-            if cut.leaves.len() == 1 && cut.leaves[0] == idx as u32 {
+            if cut.is_trivial(idx as u32) {
                 continue;
             }
-            let (fs, kept) = cut.tt.shrink_to_support();
-            if kept.is_empty() {
+            // The shared support projection (`aig::cuts`) both the mapper
+            // and the rewriting engine consume: the shrunk function plus
+            // the leaf node behind each remaining variable.
+            let (fs, leaves) = cut.function_over_support();
+            if leaves.is_empty() {
                 continue; // constant function; covered by a smaller cut
             }
             for cand in matcher.matches(fs) {
-                let pins: Vec<(u32, bool)> = cand
-                    .pins
-                    .iter()
-                    .map(|&(v, inv)| (cut.leaves[kept[v]], inv))
-                    .collect();
+                let pins: Vec<(u32, bool)> =
+                    cand.pins.iter().map(|&(v, inv)| (leaves[v], inv)).collect();
                 let mut arr_in = 0.0f64;
                 let mut inv_flow_cost = 0.0;
                 for &(leaf, inv) in &pins {
