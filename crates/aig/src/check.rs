@@ -228,7 +228,12 @@ enum Prove {
 
 /// The SAT sweeper: a growing fraig with per-node simulation signatures,
 /// candidate classes, and an incremental Tseitin encoding.
-struct Sweeper {
+///
+/// Crate-visible so the choice subsystem ([`crate::choice`]) can run the
+/// same sim-signature + budgeted-incremental-SAT sweep over a set of
+/// equivalent snapshots and read the merge structure back out
+/// ([`Sweeper::into_parts`]).
+pub(crate) struct Sweeper {
     f: Aig,
     solver: Solver,
     /// Solver variable per fraig node (encoded at creation).
@@ -245,7 +250,7 @@ struct Sweeper {
 }
 
 impl Sweeper {
-    fn new(n_inputs: usize, seed: u64, words: usize) -> Self {
+    pub(crate) fn new(n_inputs: usize, seed: u64, words: usize) -> Self {
         let mut s = Self {
             f: Aig::new(),
             solver: Solver::new(),
@@ -310,9 +315,19 @@ impl Sweeper {
         }
     }
 
+    /// Consumes the sweeper, returning the fraig arena and the
+    /// per-node representative literals (identity for unmerged nodes).
+    /// Every AND node in the arena reads representative literals: fanins
+    /// are resolved through `repr` *before* a node is created, and a
+    /// representative never loses that status later — the invariant the
+    /// choice subsystem's ring construction builds on.
+    pub(crate) fn into_parts(self) -> (Aig, Vec<Lit>) {
+        (self.f, self.repr)
+    }
+
     /// Imports a source network, returning its output literals in the
     /// fraig (representative-resolved).
-    fn import(&mut self, src: &Aig) -> Vec<Lit> {
+    pub(crate) fn import(&mut self, src: &Aig) -> Vec<Lit> {
         let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
         for (i, node) in src.nodes().iter().enumerate() {
             map[i] = match *node {

@@ -3,7 +3,12 @@
 //! Both the technology mapper (k = 6) and the refactoring pass (k = 4)
 //! enumerate cuts with this module. Each cut carries the function of the
 //! node's positive output over the cut leaves.
+//!
+//! [`enumerate_cuts_choice`] is the choice-aware variant: cuts of a
+//! class representative may be rooted in any ring member's cone, so the
+//! mapper sees every accumulated structure of the function.
 
+use crate::choice::ChoiceAig;
 use crate::graph::{Aig, Lit, Node};
 use logic::TruthTable;
 
@@ -91,6 +96,51 @@ pub fn enumerate_cuts(aig: &Aig, config: CutConfig) -> Vec<Vec<Cut>> {
             }
         };
         all.push(cuts);
+    }
+    all
+}
+
+/// Enumerates cuts over a choice network: one cut set per equivalence
+/// class (indexed by the class representative's arena node), where a
+/// class's cuts are the merged union over *every* alternative
+/// decomposition in its choice ring — a cut of the representative may
+/// therefore be rooted in a structure only a losing flow pass produced.
+///
+/// Cut truth tables always describe the representative's positive
+/// output: a ring member stored with inverted phase contributes its cuts
+/// complemented. Leaves are class representatives (or primary inputs),
+/// so cuts compose across classes exactly as plain cuts compose across
+/// nodes. Classes are processed in [`ChoiceAig::class_order`], which
+/// guarantees every leaf class is enumerated before its consumers; arena
+/// nodes outside that order (unreachable classes, unlinked members) get
+/// empty cut sets.
+pub fn enumerate_cuts_choice(choice: &ChoiceAig, config: CutConfig) -> Vec<Vec<Cut>> {
+    assert!(config.k >= 2 && config.k <= 6, "cut width must be in 2..=6");
+    let arena = choice.arena();
+    let mut all: Vec<Vec<Cut>> = vec![Vec::new(); arena.len()];
+    for &i in arena.input_nodes() {
+        all[i as usize] = vec![Cut::trivial(i)];
+    }
+    for &rep in choice.class_order() {
+        let mut acc: Vec<Cut> = Vec::new();
+        for (member, phase) in choice.alternatives(rep) {
+            let Node::And(a, b) = arena.node(member) else {
+                unreachable!("alternatives are AND nodes");
+            };
+            let mut mine = Vec::new();
+            merge_fanin_cuts(a, b, &all, config, &mut mine);
+            for mut cut in mine {
+                if phase {
+                    cut.tt = !cut.tt;
+                }
+                if !acc.contains(&cut) {
+                    acc.push(cut);
+                }
+            }
+        }
+        prune(&mut acc, config.max_cuts);
+        acc.push(Cut::trivial(rep));
+        all[rep as usize] = acc;
     }
     all
 }
@@ -322,6 +372,70 @@ mod tests {
         assert_eq!(tt.n_vars(), 2);
         assert_eq!(leaves, vec![3, 9]);
         assert_eq!(tt, TruthTable::var(2, 0) & TruthTable::var(2, 1));
+    }
+
+    #[test]
+    fn choice_cuts_cover_both_structures() {
+        // f = a ^ b built two ways across two snapshots: the class of f
+        // must carry cuts whose functions agree with XOR over the PI
+        // leaves, merged from either member's cone.
+        let build = |mux_form: bool| {
+            let mut aig = Aig::new();
+            let a = aig.input();
+            let b = aig.input();
+            let f = if mux_form {
+                aig.mux(a, b.not(), b)
+            } else {
+                aig.xor(a, b)
+            };
+            let g = aig.and(f, a);
+            aig.output(f);
+            aig.output(g);
+            aig
+        };
+        let choice =
+            crate::choice::ChoiceAig::build(&[build(false), build(true)]).expect("same interface");
+        let cuts = enumerate_cuts_choice(&choice, CutConfig { k: 4, max_cuts: 8 });
+        // Every class in order got cuts; leaves are inputs or classes in
+        // earlier positions; the trivial cut is present.
+        let position: std::collections::HashMap<u32, usize> = choice
+            .class_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        for (i, &rep) in choice.class_order().iter().enumerate() {
+            let class_cuts = &cuts[rep as usize];
+            assert!(class_cuts.iter().any(|c| c.is_trivial(rep)));
+            assert!(
+                class_cuts.iter().any(|c| !c.is_trivial(rep)),
+                "class {rep} needs a non-trivial cut"
+            );
+            for cut in class_cuts {
+                if cut.is_trivial(rep) {
+                    continue;
+                }
+                for &leaf in &cut.leaves {
+                    match choice.arena().node(leaf) {
+                        crate::graph::Node::Input(_) => {}
+                        crate::graph::Node::And(_, _) => {
+                            assert!(position[&leaf] < i, "leaf {leaf} must precede class {rep}")
+                        }
+                        crate::graph::Node::Const => panic!("constant cannot be a cut leaf"),
+                    }
+                }
+            }
+        }
+        // The output class of f has a 2-leaf PI cut computing XOR (up to
+        // the output literal's phase).
+        let f_lit = choice.outputs()[0];
+        let f_cuts = &cuts[f_lit.node() as usize];
+        let pi: Vec<u32> = choice.arena().input_nodes().to_vec();
+        let xor = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+        let found = f_cuts
+            .iter()
+            .any(|c| c.leaves == pi && (c.tt == xor || c.tt == !xor));
+        assert!(found, "the XOR cut over the PIs must exist: {f_cuts:?}");
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   against a precomputed per-NPN-class optimal-subgraph library with
 //!   MFFC gain accounting (and a zero-gain `-z` mode);
 //! * [`Flow`] — the scripted pass manager: parses
-//!   `"b; rw; rf; b; rw -z; rf; b"`-style scripts, applies per-pass accept
-//!   criteria and the centralized debug SAT-soundness gate, and reports
-//!   per-pass deltas and timing ([`synth::FlowReport`]);
+//!   `"b; rw; rf; b; rw -z; rf; b; dch"`-style scripts, applies per-pass
+//!   accept criteria and the centralized debug SAT-soundness gate, and
+//!   reports per-pass deltas and timing ([`synth::FlowReport`]);
+//! * [`choice`] — the structural-choice subsystem: the `dch` flow step
+//!   fuses the flow's snapshots into a [`ChoiceAig`] (SAT-proven
+//!   equivalence classes linked into choice rings) over which the
+//!   technology mapper can map;
 //! * [`synthesize()`](crate::synth::synthesize) — the default flow
 //!   ([`synth::DEFAULT_FLOW`]);
 //! * [`sim`] — 64-way bit-parallel simulation;
@@ -46,6 +50,7 @@
 pub mod aiger;
 pub mod balance;
 pub mod check;
+pub mod choice;
 pub mod cnf;
 pub mod cuts;
 pub mod graph;
@@ -59,7 +64,8 @@ pub use aiger::{
 };
 pub use balance::balance;
 pub use check::{check_equivalence, equivalent, miter, Equivalence, ShapeMismatch};
-pub use cuts::{enumerate_cuts, Cut, CutConfig};
+pub use choice::{ChoiceAig, ChoiceConfig, ChoiceStats};
+pub use cuts::{enumerate_cuts, enumerate_cuts_choice, Cut, CutConfig};
 pub use graph::{Aig, Lit};
 pub use refactor::refactor;
 pub use rewrite::{rewrite, rewrite_with, RewriteConfig, RewriteLibrary};

@@ -34,6 +34,10 @@ pub struct RewriteConfig {
     /// Accept zero-gain replacements (`rw -z`): the node count stays the
     /// same but the structure changes, enabling later passes to improve.
     pub zero_gain: bool,
+    /// Depth-aware mode (`rw -l`): reject any candidate whose dry-run
+    /// root level exceeds the level the root would get from the plain
+    /// structural copy, so a size gain can never buy local depth growth.
+    pub level_aware: bool,
     /// Priority-cut cap per node (cut width is fixed at 4 — the library
     /// covers exactly the 4-variable NPN classes).
     pub max_cuts: usize,
@@ -43,6 +47,7 @@ impl Default for RewriteConfig {
     fn default() -> Self {
         Self {
             zero_gain: false,
+            level_aware: false,
             max_cuts: 8,
         }
     }
@@ -288,8 +293,29 @@ impl RewriteLibrary {
     /// when two cut leaves map to the same literal; counting per arena
     /// node would over-price such plans.)
     pub fn count_new(&self, out: &Aig, plan: &Plan) -> usize {
+        self.count_new_with_level(out, &out.levels(), plan).0
+    }
+
+    /// Like [`RewriteLibrary::count_new`], additionally returning the
+    /// logic level the plan's root would have in `out` (`out_levels` is
+    /// the per-node level array of `out`, maintained incrementally by
+    /// the rewriting pass). Virtual nodes get
+    /// `1 + max(level(fanin_a), level(fanin_b))` exactly as the
+    /// committed instantiation would; folds and strash hits take the
+    /// level of the literal they resolve to. The depth-aware `rw -l`
+    /// mode prices candidates with this before committing anything.
+    pub fn count_new_with_level(&self, out: &Aig, out_levels: &[u32], plan: &Plan) -> (usize, u32) {
         let mut count = 0usize;
         let mut resolved: HashMap<u32, DryLit> = HashMap::new();
+        // Level of each virtual literal, keyed by its `DryLit::New`
+        // payload with the complement bit cleared.
+        let mut virt_level: HashMap<u32, u32> = HashMap::new();
+        let level_of = |l: DryLit, virt_level: &HashMap<u32, u32>| -> u32 {
+            match l {
+                DryLit::Real(x) => out_levels[x.node() as usize],
+                DryLit::New(v) => virt_level[&(v & !1)],
+            }
+        };
         // Structural hash of the virtual nodes: normalized fanin pair →
         // the virtual literal standing for that new AND.
         let mut virtual_strash: HashMap<(DryLit, DryLit), DryLit> = HashMap::new();
@@ -299,31 +325,33 @@ impl RewriteLibrary {
             };
             let fa = self.resolve_edge(a, &plan.pins, &resolved);
             let fb = self.resolve_edge(b, &plan.pins, &resolved);
+            let mut fresh = |fa: DryLit, fb: DryLit, virt_level: &mut HashMap<u32, u32>| {
+                let lvl = 1 + level_of(fa, virt_level).max(level_of(fb, virt_level));
+                *virtual_strash
+                    .entry(normalize_pair(fa, fb))
+                    .or_insert_with(|| {
+                        count += 1;
+                        let l = DryLit::fresh(n);
+                        virt_level.insert(n << 1, lvl);
+                        l
+                    })
+            };
             let r = match (fa, fb) {
                 (DryLit::Real(x), DryLit::Real(y)) => match out.find_and(x, y) {
                     Some(hit) => DryLit::Real(hit),
-                    None => *virtual_strash
-                        .entry(normalize_pair(fa, fb))
-                        .or_insert_with(|| {
-                            count += 1;
-                            DryLit::fresh(n)
-                        }),
+                    None => fresh(fa, fb, &mut virt_level),
                 },
                 // The trivial cases `Aig::and` folds without allocating,
                 // now applicable to virtual operands too.
                 _ if fa == DryLit::FALSE || fb == DryLit::FALSE || fa == fb.not() => DryLit::FALSE,
                 _ if fa == DryLit::TRUE => fb,
                 _ if fb == DryLit::TRUE || fa == fb => fa,
-                _ => *virtual_strash
-                    .entry(normalize_pair(fa, fb))
-                    .or_insert_with(|| {
-                        count += 1;
-                        DryLit::fresh(n)
-                    }),
+                _ => fresh(fa, fb, &mut virt_level),
             };
             resolved.insert(n, r);
         }
-        count
+        let root = self.resolve_edge(plan.root, &plan.pins, &resolved);
+        (count, level_of(root, &virt_level))
     }
 
     /// Builds the plan's subgraph into `out`, returning the literal that
@@ -636,6 +664,10 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
     for &i in input.input_nodes() {
         map[i as usize] = out.input();
     }
+    // Per-node levels of the output graph, maintained incrementally so
+    // the depth-aware mode can price candidate root levels without an
+    // O(n) recompute per cut.
+    let mut out_levels: Vec<u32> = vec![0; out.len()];
     // Per-pass canonization memo: the same cut function recurs across
     // many nodes (mirrors the mapper's `Matcher`).
     let mut canon_memo: HashMap<u64, NpnCanon> = HashMap::new();
@@ -644,6 +676,16 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
     for idx in 0..input.len() {
         let Node::And(a, b) = input.node(idx as u32) else {
             continue;
+        };
+        // The level the root gets from the plain structural copy — the
+        // bar a depth-aware candidate must not exceed.
+        let copy_level = {
+            let fa = edge(map[a.node() as usize], a);
+            let fb = edge(map[b.node() as usize], b);
+            match out.find_and(fa, fb) {
+                Some(hit) => out_levels[hit.node() as usize],
+                None => 1 + out_levels[fa.node() as usize].max(out_levels[fb.node() as usize]),
+            }
         };
         let mut best: Option<(i64, i64, Plan)> = None;
         for cut in &cuts[idx] {
@@ -655,7 +697,11 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
             let canon = *canon_memo.entry(f4.bits()).or_insert_with(|| npn_canon(f4));
             let leaf_lits: Vec<Lit> = leaf_nodes.iter().map(|&n| map[n as usize]).collect();
             let plan = lib.plan(&canon, &leaf_lits);
-            let added = lib.count_new(&out, &plan) as i64;
+            let (added, root_level) = lib.count_new_with_level(&out, &out_levels, &plan);
+            if config.level_aware && root_level > copy_level {
+                continue;
+            }
+            let added = added as i64;
             let freed = mffc_size(&input, idx as u32, &cut.leaves, &mut refs) as i64;
             let gain = freed - added;
             if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
@@ -679,6 +725,7 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
                 out.and(fa, fb)
             }
         };
+        extend_levels(&out, &mut out_levels);
     }
     for o in input.output_lits() {
         let l = edge(map[o.node() as usize], *o);
@@ -697,6 +744,19 @@ fn edge(mapped: Lit, e: Lit) -> Lit {
         mapped.not()
     } else {
         mapped
+    }
+}
+
+/// Extends the incremental level array to cover nodes appended to `out`
+/// since the last call (node order is topological, so one forward pass
+/// suffices).
+fn extend_levels(out: &Aig, levels: &mut Vec<u32>) {
+    for i in levels.len()..out.len() {
+        let lvl = match out.node(i as u32) {
+            Node::And(a, b) => 1 + levels[a.node() as usize].max(levels[b.node() as usize]),
+            _ => 0,
+        };
+        levels.push(lvl);
     }
 }
 
@@ -956,6 +1016,76 @@ mod tests {
         );
         assert_eq!(check_equivalence(&aig, &z), Ok(Equivalence::Equal));
         assert!(z.and_count() <= aig.cleanup().and_count());
+    }
+
+    #[test]
+    fn level_aware_mode_never_deepens() {
+        // `rw -l` prices every candidate's root level against the plain
+        // structural copy, which composes into a global guarantee: the
+        // rewritten network is never deeper than the (cleaned) input.
+        for seed in [1u64, 9, 0xBEE, 0xFEED] {
+            let mut aig = Aig::new();
+            let xs: Vec<Lit> = (0..7).map(|_| aig.input()).collect();
+            let mut nets = xs.clone();
+            let mut s = seed | 1;
+            for _ in 0..50 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let a = nets[(s as usize) % nets.len()];
+                let b = nets[(s as usize >> 8) % nets.len()];
+                let f = match s % 3 {
+                    0 => aig.and(a, b.not()),
+                    1 => aig.xor(a, b),
+                    _ => aig.or(a, b),
+                };
+                nets.push(f);
+            }
+            for k in 0..4 {
+                aig.output(nets[nets.len() - 1 - k]);
+            }
+            let cleaned = aig.cleanup();
+            let rewritten = rewrite_with(
+                &aig,
+                &RewriteConfig {
+                    level_aware: true,
+                    ..RewriteConfig::default()
+                },
+            );
+            assert_eq!(check_equivalence(&aig, &rewritten), Ok(Equivalence::Equal));
+            assert!(
+                rewritten.depth() <= cleaned.depth(),
+                "seed {seed:#x}: rw -l deepened {} -> {}",
+                cleaned.depth(),
+                rewritten.depth()
+            );
+            assert!(rewritten.and_count() <= cleaned.and_count());
+        }
+    }
+
+    #[test]
+    fn count_new_with_level_predicts_committed_levels() {
+        let lib = library();
+        let mut out = Aig::new();
+        let leaf_lits: Vec<Lit> = (0..4).map(|_| out.input()).collect();
+        let mut levels = vec![0u32; out.len()];
+        let a = TruthTable::var(4, 0);
+        let b = TruthTable::var(4, 1);
+        let c = TruthTable::var(4, 2);
+        let d = TruthTable::var(4, 3);
+        for f in [(a & b) | (c & d), a ^ b ^ c ^ d, (a | b) & !(c | d)] {
+            let plan = lib.plan(&npn_canon(f), &leaf_lits);
+            let (added, level) = lib.count_new_with_level(&out, &levels, &plan);
+            let before = out.and_count();
+            let lit = lib.instantiate(&mut out, &plan);
+            super::extend_levels(&out, &mut levels);
+            assert_eq!(out.and_count() - before, added);
+            assert_eq!(
+                levels[lit.node() as usize],
+                level,
+                "dry-run level must match the committed level for {f:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! The scripted synthesis flow engine: a [`Pass`] trait, a [`Flow`] that
-//! parses and runs `"b; rw; rf; b; rw -z; b"`-style scripts, and the
-//! [`synthesize`] entry point (the default flow).
+//! parses and runs `"b; rw; rf; b; rw -z; b; dch"`-style scripts, and
+//! the [`synthesize`] entry point (the default flow).
 //!
 //! Each pass proposes a functionally equivalent network; the flow engine
 //! applies the pass's own accept criterion to the (depth, size) metrics
-//! and keeps or discards the candidate. Every *accepted* pass goes
+//! and keeps or discards the candidate. Every *accepted* step goes
 //! through one centralized soundness gate: in debug builds the candidate
 //! is SAT-proven equivalent to its input
 //! ([`crate::check::check_equivalence`]) and an unsound pass panics with
 //! the counterexample instead of silently corrupting the network.
 //! [`Flow::run_with_report`] additionally returns a [`FlowReport`] with
 //! per-pass node/depth deltas and wall-clock timing.
+//!
+//! The `dch` step is the choice collector: the flow snapshots every
+//! candidate network (accepted or rejected — each is an equivalent
+//! structure), and `dch` fuses the accumulated snapshots into a
+//! [`ChoiceAig`] (classes of SAT-proven-equivalent nodes linked into
+//! choice rings) that [`Flow::run_with_choices`] hands back for
+//! choice-aware mapping. As a plain network transformation `dch` is a
+//! SAT sweep: the current network with every proven class collapsed onto
+//! its representative.
 
 use crate::balance::balance;
+use crate::choice::ChoiceAig;
 use crate::graph::Aig;
 use crate::refactor::refactor;
 use crate::rewrite::{rewrite_with, RewriteConfig};
@@ -83,19 +93,24 @@ impl Pass for BalancePass {
     }
 }
 
-/// DAG-aware NPN-class cut rewriting (`rw`, `rw -z`).
+/// DAG-aware NPN-class cut rewriting (`rw`, `rw -z`, `rw -l`).
 pub struct RewritePass {
     /// `-z`: accept zero-gain (structure-changing, size-neutral)
     /// replacements.
     pub zero_gain: bool,
+    /// `-l`: depth-aware rewriting — candidates that would raise the cut
+    /// root's level are rejected inside the pass, and the pass-level
+    /// accept criterion tightens to "depth never grows".
+    pub level_aware: bool,
 }
 
 impl Pass for RewritePass {
     fn name(&self) -> &'static str {
-        if self.zero_gain {
-            "rw -z"
-        } else {
-            "rw"
+        match (self.zero_gain, self.level_aware) {
+            (false, false) => "rw",
+            (true, false) => "rw -z",
+            (false, true) => "rw -l",
+            (true, true) => "rw -z -l",
         }
     }
 
@@ -104,6 +119,7 @@ impl Pass for RewritePass {
             aig,
             &RewriteConfig {
                 zero_gain: self.zero_gain,
+                level_aware: self.level_aware,
                 ..RewriteConfig::default()
             },
         )
@@ -111,17 +127,24 @@ impl Pass for RewritePass {
 
     /// `rw` must strictly shrink; `rw -z` may also hold size constant
     /// (that is its purpose — the structural perturbation pays off in a
-    /// later pass). Either way depth may not regress by more than ~12 %:
-    /// the synthesized network feeds a delay-objective mapper by
-    /// default, and a large depth trade for a marginal size gain is a
-    /// net loss there (balance cannot always recover it).
+    /// later pass). Depth may not regress by more than ~12 % — the
+    /// synthesized network feeds a delay-objective mapper by default,
+    /// and a large depth trade for a marginal size gain is a net loss
+    /// there (balance cannot always recover it) — and in the
+    /// depth-aware `-l` mode it may not regress at all, making `b` no
+    /// longer the only depth lever in a script.
     fn accept(&self, before: Metrics, after: Metrics) -> bool {
         let size_ok = if self.zero_gain {
             after.ands <= before.ands
         } else {
             after.ands < before.ands
         };
-        size_ok && after.depth <= before.depth + before.depth / 8
+        let depth_cap = if self.level_aware {
+            before.depth
+        } else {
+            before.depth + before.depth / 8
+        };
+        size_ok && after.depth <= depth_cap
     }
 }
 
@@ -142,19 +165,29 @@ impl Pass for RefactorPass {
     }
 }
 
-/// A flow script failed to parse.
+/// A flow script failed to parse. Every variant that names a token also
+/// carries `at`, the byte offset of that token in the script, so a typo
+/// rows deep into a long script is pinpointed instead of merely blamed
+/// on the whole string.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FlowError {
     /// The script contains no passes.
     Empty,
     /// An unrecognized pass token.
-    UnknownPass(String),
+    UnknownPass {
+        /// The offending token.
+        pass: String,
+        /// Byte offset of the token in the script.
+        at: usize,
+    },
     /// A flag the named pass does not take.
     UnknownFlag {
         /// The pass the flag was attached to.
         pass: String,
         /// The offending flag.
         flag: String,
+        /// Byte offset of the flag in the script.
+        at: usize,
     },
 }
 
@@ -162,11 +195,17 @@ impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlowError::Empty => write!(f, "empty flow script (expected e.g. \"{DEFAULT_FLOW}\")"),
-            FlowError::UnknownPass(p) => {
-                write!(f, "unknown pass `{p}` (expected b, rw, rw -z, or rf)")
+            FlowError::UnknownPass { pass, at } => {
+                write!(
+                    f,
+                    "unknown pass `{pass}` at offset {at} (expected b, rw, rw -z, rw -l, rf, or dch)"
+                )
             }
-            FlowError::UnknownFlag { pass, flag } => {
-                write!(f, "pass `{pass}` does not take flag `{flag}`")
+            FlowError::UnknownFlag { pass, flag, at } => {
+                write!(
+                    f,
+                    "pass `{pass}` does not take flag `{flag}` (at offset {at})"
+                )
             }
         }
     }
@@ -174,38 +213,84 @@ impl std::fmt::Display for FlowError {
 
 impl std::error::Error for FlowError {}
 
-/// A parsed synthesis script: an ordered list of passes.
+/// One step of a parsed flow: an ordinary network-to-network pass, or
+/// the `dch` choice collector (which needs the flow's snapshot history,
+/// not just the current network).
+enum Step {
+    Pass(Box<dyn Pass + Send + Sync>),
+    Dch,
+}
+
+impl Step {
+    fn name(&self) -> &'static str {
+        match self {
+            Step::Pass(p) => p.name(),
+            Step::Dch => "dch",
+        }
+    }
+}
+
+/// A parsed synthesis script: an ordered list of steps.
 pub struct Flow {
-    passes: Vec<Box<dyn Pass + Send + Sync>>,
+    steps: Vec<Step>,
+}
+
+/// Tokens of a segment with their byte offsets inside the segment
+/// (whitespace-separated, ASCII whitespace).
+fn tokens_with_offsets(segment: &str) -> Vec<(usize, &str)> {
+    let bytes = segment.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        out.push((start, &segment[start..i]));
+    }
+    out
 }
 
 impl Flow {
     /// Parses a flow script.
     ///
-    /// Grammar: passes separated by `;` (empty segments are ignored, so
+    /// Grammar: steps separated by `;` (empty segments are ignored, so
     /// trailing separators are fine). Each segment is a pass token plus
     /// optional flags, whitespace-separated:
     ///
     /// * `b` — balance;
-    /// * `rw` — cut rewriting (`-z` accepts zero-gain replacements);
-    /// * `rf` — SOP refactoring.
+    /// * `rw` — cut rewriting (`-z` accepts zero-gain replacements,
+    ///   `-l` rejects candidates that raise the cut root's level);
+    /// * `rf` — SOP refactoring;
+    /// * `dch` — SAT sweep + choice collection over the snapshots
+    ///   accumulated so far (see [`Flow::run_with_choices`]).
     ///
     /// # Errors
     ///
-    /// [`FlowError`] on an empty script, unknown pass, or invalid flag.
+    /// [`FlowError`] on an empty script, unknown pass, or invalid flag —
+    /// with the offending token and its byte offset in the script.
     pub fn parse(script: &str) -> Result<Self, FlowError> {
-        let mut passes: Vec<Box<dyn Pass + Send + Sync>> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut offset = 0usize;
         for segment in script.split(';') {
-            let mut tokens = segment.split_whitespace();
-            let Some(name) = tokens.next() else {
+            let tokens = tokens_with_offsets(segment);
+            let segment_offset = offset;
+            offset += segment.len() + 1; // the consumed `;`
+            let Some(&(name_at, name)) = tokens.first() else {
                 continue; // empty segment
             };
-            let flags: Vec<&str> = tokens.collect();
+            let name_at = segment_offset + name_at;
+            let flags = &tokens[1..];
             let reject_flags = |pass: &str| -> Result<(), FlowError> {
                 match flags.first() {
-                    Some(&flag) => Err(FlowError::UnknownFlag {
+                    Some(&(at, flag)) => Err(FlowError::UnknownFlag {
                         pass: pass.to_owned(),
                         flag: flag.to_owned(),
+                        at: segment_offset + at,
                     }),
                     None => Ok(()),
                 }
@@ -213,33 +298,49 @@ impl Flow {
             match name {
                 "b" | "balance" => {
                     reject_flags(name)?;
-                    passes.push(Box::new(BalancePass));
+                    steps.push(Step::Pass(Box::new(BalancePass)));
                 }
                 "rf" | "refactor" => {
                     reject_flags(name)?;
-                    passes.push(Box::new(RefactorPass));
+                    steps.push(Step::Pass(Box::new(RefactorPass)));
+                }
+                "dch" => {
+                    reject_flags(name)?;
+                    steps.push(Step::Dch);
                 }
                 "rw" | "rewrite" => {
                     let mut zero_gain = false;
-                    for &flag in &flags {
-                        if flag == "-z" {
-                            zero_gain = true;
-                        } else {
-                            return Err(FlowError::UnknownFlag {
-                                pass: name.to_owned(),
-                                flag: flag.to_owned(),
-                            });
+                    let mut level_aware = false;
+                    for &(at, flag) in flags {
+                        match flag {
+                            "-z" => zero_gain = true,
+                            "-l" => level_aware = true,
+                            _ => {
+                                return Err(FlowError::UnknownFlag {
+                                    pass: name.to_owned(),
+                                    flag: flag.to_owned(),
+                                    at: segment_offset + at,
+                                })
+                            }
                         }
                     }
-                    passes.push(Box::new(RewritePass { zero_gain }));
+                    steps.push(Step::Pass(Box::new(RewritePass {
+                        zero_gain,
+                        level_aware,
+                    })));
                 }
-                other => return Err(FlowError::UnknownPass(other.to_owned())),
+                other => {
+                    return Err(FlowError::UnknownPass {
+                        pass: other.to_owned(),
+                        at: name_at,
+                    })
+                }
             }
         }
-        if passes.is_empty() {
+        if steps.is_empty() {
             return Err(FlowError::Empty);
         }
-        Ok(Self { passes })
+        Ok(Self { steps })
     }
 
     /// The parsed default flow ([`DEFAULT_FLOW`]).
@@ -247,56 +348,117 @@ impl Flow {
         Self::parse(DEFAULT_FLOW).expect("the default flow parses")
     }
 
-    /// Number of passes in the script.
+    /// Number of steps in the script.
     pub fn len(&self) -> usize {
-        self.passes.len()
+        self.steps.len()
     }
 
-    /// Whether the flow has no passes (unreachable through `parse`).
+    /// Whether the flow has no steps (unreachable through `parse`).
     pub fn is_empty(&self) -> bool {
-        self.passes.is_empty()
+        self.steps.is_empty()
     }
 
-    /// Whether any pass is a rewrite (`rw` / `rw -z`) — drivers use this
+    /// Whether any pass is a rewrite (`rw` variants) — drivers use this
     /// to decide whether warming the shared rewrite library is worth it.
     pub fn uses_rewrite(&self) -> bool {
-        self.passes.iter().any(|p| p.name().starts_with("rw"))
+        self.steps.iter().any(|s| s.name().starts_with("rw"))
+    }
+
+    /// Whether the script contains a `dch` step, i.e. whether
+    /// [`Flow::run_with_choices`] will return a [`ChoiceAig`].
+    pub fn uses_choices(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Dch))
+    }
+
+    /// This flow with a trailing `dch` step appended when the script has
+    /// none — how `--choices` upgrades a plain script.
+    #[must_use]
+    pub fn with_choices(mut self) -> Self {
+        if !self.uses_choices() {
+            self.steps.push(Step::Dch);
+        }
+        self
     }
 
     /// The script tokens, re-serialized (`"b; rw; …"`).
     pub fn script(&self) -> String {
-        self.passes
+        self.steps
             .iter()
-            .map(|p| p.name())
+            .map(Step::name)
             .collect::<Vec<_>>()
             .join("; ")
     }
 
-    /// Runs the flow: cleanup, then each pass in order under its accept
+    /// Runs the flow: cleanup, then each step in order under its accept
     /// criterion and the centralized debug SAT-soundness gate.
     pub fn run(&self, aig: &Aig) -> Aig {
-        self.run_with_report(aig).0
+        self.run_with_choices(aig).0
     }
 
-    /// Like [`Flow::run`], also returning the per-pass [`FlowReport`].
+    /// Like [`Flow::run`], also returning the per-step [`FlowReport`].
     pub fn run_with_report(&self, aig: &Aig) -> (Aig, FlowReport) {
+        let (best, _, report) = self.run_with_choices(aig);
+        (best, report)
+    }
+
+    /// Runs the flow and additionally returns the [`ChoiceAig`] built by
+    /// the last `dch` step (`None` when the script has none).
+    ///
+    /// Every candidate network a pass proposes — accepted or rejected —
+    /// is snapshotted; a `dch` step fuses the current network plus the
+    /// accumulated snapshots (reverse-chronological, so representatives
+    /// come from the most optimized structure) into a [`ChoiceAig`], and
+    /// proposes the collapsed (SAT-swept) network as its own candidate.
+    /// The collapse is rejected when it would make a primary output
+    /// constant that was not structurally constant before — the mapper
+    /// has no tie cells, so such a network cannot be mapped.
+    pub fn run_with_choices(&self, aig: &Aig) -> (Aig, Option<ChoiceAig>, FlowReport) {
         let started = Instant::now();
         let mut best = aig.cleanup();
         let initial = Metrics::of(&best);
-        let mut reports = Vec::with_capacity(self.passes.len());
-        for pass in &self.passes {
+        let mut snapshots: Vec<Aig> = vec![best.clone()];
+        let mut choices: Option<ChoiceAig> = None;
+        let mut reports = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
             let before = Metrics::of(&best);
             let t0 = Instant::now();
-            let candidate = pass.apply(&best);
+            let is_dch = matches!(step, Step::Dch);
+            let (candidate, after, accepted) = match step {
+                Step::Pass(pass) => {
+                    let candidate = pass.apply(&best);
+                    let after = Metrics::of(&candidate);
+                    let accepted = pass.accept(before, after);
+                    (candidate, after, accepted)
+                }
+                Step::Dch => {
+                    // Snapshots in reverse-chronological order, current
+                    // network first: its nodes become the class
+                    // representatives and its outputs the functions.
+                    let mut snaps: Vec<Aig> = vec![best.clone()];
+                    snaps.extend(snapshots.iter().rev().cloned());
+                    let choice =
+                        ChoiceAig::build(&snaps).expect("flow snapshots share one interface");
+                    let collapsed = choice.collapsed();
+                    let after = Metrics::of(&collapsed);
+                    let accepted = after.ands <= before.ands
+                        && after.depth <= before.depth + before.depth / 8
+                        && no_new_constant_outputs(&best, &collapsed);
+                    choices = Some(choice);
+                    (collapsed, after, accepted)
+                }
+            };
             let elapsed = t0.elapsed();
-            let after = Metrics::of(&candidate);
-            let accepted = pass.accept(before, after);
             if accepted {
-                debug_assert_pass_sound(&best, &candidate, pass.name());
+                debug_assert_pass_sound(&best, &candidate, step.name());
+                // Rejected pass candidates are still sound alternatives
+                // worth snapshotting; accepted ones replace the network.
+                snapshots.push(candidate.clone());
                 best = candidate;
+            } else if !is_dch {
+                snapshots.push(candidate);
             }
             reports.push(PassReport {
-                name: pass.name().to_owned(),
+                name: step.name().to_owned(),
                 accepted,
                 before,
                 after,
@@ -309,8 +471,20 @@ impl Flow {
             passes: reports,
             elapsed: started.elapsed(),
         };
-        (best, report)
+        (best, choices, report)
     }
+}
+
+/// Whether the collapse turned a live primary output into a structural
+/// constant (the SAT sweep can *prove* an output constant; the mapper
+/// cannot express that without tie cells, so the flow must not hand it
+/// such a network).
+fn no_new_constant_outputs(before: &Aig, after: &Aig) -> bool {
+    before
+        .output_lits()
+        .iter()
+        .zip(after.output_lits())
+        .all(|(b, a)| a.node() != 0 || b.node() == 0)
 }
 
 impl std::fmt::Debug for Flow {
@@ -489,33 +663,111 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed_scripts() {
+    fn parse_rejects_malformed_scripts_with_spans() {
         assert_eq!(Flow::parse("").err(), Some(FlowError::Empty));
         assert_eq!(Flow::parse(" ;; ").err(), Some(FlowError::Empty));
+        // The offending token and its byte offset are reported, not just
+        // the whole script.
         assert_eq!(
             Flow::parse("b; frobnicate").err(),
-            Some(FlowError::UnknownPass("frobnicate".into()))
+            Some(FlowError::UnknownPass {
+                pass: "frobnicate".into(),
+                at: 3
+            })
+        );
+        assert_eq!(
+            Flow::parse("b; rw;  xyz; rf").err(),
+            Some(FlowError::UnknownPass {
+                pass: "xyz".into(),
+                at: 8
+            })
         );
         assert_eq!(
             Flow::parse("b -z").err(),
             Some(FlowError::UnknownFlag {
                 pass: "b".into(),
-                flag: "-z".into()
+                flag: "-z".into(),
+                at: 2
             })
         );
         assert_eq!(
-            Flow::parse("rw -q").err(),
+            Flow::parse("b; rw -q").err(),
             Some(FlowError::UnknownFlag {
                 pass: "rw".into(),
-                flag: "-q".into()
+                flag: "-q".into(),
+                at: 6
             })
         );
+        assert_eq!(
+            Flow::parse("dch -z").err(),
+            Some(FlowError::UnknownFlag {
+                pass: "dch".into(),
+                flag: "-z".into(),
+                at: 4
+            })
+        );
+        let err = Flow::parse("b; rw;  xyz; rf").unwrap_err();
+        assert!(err.to_string().contains("`xyz` at offset 8"), "{err}");
     }
 
     #[test]
     fn parse_accepts_long_names_and_loose_separators() {
-        let flow = Flow::parse("balance ; rewrite -z;; refactor;").expect("parses");
-        assert_eq!(flow.script(), "b; rw -z; rf");
+        let flow = Flow::parse("balance ; rewrite -z;; refactor; dch").expect("parses");
+        assert_eq!(flow.script(), "b; rw -z; rf; dch");
+        assert!(flow.uses_choices());
+    }
+
+    #[test]
+    fn parse_accepts_depth_aware_rewriting() {
+        let flow = Flow::parse("rw -l; rw -z -l; b").expect("parses");
+        assert_eq!(flow.script(), "rw -l; rw -z -l; b");
+        assert!(flow.uses_rewrite());
+        assert!(!flow.uses_choices());
+        // Round trip.
+        assert_eq!(
+            Flow::parse(&flow.script()).expect("round trip").script(),
+            flow.script()
+        );
+    }
+
+    #[test]
+    fn with_choices_appends_one_dch_step() {
+        let flow = Flow::parse("b; rw").expect("parses").with_choices();
+        assert_eq!(flow.script(), "b; rw; dch");
+        // Idempotent: a script that already collects choices is kept.
+        let twice = flow.with_choices();
+        assert_eq!(twice.script(), "b; rw; dch");
+    }
+
+    #[test]
+    fn dch_step_collapses_and_returns_choices() {
+        // Internal redundancy the strash cannot see: the sweep must
+        // merge it, and the flow must hand back the choice network.
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let x1 = aig.xor(a, b);
+        let t1 = aig.and(a.not(), b.not());
+        let t2 = aig.and(a, b);
+        let x2 = aig.or(t1, t2).not();
+        let f = aig.and(x1, c);
+        let g = aig.or(x2, c);
+        aig.output(f);
+        aig.output(g);
+        let flow = Flow::parse("b; rw; dch").expect("parses");
+        let (optimized, choices, report) = flow.run_with_choices(&aig);
+        let choices = choices.expect("dch scripts return choices");
+        assert!(equivalent(&aig, &optimized, 0x7C, 32));
+        assert_eq!(
+            crate::check::check_equivalence(&aig, &choices.collapsed()),
+            Ok(crate::check::Equivalence::Equal)
+        );
+        assert!(choices.verify_acyclic());
+        assert_eq!(report.passes.last().map(|p| p.name.as_str()), Some("dch"));
+        // Scripts without dch return no choices and do no sweep work.
+        let (_, none, _) = Flow::parse("b").expect("parses").run_with_choices(&aig);
+        assert!(none.is_none());
     }
 
     #[test]

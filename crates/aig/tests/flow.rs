@@ -142,7 +142,10 @@ fn pass_token() -> impl Strategy<Value = &'static str> {
         Just("b"),
         Just("rw"),
         Just("rw -z"),
+        Just("rw -l"),
+        Just("rw -z -l"),
         Just("rf"),
+        Just("dch"),
         Just("balance"),
         Just("rewrite -z"),
         Just("refactor"),

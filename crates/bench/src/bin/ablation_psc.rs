@@ -12,7 +12,7 @@ use device::{Polarity, TechParams};
 use gate_lib::GateFamily;
 use power_est::simulate_activity;
 use spice_lite::{ramp, transient, Circuit, GROUND};
-use techmap::{critical_path, map_aig_with_cache, MapConfig};
+use techmap::critical_path;
 
 /// Measures E_SC/E_D for an inverter with load `c_load` and input rise
 /// time `t_edge`.
@@ -84,7 +84,9 @@ fn main() {
          three families alike and cannot flip any Table-1 comparison (quantified below).\n"
     );
     let bench = bench_circuits::benchmark_by_name("C3540").expect("C3540 exists");
-    let synthesized = args.flow().run(&bench.aig);
+    let pipeline = args.pipeline_config();
+    let flow = args.flow_with_choices();
+    let (synthesized, choices, _) = flow.run_with_choices(&bench.aig);
     println!("P_SC sensitivity on {} ({}):", bench.name, bench.function);
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12}",
@@ -92,13 +94,9 @@ fn main() {
     );
     for family in GateFamily::ALL {
         let lib = engine::library(family);
-        let mapped = map_aig_with_cache(
-            &synthesized,
-            lib,
-            engine::match_cache(family),
-            &MapConfig::default(),
-        )
-        .expect("built-in benchmarks map");
+        let (mapped, _) =
+            ambipolar::pipeline::map_portfolio(&synthesized, choices.as_ref(), lib, &pipeline)
+                .expect("built-in benchmarks map");
         let act = simulate_activity(
             &mapped,
             lib,

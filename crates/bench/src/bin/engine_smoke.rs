@@ -75,14 +75,33 @@ fn main() {
     );
 
     // Flow stage timing: run the configured flow on an XOR-rich sample
-    // circuit and report per-pass deltas and wall-clock.
-    let flow = args.flow();
+    // circuit and report per-pass deltas and wall-clock. With --choices
+    // (or a flow that already has a dch step) the choice network's
+    // per-class/ring statistics are reported too.
+    let flow = args.flow_with_choices();
     let sample = bench_circuits::benchmark_by_name("C1355").expect("C1355");
-    let (_, flow_report) = flow.run_with_report(&sample.aig);
+    let (_, sample_choices, flow_report) = flow.run_with_choices(&sample.aig);
     println!("  flow stages on {} ({}):", sample.name, sample.function);
     for line in flow_report.to_string().lines() {
         println!("    {line}");
     }
+    let choice_stats = sample_choices.as_ref().map(|choices| {
+        let stats = choices.stats();
+        assert!(choices.verify_acyclic(), "choice rings must be acyclic");
+        println!(
+            "  choice network on {}: {} snapshots -> {} arena ANDs, {} classes with choices, \
+             {} ring members (max ring {}), {} merges ({} unlinked by the acyclicity guard)",
+            sample.name,
+            stats.snapshots,
+            stats.arena_ands,
+            stats.classes_with_choices,
+            stats.choices,
+            stats.max_ring,
+            stats.merged,
+            stats.guard_rejected,
+        );
+        stats
+    });
 
     // Warm the library cache outside the timed region so both drivers
     // time pure pipeline work (and so the cache claim is checked exactly).
@@ -153,7 +172,7 @@ fn main() {
                 )
             })
             .collect();
-        let extra = [
+        let mut extra = vec![
             ("serial_seconds", bench::qor::json_seconds(serial_time)),
             ("parallel_seconds", bench::qor::json_seconds(parallel_time)),
             (
@@ -162,6 +181,22 @@ fn main() {
             ),
             ("flow_stages_c1355", format!("[{}]", flow_passes.join(", "))),
         ];
+        if let Some(stats) = choice_stats {
+            extra.push((
+                "choice_stats_c1355",
+                format!(
+                    "{{\"snapshots\": {}, \"arena_ands\": {}, \"classes_with_choices\": {}, \
+                     \"choices\": {}, \"max_ring\": {}, \"merged\": {}, \"guard_rejected\": {}}}",
+                    stats.snapshots,
+                    stats.arena_ands,
+                    stats.classes_with_choices,
+                    stats.choices,
+                    stats.max_ring,
+                    stats.merged,
+                    stats.guard_rejected,
+                ),
+            ));
+        }
         let doc =
             bench::qor::table1_json("engine_smoke", &parallel, &config, parallel_time, &extra);
         bench::qor::write_or_exit(path, &doc);

@@ -10,7 +10,7 @@
 //! ```
 
 use ambipolar::engine;
-use ambipolar::pipeline::evaluate_circuit;
+use ambipolar::pipeline::evaluate_circuit_with_choices;
 use bench::BenchArgs;
 use gate_lib::GateFamily;
 
@@ -39,8 +39,9 @@ fn main() {
         aig.output_count(),
         aig.and_count()
     );
-    let flow = args.flow();
-    let (synthesized, report) = flow.run_with_report(&aig);
+    let config = args.pipeline_config();
+    let flow = args.flow_with_choices();
+    let (synthesized, choices, report) = flow.run_with_choices(&aig);
     println!(
         "after flow \"{}\": {} AND nodes, depth {}",
         flow.script(),
@@ -48,10 +49,19 @@ fn main() {
         synthesized.depth()
     );
     print!("{report}");
-    let config = args.pipeline_config();
+    if let Some(choices) = &choices {
+        let stats = choices.stats();
+        println!(
+            "choices: {} snapshots -> {} classes with choices, {} ring members (max ring {})",
+            stats.snapshots, stats.classes_with_choices, stats.choices, stats.max_ring
+        );
+    }
     println!(
-        "mapping objective: {}, cut width: {}, verification: {}",
-        config.map.objective, config.map.cut_k, config.verify
+        "mapping objective: {}, cut width: {}, verification: {}, choices: {}",
+        config.map.objective,
+        config.map.cut_k,
+        config.verify,
+        if config.choices { "on" } else { "off" }
     );
     println!(
         "\n{:<22} {:>7} {:>10} {:>10} {:>10} {:>12}",
@@ -59,10 +69,11 @@ fn main() {
     );
     for family in GateFamily::ALL {
         let library = engine::library(family);
-        let r = evaluate_circuit(&synthesized, library, &config).unwrap_or_else(|e| {
-            eprintln!("{path}: mapping onto {family} failed: {e}");
-            std::process::exit(1);
-        });
+        let r = evaluate_circuit_with_choices(&synthesized, choices.as_ref(), library, &config)
+            .unwrap_or_else(|e| {
+                eprintln!("{path}: mapping onto {family} failed: {e}");
+                std::process::exit(1);
+            });
         println!(
             "{:<22} {:>7} {:>10} {:>10} {:>10} {:>12.2e}",
             family.label(),

@@ -3,7 +3,7 @@
 //! optimum sits. The paper fixes V_DD = 0.9 V; this quantifies how robust
 //! its conclusions are to voltage scaling.
 
-use ambipolar::pipeline::{evaluate_circuit, PipelineConfig};
+use ambipolar::pipeline::{evaluate_circuit_with_choices, PipelineConfig};
 use bench::BenchArgs;
 use charlib::characterize::characterize_library_with;
 use gate_lib::GateFamily;
@@ -12,13 +12,15 @@ fn main() {
     let args = BenchArgs::parse();
     args.reject_json("vdd_sweep");
     let bench = bench_circuits::benchmark_by_name("C1908").expect("C1908 exists");
-    let synthesized = args.flow().run(&bench.aig);
     // Off-default technology points (V_DD ≠ 0.9 V) cannot come from the
     // engine cache; each sweep point characterizes its own library below.
     let config = PipelineConfig {
         patterns: args.patterns_or(1 << 14),
+        choices: args.choices,
         ..PipelineConfig::default()
     };
+    let flow = args.flow_with_choices();
+    let (synthesized, choices, _) = flow.run_with_choices(&bench.aig);
     let config = match args.seed {
         Some(seed) => PipelineConfig { seed, ..config },
         None => config,
@@ -34,8 +36,9 @@ fn main() {
         for (fi, family) in GateFamily::ALL.iter().enumerate() {
             let tech = family.tech().with_vdd(vdd);
             let library = characterize_library_with(*family, tech);
-            let r = evaluate_circuit(&synthesized, &library, &config)
-                .expect("built-in benchmarks map at every sweep point");
+            let r =
+                evaluate_circuit_with_choices(&synthesized, choices.as_ref(), &library, &config)
+                    .expect("built-in benchmarks map at every sweep point");
             let edp = r.edp().value();
             if edp < edp_min[fi].0 {
                 edp_min[fi] = (edp, vdd);

@@ -36,6 +36,10 @@ pub mod qor;
 /// * `--cut-k N` — cut width for the mapper, `2..=6` (default: 6);
 /// * `--verify off|sim|sat` — post-mapping verification (default: off;
 ///   `sat` proves every mapped netlist equivalent to its source AIG);
+/// * `--choices` — choice-aware mapping: synthesis collects structural
+///   choices (a `dch` step is appended when the flow has none) and each
+///   circuit is mapped over them, keeping the choice netlist whenever it
+///   uses no more gates;
 /// * `--json PATH` — write the machine-readable QoR/runtime artifact
 ///   (supported by `table1` and `engine_smoke`);
 /// * positional arguments (e.g. the AIGER path for `map_aiger`, circuit
@@ -54,6 +58,8 @@ pub struct BenchArgs {
     pub cut_k: Option<usize>,
     /// `--verify MODE`, if given.
     pub verify: Option<Verify>,
+    /// Whether `--choices` was given.
+    pub choices: bool,
     /// `--json PATH`, if given.
     pub json: Option<String>,
     /// Whether `--paper` was given.
@@ -73,7 +79,7 @@ impl BenchArgs {
                 eprintln!(
                     "usage: [--patterns N] [--seed S] [--paper] [--flow SCRIPT] \
                      [--objective delay|area|energy] [--cut-k N] \
-                     [--verify off|sim|sat] [--json PATH] [positional...]"
+                     [--verify off|sim|sat] [--choices] [--json PATH] [positional...]"
                 );
                 std::process::exit(2);
             }
@@ -93,6 +99,7 @@ impl BenchArgs {
             || args.objective.is_some()
             || args.cut_k.is_some()
             || args.verify.is_some()
+            || args.choices
             || args.json.is_some()
             || args.paper
             || !args.positional.is_empty()
@@ -129,6 +136,20 @@ impl BenchArgs {
         match &self.flow {
             Some(script) => aig::Flow::parse(script).expect("--flow validated at parse time"),
             None => aig::Flow::default_flow(),
+        }
+    }
+
+    /// [`BenchArgs::flow`] with the `--choices` upgrade applied: a
+    /// trailing `dch` step is appended when `--choices` is on and the
+    /// script has none — the same rule the Table-1 drivers use
+    /// (`ambipolar::engine::parse_flow`). Binaries that drive the
+    /// pipeline directly share this so they cannot drift from the
+    /// drivers.
+    pub fn flow_with_choices(&self) -> aig::Flow {
+        if self.choices {
+            self.flow().with_choices()
+        } else {
+            self.flow()
         }
     }
 
@@ -182,6 +203,7 @@ impl BenchArgs {
                     out.verify = Some(value.parse().map_err(|e| format!("--verify: {e}"))?);
                 }
                 "--paper" => out.paper = true,
+                "--choices" => out.choices = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag: {flag}"));
                 }
@@ -218,6 +240,7 @@ impl BenchArgs {
         if let Some(verify) = self.verify {
             config.verify = verify;
         }
+        config.choices = self.choices;
         config
     }
 
@@ -261,11 +284,13 @@ mod tests {
             "4",
             "--verify",
             "sat",
+            "--choices",
             "--json",
             "out.json",
         ])
         .unwrap();
         assert!(args.paper);
+        assert!(args.choices);
         assert_eq!(args.patterns, Some(4096));
         assert_eq!(args.seed, Some(42));
         assert_eq!(args.flow.as_deref(), Some("b; rw -z; rf"));
@@ -329,6 +354,11 @@ mod tests {
             .unwrap()
             .pipeline_config();
         assert_eq!(verified.verify, Verify::Sat);
+        assert!(!verified.choices, "choices default off");
+        let with_choices = BenchArgs::parse_from(["--choices"])
+            .unwrap()
+            .pipeline_config();
+        assert!(with_choices.choices);
         // Untouched knobs keep their defaults.
         assert_eq!(config.map.max_cuts, techmap::MapConfig::DEFAULT_MAX_CUTS);
     }

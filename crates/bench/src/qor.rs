@@ -39,6 +39,7 @@ pub fn table1_json(
     );
     let _ = writeln!(out, "  \"cut_k\": {},", p.map.cut_k);
     let _ = writeln!(out, "  \"verify\": {},", json_string(&p.verify.to_string()));
+    let _ = writeln!(out, "  \"choices\": {},", p.choices);
     let _ = writeln!(out, "  \"frequency_hz\": {},", json_f64(p.frequency_hz));
     let _ = writeln!(out, "  \"wall_seconds\": {},", json_f64(wall.as_secs_f64()));
     for (key, value) in extra {
@@ -61,9 +62,15 @@ pub fn table1_json(
         );
         for (k, r) in row.results.iter().enumerate() {
             let energy = r.total_power().value() / p.frequency_hz;
+            // Choice-aware runs record the no-choice gate count so the
+            // artifact carries the QoR delta per circuit × family.
+            let delta = r
+                .gates_no_choice
+                .map(|g| format!(", \"gates_no_choice\": {g}"))
+                .unwrap_or_default();
             let _ = write!(
                 out,
-                "{}{{\"gates\": {}, \"delay_s\": {}, \"area_m2\": {}, \"pd_w\": {}, \
+                "{}{{\"gates\": {}{delta}, \"delay_s\": {}, \"area_m2\": {}, \"pd_w\": {}, \
                  \"ps_w\": {}, \"pt_w\": {}, \"energy_j\": {}, \"edp_js\": {}, \
                  \"transistors\": {}}}",
                 if k == 0 { "" } else { ", " },

@@ -27,7 +27,8 @@
 //! [`PipelineError`] instead of panicking.
 
 use crate::experiments::{Table1, Table1Config, Table1Row};
-use crate::pipeline::{evaluate_circuit, CircuitResult, PipelineError};
+use crate::pipeline::{evaluate_circuit_with_choices, CircuitResult, PipelineError};
+use aig::ChoiceAig;
 use charlib::{characterize_library, CharacterizedLibrary};
 use gate_lib::GateFamily;
 use rayon::prelude::*;
@@ -153,25 +154,60 @@ pub fn run_table1_subset(
     config: &Table1Config,
     names: Option<&[&str]>,
 ) -> Result<Table1, PipelineError> {
-    let flow = aig::Flow::parse(&config.pipeline.flow)?;
+    let flow = parse_flow(&config.pipeline)?;
     if flow.uses_rewrite() {
         rewrite_library();
     }
     let libs = libraries();
     let benches = selected_benchmarks(names);
-    let synthesized: Vec<aig::Aig> = benches
+    let synthesized: Vec<(aig::Aig, Option<ChoiceAig>)> = benches
         .par_iter()
-        .map(|bench| flow.run(&bench.aig))
+        .map(|bench| synthesize_with_choices(&flow, &bench.aig, &config.pipeline))
         .collect();
     let jobs: Vec<(usize, usize)> = (0..benches.len())
         .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
         .collect();
     let results: Vec<Result<CircuitResult, PipelineError>> = jobs
         .into_par_iter()
-        .map(|(ci, fi)| evaluate_circuit(&synthesized[ci], libs[fi], &config.pipeline))
+        .map(|(ci, fi)| {
+            let (aig, choices) = &synthesized[ci];
+            evaluate_circuit_with_choices(aig, choices.as_ref(), libs[fi], &config.pipeline)
+        })
         .collect();
     let results: Vec<CircuitResult> = results.into_iter().collect::<Result<_, _>>()?;
     Ok(assemble(benches, &synthesized, results))
+}
+
+/// Parses the configured flow script, appending a `dch` step when
+/// choice-aware mapping is requested on a script that has none.
+///
+/// # Errors
+///
+/// [`PipelineError::Flow`] on a malformed script.
+pub fn parse_flow(pipeline: &crate::pipeline::PipelineConfig) -> Result<aig::Flow, PipelineError> {
+    let flow = aig::Flow::parse(&pipeline.flow)?;
+    Ok(if pipeline.choices {
+        flow.with_choices()
+    } else {
+        flow
+    })
+}
+
+/// Synthesizes one benchmark through the flow, collecting the choice
+/// network when [`PipelineConfig::choices`](crate::pipeline::PipelineConfig::choices)
+/// asks for it (the flow is assumed to already carry a `dch` step — see
+/// [`parse_flow`]).
+pub fn synthesize_with_choices(
+    flow: &aig::Flow,
+    aig: &aig::Aig,
+    pipeline: &crate::pipeline::PipelineConfig,
+) -> (aig::Aig, Option<ChoiceAig>) {
+    if pipeline.choices {
+        let (synthesized, choices, _) = flow.run_with_choices(aig);
+        (synthesized, choices)
+    } else {
+        (flow.run(aig), None)
+    }
 }
 
 /// Serial reference implementation of [`run_table1_subset`]: identical
@@ -189,15 +225,24 @@ pub fn run_table1_serial(
     config: &Table1Config,
     names: Option<&[&str]>,
 ) -> Result<Table1, PipelineError> {
-    let flow = aig::Flow::parse(&config.pipeline.flow)?;
+    let flow = parse_flow(&config.pipeline)?;
     let libs = libraries();
     let benches = selected_benchmarks(names);
-    let synthesized: Vec<aig::Aig> = benches.iter().map(|bench| flow.run(&bench.aig)).collect();
+    let synthesized: Vec<(aig::Aig, Option<ChoiceAig>)> = benches
+        .iter()
+        .map(|bench| synthesize_with_choices(&flow, &bench.aig, &config.pipeline))
+        .collect();
     let results: Vec<CircuitResult> = synthesized
         .iter()
-        .flat_map(|aig| {
-            libs.iter()
-                .map(|lib| crate::pipeline::evaluate_circuit_serial(aig, lib, &config.pipeline))
+        .flat_map(|(aig, choices)| {
+            libs.iter().map(|lib| {
+                crate::pipeline::evaluate_circuit_serial_with_choices(
+                    aig,
+                    choices.as_ref(),
+                    lib,
+                    &config.pipeline,
+                )
+            })
         })
         .collect::<Result<_, _>>()?;
     Ok(assemble(benches, &synthesized, results))
@@ -212,7 +257,7 @@ fn selected_benchmarks(names: Option<&[&str]>) -> Vec<bench_circuits::Benchmark>
 
 fn assemble(
     benches: Vec<bench_circuits::Benchmark>,
-    synthesized: &[aig::Aig],
+    synthesized: &[(aig::Aig, Option<ChoiceAig>)],
     results: Vec<CircuitResult>,
 ) -> Table1 {
     let families = GateFamily::ALL.len();
@@ -222,7 +267,7 @@ fn assemble(
     let rows = benches
         .into_iter()
         .zip(synthesized)
-        .map(|(bench, aig)| {
+        .map(|(bench, (aig, _))| {
             let per_family: Vec<CircuitResult> = results.by_ref().take(families).collect();
             Table1Row {
                 name: bench.name.to_owned(),
@@ -342,6 +387,56 @@ mod tests {
             balance_only.rows[0].ands
         );
         assert!(default_run.rows[0].depth > 0);
+    }
+
+    #[test]
+    fn choice_mapping_never_regresses_and_records_the_delta() {
+        let pipeline = crate::pipeline::PipelineConfig {
+            patterns: 256,
+            choices: true,
+            ..Default::default()
+        };
+        let names = Some(&["t481"][..]);
+        let table =
+            run_table1_subset(&Table1Config { pipeline }, names).expect("choice-aware run maps");
+        for r in &table.rows[0].results {
+            let plain = r
+                .gates_no_choice
+                .expect("choice runs record the no-choice gate count");
+            assert!(
+                r.gates <= plain,
+                "the portfolio must never keep a worse choice mapping: {} vs {plain}",
+                r.gates
+            );
+        }
+        // Without choices, no delta is recorded.
+        let base = run_table1_subset(
+            &Table1Config {
+                pipeline: crate::pipeline::PipelineConfig {
+                    patterns: 256,
+                    ..Default::default()
+                },
+            },
+            names,
+        )
+        .expect("plain run maps");
+        assert!(base.rows[0].results[0].gates_no_choice.is_none());
+    }
+
+    #[test]
+    fn parallel_and_serial_tables_agree_with_choices() {
+        let config = Table1Config {
+            pipeline: crate::pipeline::PipelineConfig {
+                patterns: 512,
+                choices: true,
+                verify: techmap::Verify::Sat,
+                ..Default::default()
+            },
+        };
+        let names = Some(&["C1908"][..]);
+        let par = run_table1_subset(&config, names).expect("parallel choice run maps");
+        let ser = run_table1_serial(&config, names).expect("serial choice run maps");
+        assert_eq!(format!("{par}"), format!("{ser}"));
     }
 
     #[test]

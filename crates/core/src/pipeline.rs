@@ -1,13 +1,13 @@
 //! The per-circuit evaluation pipeline: synthesize once, then map, time
 //! and power-estimate against a characterized library.
 
-use aig::Aig;
+use aig::{Aig, ChoiceAig};
 use charlib::CharacterizedLibrary;
 use device::{EnergyDelay, Power, Time};
 use power_est::{estimate_power, simulate_activity, PowerBreakdown};
 use techmap::{
-    critical_path, map_aig_with_cache, verify_mapping_with, MapConfig, MapError, MappedNetlist,
-    Verify, VerifyError,
+    critical_path, map_aig_with_cache, map_choice_aig_with_cache, verify_mapping_with, MapConfig,
+    MapError, MappedNetlist, Verify, VerifyError,
 };
 
 /// Pipeline knobs.
@@ -30,6 +30,13 @@ pub struct PipelineConfig {
     /// Post-mapping verification: `Off` (default), `Sim`, or `Sat`
     /// (SAT-proof of every mapped netlist against its synthesized AIG).
     pub verify: Verify,
+    /// Map over structural choices: the Table-1 drivers synthesize
+    /// through [`aig::Flow::run_with_choices`] (appending a `dch` step
+    /// when the script has none), and each circuit is mapped both over
+    /// its [`ChoiceAig`] and plainly — the choice netlist is kept
+    /// whenever it uses no more gates (the no-choice gate count is
+    /// recorded in [`CircuitResult::gates_no_choice`]).
+    pub choices: bool,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +48,7 @@ impl Default for PipelineConfig {
             flow: aig::DEFAULT_FLOW.to_owned(),
             map: MapConfig::default(),
             verify: Verify::Off,
+            choices: false,
         }
     }
 }
@@ -112,6 +120,10 @@ pub struct CircuitResult {
     pub area: f64,
     /// Total transistors.
     pub transistors: usize,
+    /// When choice-aware mapping ran ([`PipelineConfig::choices`]): the
+    /// gate count the plain (no-choice) mapping would have used — the
+    /// QoR delta the `--json` artifact records.
+    pub gates_no_choice: Option<usize>,
 }
 
 impl CircuitResult {
@@ -145,10 +157,35 @@ pub fn evaluate_circuit(
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
 ) -> Result<CircuitResult, PipelineError> {
-    let cache = crate::engine::match_cache(library.family);
-    let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    evaluate_circuit_with_choices(synthesized, None, library, config)
+}
+
+/// [`evaluate_circuit`] with the flow's accumulated structural choices.
+///
+/// When `choices` is given and [`PipelineConfig::choices`] is on, the
+/// circuit is mapped twice — over the choice network
+/// ([`map_choice_aig_with_cache`]) and plainly — and the choice netlist
+/// is kept whenever it uses no more gates than the plain one (a choice
+/// mapping that fails, e.g. because the sweep proved an output constant,
+/// simply falls back). Both paths share the family's process-wide NPN
+/// match cache; the verification knob applies to whichever netlist is
+/// kept, so with `--verify sat` every reported choice-aware mapping is a
+/// SAT-proven theorem.
+///
+/// # Errors
+///
+/// As [`evaluate_circuit`].
+pub fn evaluate_circuit_with_choices(
+    synthesized: &Aig,
+    choices: Option<&ChoiceAig>,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> Result<CircuitResult, PipelineError> {
+    let (mapped, gates_no_choice) = map_portfolio(synthesized, choices, library, config)?;
     verify_mapped(synthesized, &mapped, library, config)?;
-    Ok(evaluate_mapped(&mapped, library, config))
+    let mut result = evaluate_mapped(&mapped, library, config);
+    result.gates_no_choice = gates_no_choice;
+    Ok(result)
 }
 
 /// Like [`evaluate_circuit`] but with the sequential reference simulator
@@ -163,15 +200,94 @@ pub fn evaluate_circuit_serial(
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
 ) -> Result<CircuitResult, PipelineError> {
-    let cache = crate::engine::match_cache(library.family);
-    let mapped = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    evaluate_circuit_serial_with_choices(synthesized, None, library, config)
+}
+
+/// Serial-reference twin of [`evaluate_circuit_with_choices`];
+/// bit-identical results.
+///
+/// # Errors
+///
+/// As [`evaluate_circuit`].
+pub fn evaluate_circuit_serial_with_choices(
+    synthesized: &Aig,
+    choices: Option<&ChoiceAig>,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> Result<CircuitResult, PipelineError> {
+    let (mapped, gates_no_choice) = map_portfolio(synthesized, choices, library, config)?;
     verify_mapped(synthesized, &mapped, library, config)?;
-    Ok(evaluate_mapped_with(
+    let mut result = evaluate_mapped_with(
         &mapped,
         library,
         config,
         power_est::simulate_activity_serial,
-    ))
+    );
+    result.gates_no_choice = gates_no_choice;
+    Ok(result)
+}
+
+/// The shared mapping portfolio. Plain mapping of the synthesized
+/// network always runs; with choices configured, two more candidates
+/// join: the choice-aware mapping, and the plain mapping of the choice
+/// network's *primary* snapshot — the network the flow would have
+/// produced without its `dch` step, i.e. the exact no-choice baseline.
+/// The smallest cover wins (ties prefer the choice mapping, then the
+/// synthesized network's), so enabling `--choices` can never regress a
+/// circuit's mapped gate count relative to the no-choice run — not even
+/// when the `dch` collapse reshapes the network in a way one library
+/// maps worse. Returns the kept netlist plus the baseline gate count
+/// whenever the choice path was attempted. Exposed for bench binaries
+/// that consume the mapped netlist directly.
+///
+/// # Errors
+///
+/// [`PipelineError::Map`] when a plain mapping fails (a failing
+/// *choice* mapping only falls back).
+pub fn map_portfolio(
+    synthesized: &Aig,
+    choices: Option<&ChoiceAig>,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+) -> Result<(MappedNetlist, Option<usize>), PipelineError> {
+    let cache = crate::engine::match_cache(library.family);
+    let plain = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    let Some(choice) = choices.filter(|_| config.choices) else {
+        return Ok((plain, None));
+    };
+    let choice_config = MapConfig {
+        use_choices: true,
+        ..config.map
+    };
+    let choice_mapped = map_choice_aig_with_cache(choice, library, cache, &choice_config).ok();
+    // When the dch collapse was rejected, the synthesized network IS the
+    // primary snapshot — don't map the same structure twice.
+    let baseline = if same_structure(synthesized, choice.primary()) {
+        None
+    } else {
+        Some(map_aig_with_cache(
+            choice.primary(),
+            library,
+            cache,
+            &config.map,
+        )?)
+    };
+    let gates_no_choice = Some(
+        baseline
+            .as_ref()
+            .map_or_else(|| plain.gate_count(), MappedNetlist::gate_count),
+    );
+    let best = [choice_mapped, Some(plain), baseline]
+        .into_iter()
+        .flatten()
+        .min_by_key(MappedNetlist::gate_count)
+        .expect("at least the plain mapping exists");
+    Ok((best, gates_no_choice))
+}
+
+/// Structural identity of two networks (same node array, same outputs).
+fn same_structure(a: &Aig, b: &Aig) -> bool {
+    a.nodes() == b.nodes() && a.output_lits() == b.output_lits()
 }
 
 /// Applies the configured post-mapping verification.
@@ -212,6 +328,7 @@ fn evaluate_mapped_with(
         power,
         area: mapped.area(library),
         transistors: mapped.transistor_count(library),
+        gates_no_choice: None,
     }
 }
 

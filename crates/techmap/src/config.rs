@@ -102,6 +102,13 @@ pub struct MapConfig {
     pub max_cuts: usize,
     /// Mapping-time load estimate.
     pub load: LoadModel,
+    /// Map over structural choices: when a
+    /// [`ChoiceAig`](aig::ChoiceAig) is supplied
+    /// ([`map_choice_aig`](crate::map_choice_aig)), enumerate cuts
+    /// across every choice ring so the cover may use structures earlier
+    /// flow passes discarded. With `false` the choice network is merely
+    /// collapsed to its representatives and mapped plain.
+    pub use_choices: bool,
 }
 
 impl Default for MapConfig {
@@ -111,6 +118,7 @@ impl Default for MapConfig {
             cut_k: Self::DEFAULT_CUT_K,
             max_cuts: Self::DEFAULT_MAX_CUTS,
             load: LoadModel::default(),
+            use_choices: false,
         }
     }
 }

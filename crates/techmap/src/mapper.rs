@@ -11,8 +11,9 @@
 use crate::config::{MapConfig, MapError, Objective};
 use crate::matching::{Matcher, NpnMatchCache};
 use crate::netlist::{Instance, MappedNetlist, NetRef};
-use aig::cuts::{enumerate_cuts, Cut, CutConfig};
-use aig::graph::{Aig, Node};
+use aig::choice::ChoiceAig;
+use aig::cuts::{enumerate_cuts, enumerate_cuts_choice, Cut, CutConfig};
+use aig::graph::{Aig, Lit, Node};
 use charlib::{CharacterizedGate, CharacterizedLibrary};
 use std::collections::HashMap;
 
@@ -86,14 +87,153 @@ pub fn map_aig_with_cache(
     let mut matcher = Matcher::new(cache);
 
     // Phase 3: objective-driven selection.
-    let chosen = select_matches(&aig, &cuts, &mut matcher, library, config)?;
+    let order: Vec<u32> = (0..aig.len() as u32)
+        .filter(|&n| matches!(aig.node(n), Node::And(_, _)))
+        .collect();
+    let fanouts = aig.fanouts();
+    let chosen = select_matches(&aig, &order, &fanouts, &cuts, &mut matcher, library, config)?;
 
     // Phase 4: cover extraction (which matches are actually used, in
     // topological emission order).
-    let cover = extract_cover(&aig, &cuts, &chosen)?;
+    let cover = extract_cover(
+        aig.len(),
+        aig.input_nodes(),
+        aig.output_lits(),
+        &cuts,
+        &chosen,
+    )?;
 
     // Phase 5: inverter materialization and netlist assembly.
-    Ok(materialize(&aig, library, cache.inverter(), &cover))
+    Ok(materialize(
+        library,
+        cache.inverter(),
+        &cover,
+        aig.input_nodes(),
+        aig.output_lits(),
+    ))
+}
+
+/// Maps a choice network onto a characterized library with a private
+/// match cache. See [`map_choice_aig_with_cache`].
+///
+/// # Errors
+///
+/// As [`map_aig`].
+pub fn map_choice_aig(
+    choice: &ChoiceAig,
+    library: &CharacterizedLibrary,
+    config: &MapConfig,
+) -> Result<MappedNetlist, MapError> {
+    let cache = NpnMatchCache::new(library)?;
+    map_choice_aig_with_cache(choice, library, &cache, config)
+}
+
+/// Maps a [`ChoiceAig`] — the accumulated structural choices of a
+/// synthesis flow — onto a characterized library.
+///
+/// With [`MapConfig::use_choices`] the staged engine runs over the
+/// choice network's equivalence classes: cut enumeration walks every
+/// choice ring ([`enumerate_cuts_choice`]), so a cut of a class may be
+/// rooted in a structure only a losing flow pass produced; the
+/// NPN-match cache and the objective-driven selection are reused
+/// unchanged (the dynamic program simply iterates classes in
+/// [`ChoiceAig::class_order`]); and cover extraction materializes
+/// whichever alternative's cut won, because the emitted instances only
+/// reference cut leaves — class representatives — never the internal
+/// cone of the alternative that shaped the cut.
+///
+/// Without `use_choices` the rings are ignored: the collapsed
+/// (representative-resolved) network is mapped through the plain path.
+///
+/// # Errors
+///
+/// As [`map_aig`] — constant primary outputs notably *can* occur here
+/// even when the original network had none, because the choice sweep
+/// may prove an output constant.
+pub fn map_choice_aig_with_cache(
+    choice: &ChoiceAig,
+    library: &CharacterizedLibrary,
+    cache: &NpnMatchCache,
+    config: &MapConfig,
+) -> Result<MappedNetlist, MapError> {
+    if !(2..=6).contains(&config.cut_k) {
+        return Err(MapError::InvalidCutK { k: config.cut_k });
+    }
+    if !config.use_choices {
+        return map_aig_with_cache(&choice.collapsed(), library, cache, config);
+    }
+    let arena = choice.arena();
+
+    // Phase 1: choice-aware cut enumeration (one cut set per class).
+    let cuts = enumerate_cuts_choice(
+        choice,
+        CutConfig {
+            k: config.cut_k,
+            max_cuts: config.max_cuts,
+        },
+    );
+
+    // Phase 2: the same shared match cache and per-run memo.
+    let mut matcher = Matcher::new(cache);
+
+    // Phase 3: selection over classes, dependencies first.
+    let fanouts = choice_fanouts(choice);
+    let chosen = select_matches(
+        arena,
+        choice.class_order(),
+        &fanouts,
+        &cuts,
+        &mut matcher,
+        library,
+        config,
+    )?;
+
+    // Phases 4 + 5: unchanged — the cover walks cut leaves, which are
+    // class representatives, so the machinery never needs to know which
+    // ring member shaped a chosen cut.
+    let cover = extract_cover(
+        arena.len(),
+        arena.input_nodes(),
+        choice.outputs(),
+        &cuts,
+        &chosen,
+    )?;
+    Ok(materialize(
+        library,
+        cache.inverter(),
+        &cover,
+        arena.input_nodes(),
+        choice.outputs(),
+    ))
+}
+
+/// Fanout estimate for the flow discount of choice-network selection:
+/// reference counts over the collapsed (representative) structure plus
+/// the primary outputs — mirroring [`Aig::fanouts`] on the network the
+/// cover will actually be extracted from. Classes referenced only inside
+/// ring alternatives count zero and fall back to the DP's `max(1)`.
+fn choice_fanouts(choice: &ChoiceAig) -> Vec<u32> {
+    let arena = choice.arena();
+    let mut fan = vec![0u32; arena.len()];
+    let mut seen = vec![false; arena.len()];
+    let mut stack: Vec<u32> = Vec::new();
+    for o in choice.outputs() {
+        fan[o.node() as usize] += 1;
+        stack.push(o.node());
+    }
+    while let Some(n) = stack.pop() {
+        if seen[n as usize] {
+            continue;
+        }
+        seen[n as usize] = true;
+        if let Node::And(a, b) = arena.node(n) {
+            fan[a.node() as usize] += 1;
+            fan[b.node() as usize] += 1;
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    fan
 }
 
 /// Per-cell cost under the selected objective's flow metric: area in
@@ -114,8 +254,14 @@ fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
 /// over the chosen cover, discounted by fanout). [`Objective::Delay`]
 /// minimizes arrival and tie-breaks on flow; [`Objective::Area`] /
 /// [`Objective::Energy`] minimize flow and tie-break on arrival.
+///
+/// `order` lists the AND nodes to process, fanins-first — ascending
+/// node index for a plain network, [`ChoiceAig::class_order`] for a
+/// choice network (where only class representatives are priced).
 fn select_matches(
     aig: &Aig,
+    order: &[u32],
+    fanouts: &[u32],
     cuts: &[Vec<Cut>],
     matcher: &mut Matcher<'_>,
     library: &CharacterizedLibrary,
@@ -138,17 +284,14 @@ fn select_matches(
         .collect();
     let inv_delay = cell_delay[matcher.inverter()];
     let inv_unit = cell_unit[matcher.inverter()];
-    let fanouts = aig.fanouts();
 
     let n = aig.len();
     let mut arrival = vec![0.0f64; n];
     let mut flow = vec![0.0f64; n];
     let mut chosen: Vec<Option<Chosen>> = vec![None; n];
 
-    for idx in 0..n {
-        let Node::And(_, _) = aig.node(idx as u32) else {
-            continue;
-        };
+    for &node in order {
+        let idx = node as usize;
         let mut best: Option<(f64, f64, Chosen)> = None;
         for cut in &cuts[idx] {
             if cut.is_trivial(idx as u32) {
@@ -216,7 +359,7 @@ fn select_matches(
             }
         }
         let (arr, f, c) = best.ok_or(MapError::UnmatchedNode {
-            node: idx as u32,
+            node,
             cuts: cuts[idx].len(),
         })?;
         arrival[idx] = arr;
@@ -229,23 +372,25 @@ fn select_matches(
 /// Phase 4: walks the chosen matches from the primary outputs and lists
 /// the matches actually used, in post-order (fanins precede consumers).
 fn extract_cover(
-    aig: &Aig,
+    len: usize,
+    input_nodes: &[u32],
+    outputs: &[Lit],
     cuts: &[Vec<Cut>],
     chosen: &[Option<Chosen>],
 ) -> Result<Vec<CoverStep>, MapError> {
-    for (k, lit) in aig.output_lits().iter().enumerate() {
+    for (k, lit) in outputs.iter().enumerate() {
         if lit.node() == 0 {
             return Err(MapError::ConstantOutput { output: k });
         }
     }
-    let mut emitted = vec![false; aig.len()];
-    for &node in aig.input_nodes() {
+    let mut emitted = vec![false; len];
+    for &node in input_nodes {
         emitted[node as usize] = true;
     }
     let mut steps = Vec::new();
     // Iterative post-order DFS (two-phase stack entries).
     let mut stack: Vec<(u32, bool)> = Vec::new();
-    for lit in aig.output_lits() {
+    for lit in outputs {
         stack.push((lit.node(), false));
         while let Some((node, expanded)) = stack.pop() {
             if emitted[node as usize] {
@@ -284,17 +429,18 @@ fn extract_cover(
 /// inverters where the family's signal convention requires them, and
 /// assembles the final netlist.
 fn materialize(
-    aig: &Aig,
     library: &CharacterizedLibrary,
     inv_idx: usize,
     cover: &[CoverStep],
+    input_nodes: &[u32],
+    outputs: &[Lit],
 ) -> MappedNetlist {
     let free_neg = library.family.free_input_negation();
-    let pi_count = aig.input_count();
+    let pi_count = input_nodes.len();
     let mut instances: Vec<Instance> = Vec::with_capacity(cover.len());
     // Positive net of each emitted node.
     let mut node_net: HashMap<u32, usize> = HashMap::new();
-    for (ordinal, &node) in aig.input_nodes().iter().enumerate() {
+    for (ordinal, &node) in input_nodes.iter().enumerate() {
         node_net.insert(node, ordinal);
     }
     // Shared inverter outputs per source net.
@@ -339,8 +485,8 @@ fn materialize(
         node_net.insert(step.node, net);
     }
 
-    let mut outputs = Vec::with_capacity(aig.output_lits().len());
-    for lit in aig.output_lits() {
+    let mut out_refs = Vec::with_capacity(outputs.len());
+    for lit in outputs {
         let net = node_net[&lit.node()];
         let r = if lit.is_complement() {
             if free_neg {
@@ -354,9 +500,9 @@ fn materialize(
         } else {
             NetRef::plain(net)
         };
-        outputs.push(r);
+        out_refs.push(r);
     }
-    MappedNetlist::new(library.family, pi_count, instances, outputs)
+    MappedNetlist::new(library.family, pi_count, instances, out_refs)
 }
 
 #[cfg(test)]
@@ -560,6 +706,80 @@ mod tests {
         // NAND/NOR-class cells can absorb the negations entirely, but if
         // any inverter exists there must be at most one for net `a`.
         assert!(inv_count <= 1, "inverters not shared: {inv_count}");
+    }
+
+    /// A flow with a `dch` step over the small ALU: the choice network
+    /// plus the plain synthesized network for comparison.
+    fn alu_choices() -> (Aig, aig::ChoiceAig) {
+        let aig = small_alu_aig();
+        let flow = aig::Flow::parse("b; rw; rf; dch").expect("parses");
+        let (synthesized, choices, _) = flow.run_with_choices(&aig);
+        (synthesized, choices.expect("dch returns choices"))
+    }
+
+    #[test]
+    fn choice_mapping_verifies_in_all_families() {
+        let original = small_alu_aig();
+        let (_, choices) = alu_choices();
+        let config = MapConfig {
+            use_choices: true,
+            ..MapConfig::default()
+        };
+        for family in GateFamily::ALL {
+            let lib = characterize_library(family);
+            let mapped = map_choice_aig(&choices, &lib, &config).expect("choice mapping succeeds");
+            assert!(
+                verify_mapping(&original, &mapped, &lib).is_ok(),
+                "{family}: choice-mapped netlist differs from the original AIG"
+            );
+            assert!(mapped.gate_count() > 0);
+        }
+    }
+
+    #[test]
+    fn choice_mapping_without_use_choices_is_the_collapsed_plain_mapping() {
+        let (_, choices) = alu_choices();
+        let lib = characterize_library(GateFamily::CntfetGeneralized);
+        let config = MapConfig::default();
+        assert!(!config.use_choices);
+        let via_choice_entry =
+            map_choice_aig(&choices, &lib, &config).expect("collapsed mapping succeeds");
+        let plain = map_aig(&choices.collapsed(), &lib, &config).expect("plain mapping succeeds");
+        assert_eq!(via_choice_entry.instances, plain.instances);
+        assert_eq!(via_choice_entry.outputs(), plain.outputs());
+    }
+
+    #[test]
+    fn choice_mapping_verifies_across_objectives() {
+        let original = small_alu_aig();
+        let (_, choices) = alu_choices();
+        let lib = characterize_library(GateFamily::Cmos);
+        for objective in Objective::ALL {
+            let config = MapConfig {
+                use_choices: true,
+                ..MapConfig::for_objective(objective)
+            };
+            let mapped = map_choice_aig(&choices, &lib, &config).expect("maps");
+            assert!(
+                verify_mapping(&original, &mapped, &lib).is_ok(),
+                "{objective}: choice-mapped netlist differs"
+            );
+        }
+    }
+
+    #[test]
+    fn choice_mapping_rejects_bad_cut_width() {
+        let (_, choices) = alu_choices();
+        let lib = characterize_library(GateFamily::Cmos);
+        let config = MapConfig {
+            cut_k: 9,
+            use_choices: true,
+            ..MapConfig::default()
+        };
+        assert_eq!(
+            map_choice_aig(&choices, &lib, &config).err(),
+            Some(MapError::InvalidCutK { k: 9 })
+        );
     }
 
     #[test]

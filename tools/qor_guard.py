@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""QoR regression guard for the committed Table-1 baseline.
+
+Usage: qor_guard.py COMMITTED.json REGENERATED.json
+
+Compares the regenerated `table1 --json` artifact against the committed
+baseline and exits non-zero when any circuit regresses in synthesis
+quality (`and_count`) or mapped size (`gates`, any family). Also checks
+the choice-mapping invariant: wherever a result records
+`gates_no_choice`, the kept mapping must use no more gates than the
+no-choice mapping would have.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        committed = json.load(f)
+    with open(sys.argv[2]) as f:
+        regenerated = json.load(f)
+
+    base = {c["name"]: c for c in committed["circuits"]}
+    families = regenerated.get("families", [])
+    failures = []
+    regenerated_names = {c["name"] for c in regenerated["circuits"]}
+    for name in base:
+        if name not in regenerated_names:
+            failures.append(f"{name}: missing from the regenerated artifact (coverage lost)")
+    print(f"{'circuit':<8} {'ands':>12} " + " ".join(f"{fam:>28}" for fam in families))
+    for circuit in regenerated["circuits"]:
+        name = circuit["name"]
+        if name not in base:
+            failures.append(f"{name}: not in the committed baseline")
+            continue
+        ref = base[name]
+        ands, ref_ands = circuit["and_count"], ref["and_count"]
+        if ands > ref_ands:
+            failures.append(f"{name}: and_count regressed {ref_ands} -> {ands}")
+        if len(circuit["results"]) < len(ref["results"]):
+            failures.append(
+                f"{name}: only {len(circuit['results'])} of {len(ref['results'])} "
+                "family results present"
+            )
+        cells = [f"{ands:>5} (ref {ref_ands:>5})"]
+        for fam, res, ref_res in zip(families, circuit["results"], ref["results"]):
+            gates, ref_gates = res["gates"], ref_res["gates"]
+            if gates > ref_gates:
+                failures.append(f"{name}/{fam}: gates regressed {ref_gates} -> {gates}")
+            plain = res.get("gates_no_choice")
+            if plain is not None and gates > plain:
+                failures.append(
+                    f"{name}/{fam}: choice mapping kept a worse cover ({gates} > {plain})"
+                )
+            cells.append(f"{gates:>6} (ref {ref_gates:>6}, Δ{gates - ref_gates:+d})")
+        print(f"{name:<8} {cells[0]:>12} " + " ".join(f"{c:>28}" for c in cells[1:]))
+
+    if failures:
+        print("\nQoR regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno QoR regressions: every circuit's and_count and gates are <= the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
