@@ -50,11 +50,11 @@ pub fn to_aiger_ascii(aig: &Aig) -> String {
         next += 1;
     }
     let mut ands = Vec::new();
-    for (i, node) in aig.nodes().iter().enumerate() {
+    for (i, node) in aig.nodes().enumerate() {
         if let Node::And(a, b) = node {
             var_of[i] = next;
             next += 1;
-            ands.push((i, *a, *b));
+            ands.push((i, a, b));
         }
     }
     let aiger_lit =
@@ -224,11 +224,11 @@ pub fn to_aiger_binary(aig: &Aig) -> Vec<u8> {
         next += 1;
     }
     let mut ands = Vec::new();
-    for (i, node) in aig.nodes().iter().enumerate() {
+    for (i, node) in aig.nodes().enumerate() {
         if let Node::And(a, b) = node {
             var_of[i] = next;
             next += 1;
-            ands.push((i, *a, *b));
+            ands.push((i, a, b));
         }
     }
     let aiger_lit =

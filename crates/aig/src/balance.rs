@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// Rebalances the AIG for depth; the function of every output is
 /// preserved (checked by the `check` module in tests).
 pub fn balance(aig: &Aig) -> Aig {
-    let fanouts = aig.fanouts();
+    let fanouts = aig.fanout_counts();
     let mut out = Aig::new();
     let mut levels: Vec<u32> = vec![0];
     // Map from old node index to new positive literal.
@@ -25,7 +25,7 @@ pub fn balance(aig: &Aig) -> Aig {
     std::mem::swap(&mut result, &mut out);
     let mut ctx = Ctx {
         aig,
-        fanouts: &fanouts,
+        fanouts,
         out: result,
         levels,
         map,

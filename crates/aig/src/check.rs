@@ -13,6 +13,7 @@
 //! yields a concrete [`Equivalence::Counterexample`] input pattern.
 
 use crate::graph::{Aig, Lit, Node};
+use rayon::prelude::*;
 use sat::{SolveResult, Solver};
 use std::collections::HashMap;
 
@@ -109,8 +110,8 @@ pub fn miter(a: &Aig, b: &Aig) -> Result<Aig, ShapeMismatch> {
 /// to `inputs`; returns the copied output literals.
 fn copy_into(dst: &mut Aig, src: &Aig, inputs: &[Lit]) -> Vec<Lit> {
     let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
-    for (i, node) in src.nodes().iter().enumerate() {
-        map[i] = match *node {
+    for (i, node) in src.nodes().enumerate() {
+        map[i] = match node {
             Node::Const => Lit::FALSE,
             Node::Input(k) => inputs[k as usize],
             Node::And(a, b) => {
@@ -226,6 +227,46 @@ enum Prove {
     Unknown,
 }
 
+/// Minimum AND nodes on one level before the sweeper's resimulation
+/// fans the level out across worker threads.
+const PAR_LEVEL_THRESHOLD: usize = 64;
+
+/// All simulation signatures in one flat node-major block: node `i`'s
+/// `words` 64-pattern words live at `data[i*words..(i+1)*words]`. One
+/// bump-grown allocation for the whole fraig instead of a heap `Vec<u64>`
+/// per node — signature reads during fraiging become offset arithmetic
+/// into one contiguous region.
+struct SigBlock {
+    /// Signature width, in 64-pattern words (uniform across nodes).
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl SigBlock {
+    fn new(words: usize) -> Self {
+        Self {
+            words,
+            data: Vec::new(),
+        }
+    }
+
+    /// Borrowed signature of one node — no allocation.
+    fn sig(&self, node: u32) -> &[u64] {
+        let start = node as usize * self.words;
+        &self.data[start..start + self.words]
+    }
+
+    /// Word `w` of a literal's signature (complement applied).
+    fn lit_word(&self, l: Lit, w: usize) -> u64 {
+        let v = self.data[l.node() as usize * self.words + w];
+        if l.is_complement() {
+            !v
+        } else {
+            v
+        }
+    }
+}
+
 /// The SAT sweeper: a growing fraig with per-node simulation signatures,
 /// candidate classes, and an incremental Tseitin encoding.
 ///
@@ -238,12 +279,16 @@ pub(crate) struct Sweeper {
     solver: Solver,
     /// Solver variable per fraig node (encoded at creation).
     enc: Vec<sat::Var>,
-    /// Simulation signature per fraig node (same length everywhere).
-    sims: Vec<Vec<u64>>,
+    /// Flat node-major simulation signatures.
+    sigs: SigBlock,
     /// Representative literal per fraig node (identity unless merged).
     repr: Vec<Lit>,
-    /// Normalized signature → class-representative nodes.
-    classes: HashMap<Vec<u64>, Vec<u32>>,
+    /// Fingerprint of the normalized signature → class-representative
+    /// nodes. Keys are 64-bit FNV hashes of the signature slice, so a
+    /// lookup allocates nothing; [`Sweeper::try_merge`] re-checks the
+    /// actual signatures before trusting a bucket hit, so a fingerprint
+    /// collision costs one slice compare, never a wrong merge.
+    classes: HashMap<u64, Vec<u32>>,
     /// Fraig node index of each primary input.
     input_nodes: Vec<u32>,
     rng: crate::sim::PatternRng,
@@ -255,7 +300,7 @@ impl Sweeper {
             f: Aig::new(),
             solver: Solver::new(),
             enc: Vec::new(),
-            sims: Vec::new(),
+            sigs: SigBlock::new(words),
             repr: Vec::new(),
             classes: HashMap::new(),
             input_nodes: Vec::new(),
@@ -265,7 +310,7 @@ impl Sweeper {
         let v0 = s.solver.new_var();
         s.solver.add_clause(&[sat::Lit::negative(v0)]);
         s.enc.push(v0);
-        s.sims.push(vec![0; words]);
+        s.sigs.data.resize(words, 0);
         s.repr.push(Lit::FALSE);
         s.register_class(0);
         for _ in 0..n_inputs {
@@ -273,32 +318,28 @@ impl Sweeper {
             let node = lit.node();
             s.input_nodes.push(node);
             s.enc.push(s.solver.new_var());
-            let sig = (0..words).map(|_| s.rng.next_word()).collect();
-            s.sims.push(sig);
+            for _ in 0..words {
+                let w = s.rng.next_word();
+                s.sigs.data.push(w);
+            }
             s.repr.push(lit);
             s.register_class(node);
         }
         s
     }
 
-    fn sig_word(&self, l: Lit, w: usize) -> u64 {
-        let v = self.sims[l.node() as usize][w];
-        if l.is_complement() {
-            !v
-        } else {
-            v
+    /// FNV-1a fingerprint of the phase-normalized signature (complemented
+    /// if pattern 0 reads 1), as the class key — hashes the slice in
+    /// place instead of allocating a normalized `Vec<u64>` per lookup.
+    fn class_key(&self, node: u32) -> u64 {
+        let sig = self.sigs.sig(node);
+        let flip = if sig[0] & 1 == 1 { u64::MAX } else { 0 };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in sig {
+            h ^= w ^ flip;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-    }
-
-    /// Phase-normalized signature (complemented if pattern 0 reads 1), as
-    /// the class key.
-    fn class_key(&self, node: u32) -> Vec<u64> {
-        let sig = &self.sims[node as usize];
-        if sig[0] & 1 == 1 {
-            sig.iter().map(|w| !w).collect()
-        } else {
-            sig.clone()
-        }
+        h
     }
 
     fn register_class(&mut self, node: u32) {
@@ -329,8 +370,8 @@ impl Sweeper {
     /// fraig (representative-resolved).
     pub(crate) fn import(&mut self, src: &Aig) -> Vec<Lit> {
         let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
-        for (i, node) in src.nodes().iter().enumerate() {
-            map[i] = match *node {
+        for (i, node) in src.nodes().enumerate() {
+            map[i] = match node {
                 Node::Const => Lit::FALSE,
                 Node::Input(k) => Lit::new(self.input_nodes[k as usize], false),
                 Node::And(a, b) => {
@@ -367,12 +408,11 @@ impl Sweeper {
         self.solver.add_clause(&[!lv, lb]);
         self.solver.add_clause(&[lv, !la, !lb]);
         self.enc.push(v);
-        // Signature from the fanin signatures.
-        let words = self.sims[0].len();
-        let sig: Vec<u64> = (0..words)
-            .map(|w| self.sig_word(a, w) & self.sig_word(b, w))
-            .collect();
-        self.sims.push(sig);
+        // Signature from the fanin signatures, bumped onto the block.
+        for w in 0..self.sigs.words {
+            let v = self.sigs.lit_word(a, w) & self.sigs.lit_word(b, w);
+            self.sigs.data.push(v);
+        }
         self.repr.push(raw);
         debug_assert_eq!(self.enc.len(), self.f.len());
         self.try_merge(node);
@@ -393,8 +433,17 @@ impl Sweeper {
                 if cand == node || self.repr[cand as usize] != Lit::new(cand, false) {
                     continue;
                 }
-                // Same key ⇒ equal or complementary signatures.
-                let phase = self.sims[node as usize] != self.sims[cand as usize];
+                // Keys are fingerprints, so confirm the signatures are
+                // actually equal or complementary; a collision just
+                // means the candidate is not comparable.
+                let ns = self.sigs.sig(node);
+                let cs = self.sigs.sig(cand);
+                let equal = ns == cs;
+                let compl = !equal && ns.iter().zip(cs).all(|(&x, &y)| x == !y);
+                if !equal && !compl {
+                    continue;
+                }
+                let phase = compl;
                 let target = Lit::new(cand, phase);
                 match self.prove_lits_equal(
                     Lit::new(node, false),
@@ -466,26 +515,57 @@ impl Sweeper {
     /// Appends one simulation word seeded with `pattern` (bit 0) plus 63
     /// fresh random patterns, resimulates the whole fraig, and rebuilds
     /// the candidate classes.
+    ///
+    /// The signature block is re-strided once (`words` → `words + 1`),
+    /// then the new word is propagated one level frontier at a time: a
+    /// node's word depends only on its fanins' words on strictly lower
+    /// levels, so wide frontiers fan out over the worker pool and commit
+    /// serially in node order — bit-identical to the serial walk.
     fn refine(&mut self, pattern: &[bool]) {
+        let words = self.sigs.words;
+        let nw = words + 1;
+        let len = self.f.len();
+        let mut data = vec![0u64; len * nw];
+        for i in 0..len {
+            data[i * nw..i * nw + words].copy_from_slice(self.sigs.sig(i as u32));
+        }
+        // Input words draw from the rng serially, in input order — the
+        // stream is part of the determinism contract.
         for (k, &bit) in pattern.iter().enumerate() {
             let w = self.rng.next_word() & !1 | u64::from(bit);
-            let n = self.input_nodes[k];
-            self.sims[n as usize].push(w);
+            let n = self.input_nodes[k] as usize;
+            data[n * nw + words] = w;
         }
-        // Indexed walk (Node is Copy) — no clone of the node array.
-        for i in 0..self.f.len() {
-            match self.f.node(i as u32) {
-                Node::Const => self.sims[i].push(0),
-                Node::Input(_) => {} // already extended
-                Node::And(a, b) => {
-                    let w = self.sims[a.node() as usize].last().expect("extended")
-                        ^ if a.is_complement() { u64::MAX } else { 0 };
-                    let w2 = self.sims[b.node() as usize].last().expect("extended")
-                        ^ if b.is_complement() { u64::MAX } else { 0 };
-                    self.sims[i].push(w & w2);
+        // Constant stays 0 (pre-zeroed). ANDs propagate per frontier.
+        let word_of = |data: &[u64], l: Lit| {
+            data[l.node() as usize * nw + words] ^ if l.is_complement() { u64::MAX } else { 0 }
+        };
+        let parallel = rayon::current_num_threads() > 1;
+        for level in self.f.and_level_groups() {
+            if parallel && level.len() >= PAR_LEVEL_THRESHOLD {
+                let computed: Vec<u64> = level
+                    .par_iter()
+                    .map(|&i| {
+                        let Node::And(a, b) = self.f.node(i) else {
+                            unreachable!("only AND nodes are grouped by level");
+                        };
+                        word_of(&data, a) & word_of(&data, b)
+                    })
+                    .collect();
+                for (&i, w) in level.iter().zip(computed) {
+                    data[i as usize * nw + words] = w;
+                }
+            } else {
+                for &i in &level {
+                    let Node::And(a, b) = self.f.node(i) else {
+                        unreachable!("only AND nodes are grouped by level");
+                    };
+                    let w = word_of(&data, a) & word_of(&data, b);
+                    data[i as usize * nw + words] = w;
                 }
             }
         }
+        self.sigs = SigBlock { words: nw, data };
         // Rebuild classes from the (still live) representatives.
         let live: Vec<u32> = (0..self.f.len() as u32)
             .filter(|&n| self.repr[n as usize] == Lit::new(n, false))
@@ -499,15 +579,14 @@ impl Sweeper {
     /// A counterexample straight from the simulation signatures, if the
     /// two literals already differ on a simulated pattern.
     fn sim_difference(&self, x: Lit, y: Lit) -> Option<Vec<bool>> {
-        let words = self.sims[0].len();
-        for w in 0..words {
-            let diff = self.sig_word(x, w) ^ self.sig_word(y, w);
+        for w in 0..self.sigs.words {
+            let diff = self.sigs.lit_word(x, w) ^ self.sigs.lit_word(y, w);
             if diff != 0 {
                 let bit = diff.trailing_zeros();
                 return Some(
                     self.input_nodes
                         .iter()
-                        .map(|&n| (self.sims[n as usize][w] >> bit) & 1 == 1)
+                        .map(|&n| (self.sigs.sig(n)[w] >> bit) & 1 == 1)
                         .collect(),
                 );
             }

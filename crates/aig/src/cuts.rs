@@ -11,6 +11,7 @@
 use crate::choice::ChoiceAig;
 use crate::graph::{Aig, Lit, Node};
 use logic::TruthTable;
+use rayon::prelude::*;
 
 /// A cut: sorted leaf nodes plus the root function over them.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,26 +79,69 @@ impl Default for CutConfig {
     }
 }
 
+/// Minimum AND nodes on one level before the level is fanned out across
+/// worker threads; below this the per-task overhead outweighs the merge
+/// work.
+const PAR_LEVEL_THRESHOLD: usize = 16;
+
 /// Enumerates cuts for every node. Index = node index; constant and input
 /// nodes get only their trivial cut (inputs) or nothing (constant).
+///
+/// AND nodes are processed one topological level at a time: a node's cut
+/// set is a pure function of its fanins' cut sets, and fanins sit on
+/// strictly lower levels, so every node of a level can be computed
+/// independently. Wide levels fan out over the worker pool
+/// (order-preserving `par_iter`) and are committed serially in node
+/// order — the result is bit-identical to the serial walk at any thread
+/// count. The serial path reuses one scratch merge buffer across the
+/// whole traversal instead of allocating a fresh accumulator per node.
 pub fn enumerate_cuts(aig: &Aig, config: CutConfig) -> Vec<Vec<Cut>> {
     assert!(config.k >= 2 && config.k <= 6, "cut width must be in 2..=6");
-    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
-    for (idx, node) in aig.nodes().iter().enumerate() {
-        let cuts = match node {
-            Node::Const => Vec::new(),
-            Node::Input(_) => vec![Cut::trivial(idx as u32)],
-            Node::And(a, b) => {
-                let mut cuts = Vec::new();
-                merge_fanin_cuts(*a, *b, &all, config, &mut cuts);
-                prune(&mut cuts, config.max_cuts);
-                cuts.push(Cut::trivial(idx as u32));
-                cuts
+    let mut all: Vec<Vec<Cut>> = vec![Vec::new(); aig.len()];
+    for &i in aig.input_nodes() {
+        all[i as usize] = vec![Cut::trivial(i)];
+    }
+    let parallel = rayon::current_num_threads() > 1;
+    let mut scratch: Vec<Cut> = Vec::new();
+    for level in aig.and_level_groups() {
+        if parallel && level.len() >= PAR_LEVEL_THRESHOLD {
+            let computed: Vec<Vec<Cut>> = level
+                .par_iter()
+                .map(|&idx| {
+                    let mut local: Vec<Cut> = Vec::new();
+                    node_cuts(aig, idx, &all, config, &mut local)
+                })
+                .collect();
+            for (&idx, cuts) in level.iter().zip(computed) {
+                all[idx as usize] = cuts;
             }
-        };
-        all.push(cuts);
+        } else {
+            for &idx in &level {
+                let cuts = node_cuts(aig, idx, &all, config, &mut scratch);
+                all[idx as usize] = cuts;
+            }
+        }
     }
     all
+}
+
+/// The stored cut set of one AND node: fanin cut sets merged into
+/// `scratch` (cleared, capacity reused), pruned, plus the trivial cut.
+fn node_cuts(
+    aig: &Aig,
+    idx: u32,
+    all: &[Vec<Cut>],
+    config: CutConfig,
+    scratch: &mut Vec<Cut>,
+) -> Vec<Cut> {
+    let Node::And(a, b) = aig.node(idx) else {
+        unreachable!("only AND nodes are grouped by level");
+    };
+    scratch.clear();
+    merge_fanin_cuts(a, b, all, config, scratch);
+    let mut kept = prune_into(scratch, config.max_cuts);
+    kept.push(Cut::trivial(idx));
+    kept
 }
 
 /// Enumerates cuts over a choice network: one cut set per equivalence
@@ -227,8 +271,16 @@ fn expand(tt: TruthTable, from: &[u32], to: &[u32], n: usize) -> TruthTable {
 /// Keeps at most `max` cuts, preferring small leaf counts and dropping
 /// dominated cuts.
 fn prune(cuts: &mut Vec<Cut>, max: usize) {
+    let kept = prune_into(cuts, max);
+    *cuts = kept;
+}
+
+/// Drains `cuts` (leaving its capacity for reuse) into a fresh vector of
+/// at most `max` kept cuts, preferring small leaf counts and dropping
+/// dominated cuts.
+fn prune_into(cuts: &mut Vec<Cut>, max: usize) -> Vec<Cut> {
     cuts.sort_by_key(|c| c.leaves.len());
-    let mut kept: Vec<Cut> = Vec::with_capacity(max);
+    let mut kept: Vec<Cut> = Vec::with_capacity(max + 1);
     for cut in cuts.drain(..) {
         if kept.len() >= max {
             break;
@@ -238,7 +290,7 @@ fn prune(cuts: &mut Vec<Cut>, max: usize) {
         }
         kept.push(cut);
     }
-    *cuts = kept;
+    kept
 }
 
 #[cfg(test)]

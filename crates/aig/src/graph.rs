@@ -1,4 +1,12 @@
 //! The and-inverter graph: nodes, literals, structural hashing, builders.
+//!
+//! The arena is stored struct-of-arrays: parallel `fanin0`/`fanin1`/
+//! `level`/`refs` vectors instead of one `Vec<Node>`. The hot loops (cut
+//! enumeration, rewriting, simulation, sweeping) stream over one or two
+//! of these attributes at a time, so splitting them keeps cache lines
+//! dense at the 100k–1M-node scale; levels and fanout reference counts
+//! are maintained incrementally on construction, turning the repeated
+//! O(n) recomputes the optimization passes used to do into slice reads.
 
 use std::collections::HashMap;
 
@@ -59,10 +67,26 @@ pub enum Node {
     And(Lit, Lit),
 }
 
-/// A structurally hashed and-inverter graph.
+/// `fanin0` marker for non-AND rows (the constant and primary inputs);
+/// cannot collide with a literal because node indices are `< u32::MAX/2`.
+const INPUT_MARK: u32 = u32::MAX;
+
+/// A structurally hashed and-inverter graph (struct-of-arrays arena).
 #[derive(Clone, Debug, Default)]
 pub struct Aig {
-    nodes: Vec<Node>,
+    /// First fanin literal bits per node; [`INPUT_MARK`] for the constant
+    /// and for primary inputs.
+    fanin0: Vec<u32>,
+    /// Second fanin literal bits per node; the input ordinal for primary
+    /// inputs, unused for the constant.
+    fanin1: Vec<u32>,
+    /// Logic level (depth in AND nodes) per node, maintained on insert.
+    level: Vec<u32>,
+    /// Fanout reference count per node (AND fanin edges + output edges),
+    /// maintained on insert.
+    refs: Vec<u32>,
+    /// Number of AND nodes.
+    n_ands: usize,
     inputs: Vec<u32>,
     outputs: Vec<Lit>,
     strash: HashMap<(u32, u32), u32>,
@@ -72,7 +96,11 @@ impl Aig {
     /// Creates an empty AIG (just the constant node).
     pub fn new() -> Self {
         Self {
-            nodes: vec![Node::Const],
+            fanin0: vec![INPUT_MARK],
+            fanin1: vec![INPUT_MARK],
+            level: vec![0],
+            refs: vec![0],
+            n_ands: 0,
             inputs: Vec::new(),
             outputs: Vec::new(),
             strash: HashMap::new(),
@@ -81,15 +109,19 @@ impl Aig {
 
     /// Adds a primary input, returning its (positive) literal.
     pub fn input(&mut self) -> Lit {
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node::Input(self.inputs.len() as u32));
+        let idx = self.fanin0.len() as u32;
+        self.fanin0.push(INPUT_MARK);
+        self.fanin1.push(self.inputs.len() as u32);
+        self.level.push(0);
+        self.refs.push(0);
         self.inputs.push(idx);
         Lit::new(idx, false)
     }
 
     /// Registers `lit` as the next primary output.
     pub fn output(&mut self, lit: Lit) {
-        debug_assert!((lit.node() as usize) < self.nodes.len(), "dangling literal");
+        debug_assert!((lit.node() as usize) < self.len(), "dangling literal");
+        self.refs[lit.node() as usize] += 1;
         self.outputs.push(lit);
     }
 
@@ -100,8 +132,15 @@ impl Aig {
             return lit;
         }
         let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node::And(x, y));
+        let idx = self.fanin0.len() as u32;
+        self.fanin0.push(x.0);
+        self.fanin1.push(y.0);
+        self.level
+            .push(1 + self.level[x.node() as usize].max(self.level[y.node() as usize]));
+        self.refs.push(0);
+        self.refs[x.node() as usize] += 1;
+        self.refs[y.node() as usize] += 1;
+        self.n_ands += 1;
         self.strash.insert((x.0, y.0), idx);
         Lit::new(idx, false)
     }
@@ -184,14 +223,34 @@ impl Aig {
         }
     }
 
-    /// All nodes (index 0 is the constant).
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// All nodes in index order (index 0 is the constant), synthesized
+    /// on the fly from the struct-of-arrays columns.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = Node> + '_ {
+        (0..self.len() as u32).map(|i| self.node(i))
     }
 
     /// Node accessor.
     pub fn node(&self, idx: u32) -> Node {
-        self.nodes[idx as usize]
+        let i = idx as usize;
+        let f0 = self.fanin0[i];
+        if f0 == INPUT_MARK {
+            if i == 0 {
+                Node::Const
+            } else {
+                Node::Input(self.fanin1[i])
+            }
+        } else {
+            Node::And(Lit(f0), Lit(self.fanin1[i]))
+        }
+    }
+
+    /// Whether two AIGs are structurally identical: same node arrays
+    /// (fanins, input ordinals) and same output literals. This is
+    /// bit-level identity, the relation the engine's parallel/serial
+    /// determinism contract is stated in — far stronger than functional
+    /// equivalence.
+    pub fn same_structure(&self, other: &Aig) -> bool {
+        self.fanin0 == other.fanin0 && self.fanin1 == other.fanin1 && self.outputs == other.outputs
     }
 
     /// Primary-input node indices, in input order.
@@ -216,63 +275,83 @@ impl Aig {
 
     /// Number of AND nodes (the synthesis cost metric).
     pub fn and_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::And(_, _)))
-            .count()
+        self.n_ands
     }
 
     /// Total node count including constant and inputs.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.fanin0.len()
     }
 
     /// Whether the AIG has no nodes besides the constant.
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.len() <= 1
     }
 
-    /// Logic level (depth in AND nodes) of every node.
+    /// Logic level (depth in AND nodes) of every node, as an owned
+    /// vector (compatibility accessor; prefer [`Aig::node_levels`]).
     pub fn levels(&self) -> Vec<u32> {
-        let mut level = vec![0u32; self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Node::And(a, b) = n {
-                level[i] = 1 + level[a.node() as usize].max(level[b.node() as usize]);
+        self.level.clone()
+    }
+
+    /// Logic level of every node, borrowed from the arena — maintained
+    /// incrementally on insert, so this is free.
+    pub fn node_levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Logic level of one node.
+    pub fn level(&self, idx: u32) -> u32 {
+        self.level[idx as usize]
+    }
+
+    /// AND-node indices grouped by logic level, ascending, index-ordered
+    /// within a level. A node's fanins sit on strictly lower levels, so
+    /// each group is an independently computable frontier — the unit the
+    /// parallel hot loops (cut enumeration, rewrite scoring, sweeper
+    /// resimulation) fan out over before committing serially in node
+    /// order.
+    pub fn and_level_groups(&self) -> Vec<Vec<u32>> {
+        let mut by_level: Vec<Vec<u32>> = Vec::new();
+        for (idx, node) in self.nodes().enumerate() {
+            if matches!(node, Node::And(_, _)) {
+                let l = self.level[idx] as usize;
+                if by_level.len() <= l {
+                    by_level.resize_with(l + 1, Vec::new);
+                }
+                by_level[l].push(idx as u32);
             }
         }
-        level
+        by_level
     }
 
     /// Depth of the network: maximum level over outputs.
     pub fn depth(&self) -> u32 {
-        let levels = self.levels();
         self.outputs
             .iter()
-            .map(|l| levels[l.node() as usize])
+            .map(|l| self.level[l.node() as usize])
             .max()
             .unwrap_or(0)
     }
 
-    /// Fanout count per node (edges from AND fanins and outputs).
+    /// Fanout count per node (edges from AND fanins and outputs), as an
+    /// owned vector (compatibility accessor; prefer
+    /// [`Aig::fanout_counts`]).
     pub fn fanouts(&self) -> Vec<u32> {
-        let mut fan = vec![0u32; self.nodes.len()];
-        for n in &self.nodes {
-            if let Node::And(a, b) = n {
-                fan[a.node() as usize] += 1;
-                fan[b.node() as usize] += 1;
-            }
-        }
-        for o in &self.outputs {
-            fan[o.node() as usize] += 1;
-        }
-        fan
+        self.refs.clone()
+    }
+
+    /// Fanout reference count per node, borrowed from the arena —
+    /// maintained incrementally on insert, so this is free.
+    pub fn fanout_counts(&self) -> &[u32] {
+        &self.refs
     }
 
     /// Rebuilds the AIG keeping only logic reachable from the outputs
     /// (removes dangling nodes); input count and order are preserved.
     pub fn cleanup(&self) -> Aig {
         let mut out = Aig::new();
-        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        let mut map: Vec<Option<Lit>> = vec![None; self.len()];
         map[0] = Some(Lit::FALSE);
         // Inputs must all exist in the copy, in order.
         for &i in &self.inputs {
@@ -280,24 +359,24 @@ impl Aig {
             map[i as usize] = Some(lit);
         }
         // Mark reachable nodes.
-        let mut needed = vec![false; self.nodes.len()];
+        let mut needed = vec![false; self.len()];
         let mut stack: Vec<u32> = self.outputs.iter().map(|l| l.node()).collect();
         while let Some(n) = stack.pop() {
             if needed[n as usize] {
                 continue;
             }
             needed[n as usize] = true;
-            if let Node::And(a, b) = self.nodes[n as usize] {
+            if let Node::And(a, b) = self.node(n) {
                 stack.push(a.node());
                 stack.push(b.node());
             }
         }
         // Copy in topological (index) order.
-        for (i, n) in self.nodes.iter().enumerate() {
+        for i in 0..self.len() {
             if !needed[i] || map[i].is_some() {
                 continue;
             }
-            if let Node::And(a, b) = n {
+            if let Node::And(a, b) = self.node(i as u32) {
                 let la = map[a.node() as usize].expect("fanin precedes node");
                 let lb = map[b.node() as usize].expect("fanin precedes node");
                 let fa = if a.is_complement() { la.not() } else { la };
@@ -390,6 +469,9 @@ mod tests {
         let levels = aig.levels();
         assert_eq!(levels[ab.node() as usize], 1);
         assert_eq!(levels[abc.node() as usize], 2);
+        // The borrowed view agrees with the owned copy.
+        assert_eq!(aig.node_levels(), levels.as_slice());
+        assert_eq!(aig.level(abc.node()), 2);
     }
 
     #[test]
@@ -436,5 +518,57 @@ mod tests {
         let fan = aig.fanouts();
         assert_eq!(fan[a.node() as usize], 2);
         assert_eq!(fan[x.node() as usize], 2); // y + output
+        assert_eq!(aig.fanout_counts(), fan.as_slice());
+    }
+
+    #[test]
+    fn nodes_iterator_reconstructs_the_arena() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.and(a, b.not());
+        aig.output(x);
+        let all: Vec<Node> = aig.nodes().collect();
+        assert_eq!(all.len(), aig.len());
+        assert_eq!(all[0], Node::Const);
+        assert_eq!(all[1], Node::Input(0));
+        assert_eq!(all[2], Node::Input(1));
+        assert_eq!(all[3], Node::And(a, b.not()));
+    }
+
+    #[test]
+    fn same_structure_is_bit_identity() {
+        let build = |flip: bool| {
+            let mut aig = Aig::new();
+            let a = aig.input();
+            let b = aig.input();
+            let x = if flip {
+                aig.and(a, b.not())
+            } else {
+                aig.and(a, b)
+            };
+            aig.output(x);
+            aig
+        };
+        assert!(build(false).same_structure(&build(false)));
+        assert!(!build(false).same_structure(&build(true)));
+    }
+
+    #[test]
+    fn incremental_levels_match_recompute() {
+        // Levels maintained on insert must equal a from-scratch pass.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..6).map(|_| aig.input()).collect();
+        let f = aig.xor_many(&xs);
+        let g = aig.and_many(&xs);
+        let h = aig.and(f, g.not());
+        aig.output(h);
+        let mut expect = vec![0u32; aig.len()];
+        for (i, n) in aig.nodes().enumerate() {
+            if let Node::And(a, b) = n {
+                expect[i] = 1 + expect[a.node() as usize].max(expect[b.node() as usize]);
+            }
+        }
+        assert_eq!(aig.node_levels(), expect.as_slice());
     }
 }

@@ -17,11 +17,11 @@ pub fn refactor(aig: &Aig) -> Aig {
         debug_assert_eq!(pos, out.input_count());
         map[i as usize] = out.input();
     }
-    for (idx, node) in aig.nodes().iter().enumerate() {
+    for (idx, node) in aig.nodes().enumerate() {
         let Node::And(a, b) = node else { continue };
         // Default: structural copy.
-        let fa = apply(map[a.node() as usize], *a);
-        let fb = apply(map[b.node() as usize], *b);
+        let fa = apply(map[a.node() as usize], a);
+        let fb = apply(map[b.node() as usize], b);
         let copied = out.and(fa, fb);
         // Alternative: SOP rebuild of the best non-trivial cut.
         let mut best = copied;

@@ -24,6 +24,7 @@ use crate::graph::{Aig, Lit, Node};
 use logic::npn::{npn_canon, NpnCanon};
 use logic::sop::isop;
 use logic::TruthTable;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -214,7 +215,7 @@ impl RewriteLibrary {
     pub fn realized_function(&self, root: Lit) -> TruthTable {
         let mut tts: Vec<TruthTable> = Vec::with_capacity(self.arena.len());
         for node in self.arena.nodes() {
-            let tt = match *node {
+            let tt = match node {
                 Node::Const => TruthTable::zero(4),
                 Node::Input(k) => TruthTable::var(4, k as usize),
                 Node::And(a, b) => {
@@ -293,7 +294,7 @@ impl RewriteLibrary {
     /// when two cut leaves map to the same literal; counting per arena
     /// node would over-price such plans.)
     pub fn count_new(&self, out: &Aig, plan: &Plan) -> usize {
-        self.count_new_with_level(out, &out.levels(), plan).0
+        self.count_new_with_level(out, out.node_levels(), plan).0
     }
 
     /// Like [`RewriteLibrary::count_new`], additionally returning the
@@ -588,13 +589,12 @@ impl Builder {
             let g0 = self.build_fn(f.cofactor0(v));
             candidates.push(self.arena.mux(self.leaves[v], g1, g0));
         }
-        let levels = self.arena.levels();
         candidates
             .into_iter()
             .min_by_key(|&l| {
                 (
                     cone_size(&self.arena, l),
-                    levels[l.node() as usize],
+                    self.arena.level(l.node()),
                     l.0, // deterministic final tie-break
                 )
             })
@@ -644,10 +644,36 @@ pub fn rewrite(aig: &Aig) -> Aig {
     rewrite_with(aig, &RewriteConfig::default())
 }
 
+/// Minimum AND nodes on one level before candidate scoring fans the
+/// level out across worker threads.
+const PAR_LEVEL_THRESHOLD: usize = 16;
+
+/// The commit-independent half of one cut candidate's price, computed in
+/// the parallel scoring phase: everything that is a pure function of the
+/// *input* graph (cut function, NPN canonization, MFFC size). The
+/// out-graph-dependent half — pin binding, structural-hash dry run, level
+/// pricing — stays in the serial commit loop.
+struct ScoredCut {
+    /// Cut leaves in support order (the pin binding order).
+    leaf_nodes: Vec<u32>,
+    canon: NpnCanon,
+    /// MFFC size: AND nodes freed if the root is re-expressed over the
+    /// leaves.
+    freed: i64,
+}
+
 /// One DAG-aware rewriting pass. The returned AIG is functionally
 /// equivalent and never larger than the (cleaned) input; callers — the
 /// [`Flow`](crate::synth::Flow) engine — additionally gate acceptance on
 /// their own criteria and, in debug builds, on a SAT equivalence proof.
+///
+/// The pass is split into a scoring phase and a commit phase. Scoring —
+/// cut truth tables, NPN canonization, MFFC sizing — depends only on the
+/// immutable input graph, so it fans out over topological levels
+/// (order-preserving `par_iter`, serial fallback under the level-size
+/// threshold) and is bit-identical to serial at any thread count. The
+/// commit loop walks nodes in order exactly as before, pricing each
+/// pre-scored candidate against the evolving output graph.
 pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
     let lib = library();
     let input = aig.cleanup();
@@ -658,21 +684,59 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
             max_cuts: config.max_cuts,
         },
     );
-    let mut refs = input.fanouts();
+    let refs = input.fanout_counts();
+
+    // Scoring phase: pure per-(node, cut) work over the fixed input.
+    let score_node = |idx: u32, memo: &mut HashMap<u64, NpnCanon>| -> Vec<ScoredCut> {
+        cuts[idx as usize]
+            .iter()
+            .filter(|cut| !cut.is_trivial(idx))
+            .map(|cut| {
+                let (fs, leaf_nodes) = cut.function_over_support();
+                let f4 = fs.extend_to(4);
+                let canon = *memo.entry(f4.bits()).or_insert_with(|| npn_canon(f4));
+                let freed = mffc_size_ro(&input, idx, &cut.leaves, refs) as i64;
+                ScoredCut {
+                    leaf_nodes,
+                    canon,
+                    freed,
+                }
+            })
+            .collect()
+    };
+    let mut scored: Vec<Vec<ScoredCut>> = Vec::new();
+    scored.resize_with(input.len(), Vec::new);
+    // Per-pass canonization memo: the same cut function recurs across
+    // many nodes (mirrors the mapper's `Matcher`). Parallel tasks use
+    // per-task memos instead — canonization is deterministic, so the
+    // values cannot differ, only the cache locality does.
+    let mut canon_memo: HashMap<u64, NpnCanon> = HashMap::new();
+    let parallel = rayon::current_num_threads() > 1;
+    for level in input.and_level_groups() {
+        if parallel && level.len() >= PAR_LEVEL_THRESHOLD {
+            let computed: Vec<Vec<ScoredCut>> = level
+                .par_iter()
+                .map(|&i| score_node(i, &mut HashMap::new()))
+                .collect();
+            for (&i, s) in level.iter().zip(computed) {
+                scored[i as usize] = s;
+            }
+        } else {
+            for &i in &level {
+                scored[i as usize] = score_node(i, &mut canon_memo);
+            }
+        }
+    }
+
+    // Commit phase: serial, in node order, pricing against the evolving
+    // output graph (whose arena maintains levels incrementally, so the
+    // depth-aware mode reads them for free).
     let mut out = Aig::new();
     let mut map: Vec<Lit> = vec![Lit::FALSE; input.len()];
     for &i in input.input_nodes() {
         map[i as usize] = out.input();
     }
-    // Per-node levels of the output graph, maintained incrementally so
-    // the depth-aware mode can price candidate root levels without an
-    // O(n) recompute per cut.
-    let mut out_levels: Vec<u32> = vec![0; out.len()];
-    // Per-pass canonization memo: the same cut function recurs across
-    // many nodes (mirrors the mapper's `Matcher`).
-    let mut canon_memo: HashMap<u64, NpnCanon> = HashMap::new();
     let threshold = if config.zero_gain { 0 } else { 1 };
-
     for idx in 0..input.len() {
         let Node::And(a, b) = input.node(idx as u32) else {
             continue;
@@ -683,29 +747,21 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
             let fa = edge(map[a.node() as usize], a);
             let fb = edge(map[b.node() as usize], b);
             match out.find_and(fa, fb) {
-                Some(hit) => out_levels[hit.node() as usize],
-                None => 1 + out_levels[fa.node() as usize].max(out_levels[fb.node() as usize]),
+                Some(hit) => out.level(hit.node()),
+                None => 1 + out.level(fa.node()).max(out.level(fb.node())),
             }
         };
         let mut best: Option<(i64, i64, Plan)> = None;
-        for cut in &cuts[idx] {
-            if cut.is_trivial(idx as u32) {
-                continue;
-            }
-            let (fs, leaf_nodes) = cut.function_over_support();
-            let f4 = fs.extend_to(4);
-            let canon = *canon_memo.entry(f4.bits()).or_insert_with(|| npn_canon(f4));
-            let leaf_lits: Vec<Lit> = leaf_nodes.iter().map(|&n| map[n as usize]).collect();
-            let plan = lib.plan(&canon, &leaf_lits);
-            let (added, root_level) = lib.count_new_with_level(&out, &out_levels, &plan);
+        for sc in &scored[idx] {
+            let leaf_lits: Vec<Lit> = sc.leaf_nodes.iter().map(|&n| map[n as usize]).collect();
+            let plan = lib.plan(&sc.canon, &leaf_lits);
+            let (added, root_level) = lib.count_new_with_level(&out, out.node_levels(), &plan);
             if config.level_aware && root_level > copy_level {
                 continue;
             }
-            let added = added as i64;
-            let freed = mffc_size(&input, idx as u32, &cut.leaves, &mut refs) as i64;
-            let gain = freed - added;
+            let gain = sc.freed - added as i64;
             if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
-                best = Some((gain, added, plan));
+                best = Some((gain, added as i64, plan));
             }
         }
         map[idx] = match best {
@@ -725,7 +781,6 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
                 out.and(fa, fb)
             }
         };
-        extend_levels(&out, &mut out_levels);
     }
     for o in input.output_lits() {
         let l = edge(map[o.node() as usize], *o);
@@ -747,31 +802,25 @@ fn edge(mapped: Lit, e: Lit) -> Lit {
     }
 }
 
-/// Extends the incremental level array to cover nodes appended to `out`
-/// since the last call (node order is topological, so one forward pass
-/// suffices).
-fn extend_levels(out: &Aig, levels: &mut Vec<u32>) {
-    for i in levels.len()..out.len() {
-        let lvl = match out.node(i as u32) {
-            Node::And(a, b) => 1 + levels[a.node() as usize].max(levels[b.node() as usize]),
-            _ => 0,
-        };
-        levels.push(lvl);
-    }
-}
-
 /// Size of the maximal fanout-free cone of `root` above `leaves`: the AND
 /// nodes (root included) that die when the root is re-expressed over the
-/// leaves. Computed by the classic dereference/re-reference walk over the
-/// fanout counts; `refs` is restored exactly before returning.
-fn mffc_size(aig: &Aig, root: u32, leaves: &[u32], refs: &mut [u32]) -> usize {
-    let freed = deref(aig, root, leaves, refs);
-    let restored = reref(aig, root, leaves, refs);
-    debug_assert_eq!(freed, restored, "deref/reref must mirror exactly");
-    freed
+/// leaves — the classic dereference walk, run against a *read-only*
+/// fanout array. Decrements are tracked in a small per-call overlay map,
+/// so concurrent scoring tasks can share one `refs` slice without cloning
+/// it or taking turns; the cone of a 4-cut is a handful of nodes, so the
+/// overlay stays tiny.
+fn mffc_size_ro(aig: &Aig, root: u32, leaves: &[u32], refs: &[u32]) -> usize {
+    let mut overlay: HashMap<u32, u32> = HashMap::new();
+    deref_ro(aig, root, leaves, refs, &mut overlay)
 }
 
-fn deref(aig: &Aig, node: u32, leaves: &[u32], refs: &mut [u32]) -> usize {
+fn deref_ro(
+    aig: &Aig,
+    node: u32,
+    leaves: &[u32],
+    refs: &[u32],
+    overlay: &mut HashMap<u32, u32>,
+) -> usize {
     let Node::And(a, b) = aig.node(node) else {
         return 0;
     };
@@ -781,28 +830,11 @@ fn deref(aig: &Aig, node: u32, leaves: &[u32], refs: &mut [u32]) -> usize {
         if leaves.binary_search(&f).is_ok() {
             continue;
         }
-        refs[f as usize] -= 1;
-        if refs[f as usize] == 0 {
-            count += deref(aig, f, leaves, refs);
+        let remaining = *overlay.get(&f).unwrap_or(&refs[f as usize]) - 1;
+        overlay.insert(f, remaining);
+        if remaining == 0 {
+            count += deref_ro(aig, f, leaves, refs, overlay);
         }
-    }
-    count
-}
-
-fn reref(aig: &Aig, node: u32, leaves: &[u32], refs: &mut [u32]) -> usize {
-    let Node::And(a, b) = aig.node(node) else {
-        return 0;
-    };
-    let mut count = 1;
-    for e in [a, b] {
-        let f = e.node();
-        if leaves.binary_search(&f).is_ok() {
-            continue;
-        }
-        if refs[f as usize] == 0 {
-            count += reref(aig, f, leaves, refs);
-        }
-        refs[f as usize] += 1;
     }
     count
 }
@@ -939,14 +971,15 @@ mod tests {
         let g = aig.and(ab, d);
         aig.output(f);
         aig.output(g);
-        let mut refs = aig.fanouts();
         let leaves = {
             let mut l = vec![a.node(), b.node(), c.node()];
             l.sort_unstable();
             l
         };
-        assert_eq!(mffc_size(&aig, f.node(), &leaves, &mut refs), 1);
-        assert_eq!(refs, aig.fanouts(), "refs must be restored");
+        assert_eq!(
+            mffc_size_ro(&aig, f.node(), &leaves, aig.fanout_counts()),
+            1
+        );
         // Without g, the ab node joins f's MFFC.
         let mut aig2 = Aig::new();
         let a = aig2.input();
@@ -955,13 +988,15 @@ mod tests {
         let ab = aig2.and(a, b);
         let f = aig2.and(ab, c);
         aig2.output(f);
-        let mut refs2 = aig2.fanouts();
         let leaves2 = {
             let mut l = vec![a.node(), b.node(), c.node()];
             l.sort_unstable();
             l
         };
-        assert_eq!(mffc_size(&aig2, f.node(), &leaves2, &mut refs2), 2);
+        assert_eq!(
+            mffc_size_ro(&aig2, f.node(), &leaves2, aig2.fanout_counts()),
+            2
+        );
     }
 
     #[test]
@@ -1068,20 +1103,18 @@ mod tests {
         let lib = library();
         let mut out = Aig::new();
         let leaf_lits: Vec<Lit> = (0..4).map(|_| out.input()).collect();
-        let mut levels = vec![0u32; out.len()];
         let a = TruthTable::var(4, 0);
         let b = TruthTable::var(4, 1);
         let c = TruthTable::var(4, 2);
         let d = TruthTable::var(4, 3);
         for f in [(a & b) | (c & d), a ^ b ^ c ^ d, (a | b) & !(c | d)] {
             let plan = lib.plan(&npn_canon(f), &leaf_lits);
-            let (added, level) = lib.count_new_with_level(&out, &levels, &plan);
+            let (added, level) = lib.count_new_with_level(&out, out.node_levels(), &plan);
             let before = out.and_count();
             let lit = lib.instantiate(&mut out, &plan);
-            super::extend_levels(&out, &mut levels);
             assert_eq!(out.and_count() - before, added);
             assert_eq!(
-                levels[lit.node() as usize],
+                out.level(lit.node()),
                 level,
                 "dry-run level must match the committed level for {f:?}"
             );

@@ -27,11 +27,11 @@ pub fn simulate64(aig: &Aig, inputs: &[u64]) -> Vec<u64> {
 pub fn node_values64(aig: &Aig, inputs: &[u64]) -> Vec<u64> {
     assert_eq!(inputs.len(), aig.input_count(), "input word count mismatch");
     let mut values = vec![0u64; aig.len()];
-    for (i, node) in aig.nodes().iter().enumerate() {
+    for (i, node) in aig.nodes().enumerate() {
         values[i] = match node {
             Node::Const => 0,
-            Node::Input(k) => inputs[*k as usize],
-            Node::And(a, b) => lit_word(*a, &values) & lit_word(*b, &values),
+            Node::Input(k) => inputs[k as usize],
+            Node::And(a, b) => lit_word(a, &values) & lit_word(b, &values),
         };
     }
     values

@@ -28,6 +28,7 @@ pub mod des;
 pub mod ecc;
 pub mod logicblocks;
 pub mod multiplier;
+pub mod scale;
 pub mod words;
 
 pub use catalog::{benchmark_by_name, table1_benchmarks, Benchmark};

@@ -27,6 +27,11 @@ use std::time::Instant;
 
 fn main() {
     let args = BenchArgs::parse();
+    args.reject_emit_aiger("engine_smoke");
+    args.with_thread_pool(|| run(&args));
+}
+
+fn run(args: &BenchArgs) {
     let config = args.table1_config();
     let threads = rayon::current_num_threads();
     println!(

@@ -21,7 +21,7 @@ fn main() {
         eprintln!(
             "usage: map_aiger <circuit.aag|circuit.aig> [--patterns N] [--seed S] \
              [--flow SCRIPT] [--objective delay|area|energy] [--cut-k N] \
-             [--verify off|sim|sat]"
+             [--verify off|sim|sat] [--threads N]"
         );
         std::process::exit(2);
     };
@@ -41,7 +41,7 @@ fn main() {
     );
     let config = args.pipeline_config();
     let flow = args.flow_with_choices();
-    let (synthesized, choices, report) = flow.run_with_choices(&aig);
+    let (synthesized, choices, report) = args.with_thread_pool(|| flow.run_with_choices(&aig));
     println!(
         "after flow \"{}\": {} AND nodes, depth {}",
         flow.script(),
@@ -69,7 +69,10 @@ fn main() {
     );
     for family in GateFamily::ALL {
         let library = engine::library(family);
-        let r = evaluate_circuit_with_choices(&synthesized, choices.as_ref(), library, &config)
+        let r = args
+            .with_thread_pool(|| {
+                evaluate_circuit_with_choices(&synthesized, choices.as_ref(), library, &config)
+            })
             .unwrap_or_else(|e| {
                 eprintln!("{path}: mapping onto {family} failed: {e}");
                 std::process::exit(1);

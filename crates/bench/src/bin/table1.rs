@@ -22,6 +22,7 @@ use bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
+    args.reject_emit_aiger("table1");
     let config = args.table1_config();
     let names: Vec<&str> = args.positional.iter().map(String::as_str).collect();
     for name in &names {
@@ -45,13 +46,15 @@ fn main() {
         config.pipeline.patterns,
         config.pipeline.map.objective,
         config.pipeline.flow,
-        rayon::current_num_threads()
+        args.threads.unwrap_or_else(rayon::current_num_threads)
     );
     let started = std::time::Instant::now();
-    let table = table1_subset(&config, subset).unwrap_or_else(|e| {
-        eprintln!("mapping failed: {e}");
-        std::process::exit(1);
-    });
+    let table = args
+        .with_thread_pool(|| table1_subset(&config, subset))
+        .unwrap_or_else(|e| {
+            eprintln!("mapping failed: {e}");
+            std::process::exit(1);
+        });
     let wall = started.elapsed();
     println!("{table}");
     println!();

@@ -40,8 +40,11 @@ pub mod qor;
 ///   choices (a `dch` step is appended when the flow has none) and each
 ///   circuit is mapped over them, keeping the choice netlist whenever it
 ///   uses no more gates;
+/// * `--threads N` — worker-pool width for the parallel hot loops
+///   (`N >= 1`; `1` forces the serial paths). Default: the rayon
+///   environment (`RAYON_NUM_THREADS`, then the machine's parallelism);
 /// * `--json PATH` — write the machine-readable QoR/runtime artifact
-///   (supported by `table1` and `engine_smoke`);
+///   (supported by `table1`, `engine_smoke`, and `scale`);
 /// * positional arguments (e.g. the AIGER path for `map_aiger`, circuit
 ///   names for `table1`) are collected in order.
 #[derive(Clone, Debug, Default)]
@@ -60,6 +63,10 @@ pub struct BenchArgs {
     pub verify: Option<Verify>,
     /// Whether `--choices` was given.
     pub choices: bool,
+    /// `--threads N`, if given (validated ≥ 1).
+    pub threads: Option<usize>,
+    /// `--emit-aiger DIR`, if given (only the `scale` bin consumes it).
+    pub emit_aiger: Option<String>,
     /// `--json PATH`, if given.
     pub json: Option<String>,
     /// Whether `--paper` was given.
@@ -79,7 +86,8 @@ impl BenchArgs {
                 eprintln!(
                     "usage: [--patterns N] [--seed S] [--paper] [--flow SCRIPT] \
                      [--objective delay|area|energy] [--cut-k N] \
-                     [--verify off|sim|sat] [--choices] [--json PATH] [positional...]"
+                     [--verify off|sim|sat] [--choices] [--threads N] \
+                     [--emit-aiger DIR] [--json PATH] [positional...]"
                 );
                 std::process::exit(2);
             }
@@ -100,6 +108,8 @@ impl BenchArgs {
             || args.cut_k.is_some()
             || args.verify.is_some()
             || args.choices
+            || args.threads.is_some()
+            || args.emit_aiger.is_some()
             || args.json.is_some()
             || args.paper
             || !args.positional.is_empty()
@@ -118,13 +128,24 @@ impl BenchArgs {
     }
 
     /// Rejects `--json` for binaries that emit no QoR artifact (only
-    /// `table1` and `engine_smoke` do) — silently ignoring the flag in a
-    /// scripted pipeline would look like lost data.
+    /// `table1`, `engine_smoke`, and `scale` do) — silently ignoring the
+    /// flag in a scripted pipeline would look like lost data.
     pub fn reject_json(&self, bin: &str) {
         if self.json.is_some() {
             eprintln!(
-                "{bin} emits no QoR artifact; --json is only supported by table1 and engine_smoke"
+                "{bin} emits no QoR artifact; --json is only supported by table1, \
+                 engine_smoke, and scale"
             );
+            std::process::exit(2);
+        }
+        self.reject_emit_aiger(bin);
+    }
+
+    /// Rejects `--emit-aiger` for binaries that generate no circuits
+    /// (only `scale` does), for the same reason as [`Self::reject_json`].
+    pub fn reject_emit_aiger(&self, bin: &str) {
+        if self.emit_aiger.is_some() {
+            eprintln!("{bin} generates no circuits; --emit-aiger is only supported by scale");
             std::process::exit(2);
         }
     }
@@ -202,6 +223,20 @@ impl BenchArgs {
                     let value = iter.next().ok_or("--verify requires a value")?;
                     out.verify = Some(value.parse().map_err(|e| format!("--verify: {e}"))?);
                 }
+                "--emit-aiger" => {
+                    let value = iter.next().ok_or("--emit-aiger requires a directory")?;
+                    out.emit_aiger = Some(value);
+                }
+                "--threads" => {
+                    let value = iter.next().ok_or("--threads requires a value")?;
+                    let n: usize = value
+                        .parse()
+                        .map_err(|e| format!("--threads {value}: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads 0: the pool needs at least one worker".into());
+                    }
+                    out.threads = Some(n);
+                }
                 "--paper" => out.paper = true,
                 "--choices" => out.choices = true,
                 flag if flag.starts_with("--") => {
@@ -248,6 +283,24 @@ impl BenchArgs {
     pub fn table1_config(&self) -> Table1Config {
         Table1Config {
             pipeline: self.pipeline_config(),
+        }
+    }
+
+    /// Runs `work` under the worker pool `--threads` selects: a scoped
+    /// rayon pool of exactly `N` threads when the flag was given, the
+    /// process-default pool otherwise. Every bench binary wraps its body
+    /// in this, so serial-vs-parallel comparisons (`--threads 1` vs the
+    /// default) are controllable from any artifact without environment
+    /// variables. Results are identical either way — the hot loops are
+    /// bit-identical at any thread count — only the wall clock moves.
+    pub fn with_thread_pool<R>(&self, work: impl FnOnce() -> R) -> R {
+        match self.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool construction cannot fail for n >= 1")
+                .install(work),
+            None => work(),
         }
     }
 }
@@ -364,6 +417,18 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_scopes_a_pool() {
+        let args = BenchArgs::parse_from(["--threads", "3"]).unwrap();
+        assert_eq!(args.threads, Some(3));
+        let seen = args.with_thread_pool(rayon::current_num_threads);
+        assert_eq!(seen, 3, "work must run under a 3-thread pool");
+        // Without the flag, the environment default applies.
+        let plain = BenchArgs::parse_from(std::iter::empty::<String>()).unwrap();
+        assert_eq!(plain.threads, None);
+        assert!(plain.with_thread_pool(rayon::current_num_threads) >= 1);
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(BenchArgs::parse_from(["--patterns"]).is_err());
         assert!(BenchArgs::parse_from(["--patterns", "many"]).is_err());
@@ -380,5 +445,8 @@ mod tests {
         assert!(BenchArgs::parse_from(["--flow", "b; frobnicate"]).is_err());
         assert!(BenchArgs::parse_from(["--flow", ""]).is_err());
         assert!(BenchArgs::parse_from(["--json"]).is_err());
+        assert!(BenchArgs::parse_from(["--threads"]).is_err());
+        assert!(BenchArgs::parse_from(["--threads", "0"]).is_err());
+        assert!(BenchArgs::parse_from(["--threads", "all"]).is_err());
     }
 }

@@ -287,7 +287,7 @@ pub fn map_portfolio(
 
 /// Structural identity of two networks (same node array, same outputs).
 fn same_structure(a: &Aig, b: &Aig) -> bool {
-    a.nodes() == b.nodes() && a.output_lits() == b.output_lits()
+    a.same_structure(b)
 }
 
 /// Applies the configured post-mapping verification.

@@ -90,8 +90,15 @@ pub fn map_aig_with_cache(
     let order: Vec<u32> = (0..aig.len() as u32)
         .filter(|&n| matches!(aig.node(n), Node::And(_, _)))
         .collect();
-    let fanouts = aig.fanouts();
-    let chosen = select_matches(&aig, &order, &fanouts, &cuts, &mut matcher, library, config)?;
+    let chosen = select_matches(
+        &aig,
+        &order,
+        aig.fanout_counts(),
+        &cuts,
+        &mut matcher,
+        library,
+        config,
+    )?;
 
     // Phase 4: cover extraction (which matches are actually used, in
     // topological emission order).

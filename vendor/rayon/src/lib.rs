@@ -29,8 +29,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// this from its shared pool; this shim approximates it with a counter.
 static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// Worker-count override installed by [`ThreadPool::install`] (0 = none).
+/// Real rayon scopes the pool per worker thread; this shim runs parallel
+/// operations on ephemeral scoped threads, so a process-wide override is
+/// the honest equivalent for the workspace's single-driver binaries.
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads a parallel operation will use.
 pub fn current_num_threads() -> usize {
+    let pool = POOL_THREADS.load(Ordering::Relaxed);
+    if pool >= 1 {
+        return pool;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -41,6 +51,83 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Builder for a worker pool with an explicit thread count, mirroring
+/// `rayon::ThreadPoolBuilder`'s surface (the subset the workspace uses).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Pool construction error (this shim's builds are infallible, but the
+/// real crate's `build()` returns a `Result`, so callers match on one).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with no explicit thread count (defaults apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = default, matching real rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or(0),
+        })
+    }
+}
+
+/// A scoped worker pool: [`ThreadPool::install`] runs a closure with the
+/// pool's thread count governing every parallel operation inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    /// Configured worker count (0 = default resolution order).
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count parallel operations inside [`ThreadPool::install`]
+    /// will use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads >= 1 {
+            self.threads
+        } else {
+            current_num_threads()
+        }
+    }
+
+    /// Runs `op` with this pool's thread count installed; the previous
+    /// count is restored when `op` returns (or panics).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let prev = POOL_THREADS.swap(self.threads, Ordering::Relaxed);
+        let _restore = Restore(prev);
+        op()
+    }
 }
 
 /// Runs two closures, in parallel when more than one worker is available.
@@ -285,6 +372,45 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    /// Serializes the pool tests: the override is process-global, so two
+    /// tests installing pools concurrently would observe each other.
+    static POOL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn pool_install_scopes_the_thread_count() {
+        let _guard = POOL_TEST_LOCK.lock().unwrap();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("shim pools always build");
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, out): (usize, Vec<usize>) = pool.install(|| {
+            let n = super::current_num_threads();
+            let out = (0usize..100).into_par_iter().map(|i| i * i).collect();
+            (n, out)
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(out, (0usize..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_installs_restore_the_outer_pool() {
+        let _guard = POOL_TEST_LOCK.lock().unwrap();
+        let outer = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(super::current_num_threads(), 2);
+            inner.install(|| assert_eq!(super::current_num_threads(), 5));
+            assert_eq!(super::current_num_threads(), 2);
+        });
     }
 
     #[test]
