@@ -228,17 +228,30 @@ enum Prove {
 }
 
 /// Minimum AND nodes on one level before the sweeper's resimulation
-/// fans the level out across worker threads.
+/// fans the level out across worker threads. The effective floor is
+/// width-aware: levels narrower than 4× the pool size stay serial, since
+/// splitting them buys less than the task-spawn overhead costs.
 const PAR_LEVEL_THRESHOLD: usize = 64;
 
+/// Signature words are allocated in cache-line blocks of this many
+/// `u64`s. The slack between the logical width and the allocated stride
+/// lets refinement append a word in place; the block re-strides (one
+/// full copy) only once every `SIG_WORD_BLOCK` refinement rounds instead
+/// of on every counterexample.
+const SIG_WORD_BLOCK: usize = 4;
+
 /// All simulation signatures in one flat node-major block: node `i`'s
-/// `words` 64-pattern words live at `data[i*words..(i+1)*words]`. One
-/// bump-grown allocation for the whole fraig instead of a heap `Vec<u64>`
-/// per node — signature reads during fraiging become offset arithmetic
-/// into one contiguous region.
+/// `words` live 64-pattern words sit at `data[i*stride..i*stride+words]`,
+/// with `stride - words` zeroed slack lanes behind them. One bump-grown
+/// allocation for the whole fraig instead of a heap `Vec<u64>` per node —
+/// signature reads during fraiging become offset arithmetic into one
+/// contiguous region.
 struct SigBlock {
-    /// Signature width, in 64-pattern words (uniform across nodes).
+    /// Logical signature width, in 64-pattern words (uniform across
+    /// nodes).
     words: usize,
+    /// Allocated words per node (`words.next_multiple_of(SIG_WORD_BLOCK)`).
+    stride: usize,
     data: Vec<u64>,
 }
 
@@ -246,24 +259,46 @@ impl SigBlock {
     fn new(words: usize) -> Self {
         Self {
             words,
+            stride: words.next_multiple_of(SIG_WORD_BLOCK).max(SIG_WORD_BLOCK),
             data: Vec::new(),
         }
     }
 
     /// Borrowed signature of one node — no allocation.
     fn sig(&self, node: u32) -> &[u64] {
-        let start = node as usize * self.words;
+        let start = node as usize * self.stride;
         &self.data[start..start + self.words]
     }
 
     /// Word `w` of a literal's signature (complement applied).
     fn lit_word(&self, l: Lit, w: usize) -> u64 {
-        let v = self.data[l.node() as usize * self.words + w];
+        let v = self.data[l.node() as usize * self.stride + w];
         if l.is_complement() {
             !v
         } else {
             v
         }
+    }
+
+    /// Opens one fresh node slot (all lanes zero), returning its offset.
+    fn grow(&mut self) -> usize {
+        let base = self.data.len();
+        self.data.resize(base + self.stride, 0);
+        base
+    }
+
+    /// Re-strides the block with one more slack block per node; live
+    /// words are copied, new lanes are zero.
+    fn widen(&mut self) {
+        let nodes = self.data.len() / self.stride;
+        let stride = self.stride + SIG_WORD_BLOCK;
+        let mut data = vec![0u64; nodes * stride];
+        for i in 0..nodes {
+            data[i * stride..i * stride + self.words]
+                .copy_from_slice(&self.data[i * self.stride..i * self.stride + self.words]);
+        }
+        self.stride = stride;
+        self.data = data;
     }
 }
 
@@ -310,7 +345,7 @@ impl Sweeper {
         let v0 = s.solver.new_var();
         s.solver.add_clause(&[sat::Lit::negative(v0)]);
         s.enc.push(v0);
-        s.sigs.data.resize(words, 0);
+        s.sigs.grow();
         s.repr.push(Lit::FALSE);
         s.register_class(0);
         for _ in 0..n_inputs {
@@ -318,9 +353,9 @@ impl Sweeper {
             let node = lit.node();
             s.input_nodes.push(node);
             s.enc.push(s.solver.new_var());
-            for _ in 0..words {
-                let w = s.rng.next_word();
-                s.sigs.data.push(w);
+            let base = s.sigs.grow();
+            for w in 0..words {
+                s.sigs.data[base + w] = s.rng.next_word();
             }
             s.repr.push(lit);
             s.register_class(node);
@@ -369,6 +404,14 @@ impl Sweeper {
     /// Imports a source network, returning its output literals in the
     /// fraig (representative-resolved).
     pub(crate) fn import(&mut self, src: &Aig) -> Vec<Lit> {
+        self.import_with_map(src).0
+    }
+
+    /// Like [`Sweeper::import`], additionally returning the source-node →
+    /// fraig-literal map. Map entries are representative-resolved at
+    /// creation time; resolve them again through the final `repr` to read
+    /// the up-to-date equivalence class of each source node.
+    pub(crate) fn import_with_map(&mut self, src: &Aig) -> (Vec<Lit>, Vec<Lit>) {
         let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
         for (i, node) in src.nodes().enumerate() {
             map[i] = match node {
@@ -381,10 +424,12 @@ impl Sweeper {
                 }
             };
         }
-        src.output_lits()
+        let outputs = src
+            .output_lits()
             .iter()
             .map(|&l| self.resolve(resolve(&map, l)))
-            .collect()
+            .collect();
+        (outputs, map)
     }
 
     /// Strashed AND with on-the-fly fraiging: a structurally new node is
@@ -408,29 +453,40 @@ impl Sweeper {
         self.solver.add_clause(&[!lv, lb]);
         self.solver.add_clause(&[lv, !la, !lb]);
         self.enc.push(v);
-        // Signature from the fanin signatures, bumped onto the block.
+        // Signature from the fanin signatures, bumped onto the block
+        // (slack lanes stay zero until a refinement claims them).
+        let base = self.sigs.grow();
         for w in 0..self.sigs.words {
-            let v = self.sigs.lit_word(a, w) & self.sigs.lit_word(b, w);
-            self.sigs.data.push(v);
+            self.sigs.data[base + w] = self.sigs.lit_word(a, w) & self.sigs.lit_word(b, w);
         }
+        crate::profile::add_sim_words(self.sigs.words as u64);
         self.repr.push(raw);
         debug_assert_eq!(self.enc.len(), self.f.len());
         self.try_merge(node);
         self.resolve(raw)
     }
 
-    /// Attempts to merge `node` into an existing class representative;
-    /// refuted candidates refine the simulation until the node either
-    /// merges or founds its own class.
+    /// Attempts to merge `node` into an existing class representative.
+    /// A refuted candidate is skipped for the rest of the attempt and its
+    /// distinguishing pattern banked; up to 64 counterexamples from one
+    /// bucket scan are packed into a *single* refinement word, so a node
+    /// that separates itself from many bucket-mates pays one fraig
+    /// resimulation per round instead of one per counterexample.
     fn try_merge(&mut self, node: u32) {
-        'refine: loop {
+        let mut refuted: Vec<u32> = Vec::new();
+        loop {
             let key = self.class_key(node);
             let bucket: Vec<u32> = self.classes.get(&key).cloned().unwrap_or_default();
+            let mut batch: Vec<Vec<bool>> = Vec::new();
             for cand in bucket {
-                // Skip self and stale entries (a candidate that itself
-                // merged after registration — its representative is in
-                // this bucket too, so nothing is lost).
-                if cand == node || self.repr[cand as usize] != Lit::new(cand, false) {
+                // Skip self, already-refuted candidates, and stale
+                // entries (a candidate that itself merged after
+                // registration — its representative is in this bucket
+                // too, so nothing is lost).
+                if cand == node
+                    || self.repr[cand as usize] != Lit::new(cand, false)
+                    || refuted.contains(&cand)
+                {
                     continue;
                 }
                 // Keys are fingerprints, so confirm the signatures are
@@ -445,12 +501,14 @@ impl Sweeper {
                 }
                 let phase = compl;
                 let target = Lit::new(cand, phase);
+                crate::profile::add_sat_merge_call();
                 match self.prove_lits_equal(
                     Lit::new(node, false),
                     target,
                     Some(MERGE_CONFLICT_BUDGET),
                 ) {
                     Prove::Equal => {
+                        crate::profile::add_sat_merge_proven();
                         self.repr[node as usize] = target;
                         // Record the proven equivalence as clauses; they
                         // are implied, and they help later queries.
@@ -458,22 +516,37 @@ impl Sweeper {
                         let lc = sat::Lit::new(self.enc[cand as usize], phase);
                         self.solver.add_clause(&[!ln, lc]);
                         self.solver.add_clause(&[ln, !lc]);
+                        // The banked counterexamples still split other
+                        // class pairs — spend them before returning.
+                        if !batch.is_empty() {
+                            self.refine(&batch);
+                        }
                         return;
                     }
                     Prove::Diff(pattern) => {
-                        self.refine(&pattern);
-                        continue 'refine;
+                        crate::profile::add_sat_merge_refuted();
+                        refuted.push(cand);
+                        batch.push(pattern);
+                        if batch.len() == 64 {
+                            break; // the word is full; refine, then rescan
+                        }
                     }
-                    Prove::Unknown => {} // budget out: try the next candidate
+                    Prove::Unknown => {
+                        // Budget out: try the next candidate.
+                        crate::profile::add_sat_merge_budget_out();
+                    }
                 }
             }
-            // A refine round rebuilds `classes` with `node` already in
-            // it; guard against registering it twice.
-            let bucket = self.classes.entry(key).or_default();
-            if !bucket.contains(&node) {
-                bucket.push(node);
+            if batch.is_empty() {
+                // A refine round rebuilds `classes` with `node` already
+                // in it; guard against registering it twice.
+                let bucket = self.classes.entry(key).or_default();
+                if !bucket.contains(&node) {
+                    bucket.push(node);
+                }
+                return;
             }
-            return;
+            self.refine(&batch);
         }
     }
 
@@ -512,60 +585,85 @@ impl Sweeper {
             .collect()
     }
 
-    /// Appends one simulation word seeded with `pattern` (bit 0) plus 63
-    /// fresh random patterns, resimulates the whole fraig, and rebuilds
-    /// the candidate classes.
+    /// Appends one simulation word carrying the batched counterexamples
+    /// (`patterns[j]` at bit `j`) topped up with fresh random patterns,
+    /// resimulates the whole fraig, and rebuilds the candidate classes.
     ///
-    /// The signature block is re-strided once (`words` → `words + 1`),
-    /// then the new word is propagated one level frontier at a time: a
-    /// node's word depends only on its fanins' words on strictly lower
-    /// levels, so wide frontiers fan out over the worker pool and commit
-    /// serially in node order — bit-identical to the serial walk.
-    fn refine(&mut self, pattern: &[bool]) {
+    /// The word lands in a pre-allocated slack lane of the signature
+    /// block when one is free (the block re-strides only every
+    /// [`SIG_WORD_BLOCK`]th round), then propagates one level frontier at
+    /// a time: a node's word depends only on its fanins' words on
+    /// strictly lower levels, so wide frontiers fan out over the worker
+    /// pool and commit serially in node order — bit-identical to the
+    /// serial walk.
+    fn refine(&mut self, patterns: &[Vec<bool>]) {
+        debug_assert!(!patterns.is_empty() && patterns.len() <= 64);
+        crate::profile::add_refine_round();
+        if self.sigs.words == self.sigs.stride {
+            self.sigs.widen();
+        }
         let words = self.sigs.words;
-        let nw = words + 1;
-        let len = self.f.len();
-        let mut data = vec![0u64; len * nw];
-        for i in 0..len {
-            data[i * nw..i * nw + words].copy_from_slice(self.sigs.sig(i as u32));
-        }
-        // Input words draw from the rng serially, in input order — the
-        // stream is part of the determinism contract.
-        for (k, &bit) in pattern.iter().enumerate() {
-            let w = self.rng.next_word() & !1 | u64::from(bit);
-            let n = self.input_nodes[k] as usize;
-            data[n * nw + words] = w;
-        }
-        // Constant stays 0 (pre-zeroed). ANDs propagate per frontier.
-        let word_of = |data: &[u64], l: Lit| {
-            data[l.node() as usize * nw + words] ^ if l.is_complement() { u64::MAX } else { 0 }
+        let stride = self.sigs.stride;
+        // Forced counterexample bits occupy the low lanes of the new
+        // word; the rest stay random. Input words draw from the rng
+        // serially, in input order — the stream is part of the
+        // determinism contract (with a single pattern this reproduces
+        // the unbatched stream exactly).
+        let forced = if patterns.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << patterns.len()) - 1
         };
+        for (k, &n) in self.input_nodes.iter().enumerate() {
+            let mut w = self.rng.next_word() & !forced;
+            for (j, p) in patterns.iter().enumerate() {
+                w |= u64::from(p[k]) << j;
+            }
+            self.sigs.data[n as usize * stride + words] = w;
+        }
+        crate::profile::add_sim_words(self.f.len() as u64);
+        // The constant keeps its zeroed lane. ANDs propagate per
+        // frontier; levels narrower than the width-aware floor stay
+        // serial.
         let parallel = rayon::current_num_threads() > 1;
+        let floor = PAR_LEVEL_THRESHOLD.max(4 * rayon::current_num_threads());
         for level in self.f.and_level_groups() {
-            if parallel && level.len() >= PAR_LEVEL_THRESHOLD {
-                let computed: Vec<u64> = level
-                    .par_iter()
-                    .map(|&i| {
-                        let Node::And(a, b) = self.f.node(i) else {
-                            unreachable!("only AND nodes are grouped by level");
-                        };
-                        word_of(&data, a) & word_of(&data, b)
-                    })
-                    .collect();
+            if parallel && level.len() >= floor {
+                crate::profile::add_par_tasks(level.len() as u64);
+                let computed: Vec<u64> = {
+                    let data = &self.sigs.data;
+                    let word_of = |l: Lit| {
+                        data[l.node() as usize * stride + words]
+                            ^ if l.is_complement() { u64::MAX } else { 0 }
+                    };
+                    level
+                        .par_iter()
+                        .map(|&i| {
+                            let Node::And(a, b) = self.f.node(i) else {
+                                unreachable!("only AND nodes are grouped by level");
+                            };
+                            word_of(a) & word_of(b)
+                        })
+                        .collect()
+                };
                 for (&i, w) in level.iter().zip(computed) {
-                    data[i as usize * nw + words] = w;
+                    self.sigs.data[i as usize * stride + words] = w;
                 }
             } else {
                 for &i in &level {
                     let Node::And(a, b) = self.f.node(i) else {
                         unreachable!("only AND nodes are grouped by level");
                     };
-                    let w = word_of(&data, a) & word_of(&data, b);
-                    data[i as usize * nw + words] = w;
+                    let data = &self.sigs.data;
+                    let wa = data[a.node() as usize * stride + words]
+                        ^ if a.is_complement() { u64::MAX } else { 0 };
+                    let wb = data[b.node() as usize * stride + words]
+                        ^ if b.is_complement() { u64::MAX } else { 0 };
+                    self.sigs.data[i as usize * stride + words] = wa & wb;
                 }
             }
         }
-        self.sigs = SigBlock { words: nw, data };
+        self.sigs.words = words + 1;
         // Rebuild classes from the (still live) representatives.
         let live: Vec<u32> = (0..self.f.len() as u32)
             .filter(|&n| self.repr[n as usize] == Lit::new(n, false))
@@ -786,5 +884,74 @@ mod tests {
         let a = build(true);
         let b = build(false);
         assert_eq!(check_equivalence(&a, &b), Ok(Equivalence::Equal));
+    }
+
+    /// A messy deterministic network: xorshift-driven mix of
+    /// AND/OR/XOR/MUX over `n_inputs` with `n_ops` operations.
+    fn messy_aig(seed: u64, n_inputs: usize, n_ops: usize) -> Aig {
+        let mut aig = Aig::new();
+        let mut nets: Vec<Lit> = (0..n_inputs).map(|_| aig.input()).collect();
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..n_ops {
+            let a = nets[(rnd() as usize) % nets.len()];
+            let b = nets[(rnd() as usize) % nets.len()];
+            let f = match rnd() % 4 {
+                0 => aig.and(a, b.not()),
+                1 => aig.or(a, b),
+                2 => aig.xor(a, b),
+                _ => {
+                    let c = nets[(rnd() as usize) % nets.len()];
+                    aig.mux(a, b, c)
+                }
+            };
+            nets.push(f);
+        }
+        for k in 0..nets.len().min(4) {
+            aig.output(nets[nets.len() - 1 - k]);
+        }
+        aig
+    }
+
+    /// Sweeps `src` at the given signature width and reads back the
+    /// semantic partition of its nodes: for each source node, the id of
+    /// its equivalence class (classes numbered in first-appearance
+    /// order) and its phase relative to the class leader.
+    fn sweep_partition(src: &Aig, words: usize) -> Vec<(usize, bool)> {
+        let mut sweeper = Sweeper::new(src.input_count(), 0xD5, words);
+        let (_, map) = sweeper.import_with_map(src);
+        let mut ids: HashMap<u32, (usize, bool)> = HashMap::new();
+        map.iter()
+            .map(|&l| {
+                let r = sweeper.resolve(l);
+                let next = ids.len();
+                let (id, leader_phase) = *ids.entry(r.node()).or_insert((next, r.is_complement()));
+                (id, r.is_complement() != leader_phase)
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        // Batched refinement at the widened 4-word signature width must
+        // discover exactly the merges of the 1-word path: with the SAT
+        // budget never exhausted on networks this size, both converge to
+        // the true semantic equivalence classes, so the source-node
+        // partitions agree even though the signature streams (and hence
+        // bucket scan orders) differ.
+        #[test]
+        fn batched_wide_refinement_matches_the_one_word_path(
+            seed in proptest::prelude::any::<u64>(),
+            n_ops in 5usize..60,
+        ) {
+            let src = messy_aig(seed, 5, n_ops).cleanup();
+            proptest::prop_assert_eq!(sweep_partition(&src, 1), sweep_partition(&src, 4));
+        }
     }
 }

@@ -4,12 +4,22 @@
 //! enumerate cuts with this module. Each cut carries the function of the
 //! node's positive output over the cut leaves.
 //!
+//! [`CutDb`] is the persistent form: a flat cut arena keyed to one
+//! network, filled level-by-level by [`CutDb::ensure`] and carried
+//! *across* optimization passes by [`CutDb::retarget`], which translates
+//! the cut sets of structurally unchanged cones through a pass's
+//! old-node → new-literal map and invalidates only the dirty remainder.
+//! Pass 2..n of a multi-pass flow therefore recomputes cuts for a small
+//! fraction of the network instead of all of it; the reuse is counted in
+//! [`crate::profile`].
+//!
 //! [`enumerate_cuts_choice`] is the choice-aware variant: cuts of a
 //! class representative may be rooted in any ring member's cone, so the
 //! mapper sees every accumulated structure of the function.
 
 use crate::choice::ChoiceAig;
 use crate::graph::{Aig, Lit, Node};
+use crate::profile;
 use logic::TruthTable;
 use rayon::prelude::*;
 
@@ -64,7 +74,7 @@ impl Cut {
 }
 
 /// Cut enumeration parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CutConfig {
     /// Maximum leaves per cut (≤ 6).
     pub k: usize,
@@ -79,58 +89,349 @@ impl Default for CutConfig {
     }
 }
 
-/// Minimum AND nodes on one level before the level is fanned out across
-/// worker threads; below this the per-task overhead outweighs the merge
-/// work.
+/// Minimum AND nodes on one level before the level is even considered
+/// for fan-out across worker threads.
 const PAR_LEVEL_THRESHOLD: usize = 16;
+
+/// Width-aware parallel dispatch floor: a level narrower than ~4 tasks
+/// per worker loses more to dispatch overhead than it gains, so such
+/// levels stay serial regardless of the static threshold.
+fn par_level_floor() -> usize {
+    PAR_LEVEL_THRESHOLD.max(4 * rayon::current_num_threads())
+}
+
+/// Read access to per-node cut sets. Implemented by the plain
+/// `Vec<Vec<Cut>>` layout [`enumerate_cuts`] returns and by [`CutDb`],
+/// so downstream consumers (the technology mapper's selection phase)
+/// accept either source.
+pub trait CutSource: Sync {
+    /// The stored cuts of `node` (empty for the constant, for nodes
+    /// without computed cuts, and for out-of-range indices).
+    fn cuts_of(&self, node: u32) -> &[Cut];
+}
+
+impl CutSource for [Vec<Cut>] {
+    fn cuts_of(&self, node: u32) -> &[Cut] {
+        self.get(node as usize).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl CutSource for Vec<Vec<Cut>> {
+    fn cuts_of(&self, node: u32) -> &[Cut] {
+        self.as_slice().cuts_of(node)
+    }
+}
+
+impl CutSource for CutDb {
+    fn cuts_of(&self, node: u32) -> &[Cut] {
+        self.cuts(node)
+    }
+}
 
 /// Enumerates cuts for every node. Index = node index; constant and input
 /// nodes get only their trivial cut (inputs) or nothing (constant).
 ///
-/// AND nodes are processed one topological level at a time: a node's cut
-/// set is a pure function of its fanins' cut sets, and fanins sit on
-/// strictly lower levels, so every node of a level can be computed
-/// independently. Wide levels fan out over the worker pool
-/// (order-preserving `par_iter`) and are committed serially in node
-/// order — the result is bit-identical to the serial walk at any thread
-/// count. The serial path reuses one scratch merge buffer across the
-/// whole traversal instead of allocating a fresh accumulator per node.
+/// This is the one-shot convenience wrapper around [`CutDb`]: it fills a
+/// fresh database and unpacks it into the per-node vector layout. Flows
+/// that run several passes over the same network should hold a [`CutDb`]
+/// instead and let [`CutDb::retarget`] carry cuts across passes.
 pub fn enumerate_cuts(aig: &Aig, config: CutConfig) -> Vec<Vec<Cut>> {
-    assert!(config.k >= 2 && config.k <= 6, "cut width must be in 2..=6");
-    let mut all: Vec<Vec<Cut>> = vec![Vec::new(); aig.len()];
-    for &i in aig.input_nodes() {
-        all[i as usize] = vec![Cut::trivial(i)];
-    }
-    let parallel = rayon::current_num_threads() > 1;
-    let mut scratch: Vec<Cut> = Vec::new();
-    for level in aig.and_level_groups() {
-        if parallel && level.len() >= PAR_LEVEL_THRESHOLD {
-            let computed: Vec<Vec<Cut>> = level
-                .par_iter()
-                .map(|&idx| {
-                    let mut local: Vec<Cut> = Vec::new();
-                    node_cuts(aig, idx, &all, config, &mut local)
-                })
-                .collect();
-            for (&idx, cuts) in level.iter().zip(computed) {
-                all[idx as usize] = cuts;
-            }
-        } else {
-            for &idx in &level {
-                let cuts = node_cuts(aig, idx, &all, config, &mut scratch);
-                all[idx as usize] = cuts;
-            }
-        }
-    }
-    all
+    let mut db = CutDb::new(config);
+    db.ensure(aig);
+    db.into_per_node()
 }
 
-/// The stored cut set of one AND node: fanin cut sets merged into
-/// `scratch` (cleared, capacity reused), pruned, plus the trivial cut.
-fn node_cuts(
+/// A persistent, incrementally maintained cut database.
+///
+/// The cuts live in one flat arena (`store`) with a `(start, end)` span
+/// per node — the serial fill path appends pruned cuts straight into the
+/// arena, so no per-node `Vec` allocation survives ([`enumerate_cuts`]
+/// only pays for the per-node layout when explicitly unpacking).
+///
+/// Lifecycle: [`CutDb::ensure`] computes the cut sets of every node that
+/// has none, one topological level at a time (wide levels fan out over
+/// the worker pool, committed serially in node order — bit-identical to
+/// the serial walk at any thread count). After a pass transforms the
+/// network, [`CutDb::retarget`] re-keys the database to the new network:
+/// cones the pass left structurally intact (same AND shape over the
+/// translated fanins, same operand order, clean all the way down) keep
+/// their cuts — leaves renamed through the map, truth tables permuted to
+/// the re-sorted leaf order — while every other node is marked dirty and
+/// recomputed by the next `ensure`. [`CutDb::reset`] drops everything
+/// (used after passes that cannot produce a node map).
+#[derive(Clone, Debug)]
+pub struct CutDb {
+    config: CutConfig,
+    /// Flat cut arena; a node's cuts are `store[span[n].0..span[n].1]`.
+    store: Vec<Cut>,
+    /// Per-node spans into `store`; `None` = dirty (not computed).
+    span: Vec<Option<(u32, u32)>>,
+    /// Cut sets served from the database without recompute.
+    reused: u64,
+    /// Cut sets enumerated from fanin cut sets.
+    computed: u64,
+}
+
+impl CutDb {
+    /// Creates an empty database for the given enumeration parameters.
+    pub fn new(config: CutConfig) -> Self {
+        assert!(config.k >= 2 && config.k <= 6, "cut width must be in 2..=6");
+        Self {
+            config,
+            store: Vec::new(),
+            span: Vec::new(),
+            reused: 0,
+            computed: 0,
+        }
+    }
+
+    /// The enumeration parameters this database was built with.
+    pub fn config(&self) -> CutConfig {
+        self.config
+    }
+
+    /// The stored cuts of `node` (empty while the node is dirty).
+    pub fn cuts(&self, node: u32) -> &[Cut] {
+        match self.span.get(node as usize).copied().flatten() {
+            Some((s, e)) => &self.store[s as usize..e as usize],
+            None => &[],
+        }
+    }
+
+    /// Whether `node` has a computed (non-dirty) cut set.
+    pub fn is_valid(&self, node: u32) -> bool {
+        self.span
+            .get(node as usize)
+            .is_some_and(|span| span.is_some())
+    }
+
+    /// Cut sets served without recompute so far (monotone).
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Cut sets enumerated so far (monotone).
+    pub fn computed(&self) -> u64 {
+        self.computed
+    }
+
+    /// Drops every stored cut; the next [`CutDb::ensure`] recomputes
+    /// from scratch. Used after a pass that cannot report a node map.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.span.clear();
+    }
+
+    /// Computes the cut sets of every dirty node of `aig`, level by
+    /// level. The database must be keyed to `aig` (freshly created,
+    /// [`CutDb::reset`], or [`CutDb::retarget`]ed through the map of the
+    /// pass that produced `aig`); a node-count mismatch falls back to a
+    /// full recompute.
+    pub fn ensure(&mut self, aig: &Aig) {
+        if self.span.len() != aig.len() {
+            self.reset();
+            self.span.resize(aig.len(), None);
+        }
+        if self.span[0].is_none() {
+            self.span[0] = Some((0, 0));
+        }
+        for &i in aig.input_nodes() {
+            if self.span[i as usize].is_none() {
+                let s = self.store.len() as u32;
+                self.store.push(Cut::trivial(i));
+                self.span[i as usize] = Some((s, s + 1));
+            }
+        }
+        let parallel = rayon::current_num_threads() > 1;
+        let floor = par_level_floor();
+        let mut scratch: Vec<Cut> = Vec::new();
+        let (mut reused, mut computed) = (0u64, 0u64);
+        for level in aig.and_level_groups() {
+            let dirty: Vec<u32> = level
+                .iter()
+                .copied()
+                .filter(|&i| self.span[i as usize].is_none())
+                .collect();
+            reused += (level.len() - dirty.len()) as u64;
+            computed += dirty.len() as u64;
+            if dirty.is_empty() {
+                continue;
+            }
+            if parallel && dirty.len() >= floor {
+                profile::add_par_tasks(dirty.len() as u64);
+                let done: Vec<Vec<Cut>> = {
+                    let db: &CutDb = &*self;
+                    dirty
+                        .par_iter()
+                        .map(|&idx| {
+                            let mut local: Vec<Cut> = Vec::new();
+                            node_cuts(aig, idx, db, db.config, &mut local)
+                        })
+                        .collect()
+                };
+                for (&idx, cuts) in dirty.iter().zip(done) {
+                    let s = self.store.len() as u32;
+                    self.store.extend(cuts);
+                    self.span[idx as usize] = Some((s, self.store.len() as u32));
+                }
+            } else {
+                for &idx in &dirty {
+                    let Node::And(a, b) = aig.node(idx) else {
+                        unreachable!("only AND nodes are grouped by level");
+                    };
+                    scratch.clear();
+                    merge_fanin_cuts(a, b, self, self.config, &mut scratch);
+                    prune(&mut scratch, self.config.max_cuts);
+                    let s = self.store.len() as u32;
+                    self.store.append(&mut scratch);
+                    self.store.push(Cut::trivial(idx));
+                    self.span[idx as usize] = Some((s, self.store.len() as u32));
+                }
+            }
+        }
+        self.reused += reused;
+        self.computed += computed;
+        profile::add_cuts_reused(reused);
+        profile::add_cuts_computed(computed);
+    }
+
+    /// Re-keys the database from `old` to `new` through a pass's
+    /// old-node → new-literal map (`None` = the pass dropped the node).
+    ///
+    /// A node is *clean* when its new counterpart is the same AND over
+    /// the translated fanin literals — positive mapping, operand order
+    /// preserved by the renaming — and both fanin cones are recursively
+    /// clean. For a clean node, elementwise translation of its stored
+    /// cuts (rename leaves, re-sort, permute the truth table) is
+    /// *identical* to from-scratch enumeration on `new`: the fanin cut
+    /// sets agree in content and order by induction, merge order and the
+    /// priority prune are invariant under the injective leaf renaming
+    /// (the length sort is stable), and the edge complements are
+    /// unchanged. Everything else is marked dirty for the next
+    /// [`CutDb::ensure`]. An operand-order swap is treated as dirty
+    /// because it transposes the merge-pair enumeration, which can
+    /// change which cuts survive the prune.
+    pub fn retarget(&mut self, old: &Aig, new: &Aig, map: &[Option<Lit>]) {
+        if self.span.len() != old.len() || map.len() != old.len() {
+            // Not keyed to `old`: drop everything and key to `new`.
+            self.reset();
+            self.span.resize(new.len(), None);
+            return;
+        }
+        let mut store: Vec<Cut> = Vec::new();
+        let mut span: Vec<Option<(u32, u32)>> = vec![None; new.len()];
+        span[0] = Some((0, 0));
+        for &i in new.input_nodes() {
+            let s = store.len() as u32;
+            store.push(Cut::trivial(i));
+            span[i as usize] = Some((s, s + 1));
+        }
+        let mut clean = vec![false; old.len()];
+        clean[0] = map[0] == Some(Lit::FALSE);
+        for (ord, &i) in old.input_nodes().iter().enumerate() {
+            clean[i as usize] = match map[i as usize] {
+                Some(l) if !l.is_complement() => new.input_nodes().get(ord) == Some(&l.node()),
+                _ => false,
+            };
+        }
+        'nodes: for idx in 0..old.len() {
+            let Node::And(a, b) = old.node(idx as u32) else {
+                continue;
+            };
+            let Some(l) = map[idx] else { continue };
+            if l.is_complement() {
+                continue;
+            }
+            if !clean[a.node() as usize] || !clean[b.node() as usize] {
+                continue;
+            }
+            let (Some(la), Some(lb)) = (map[a.node() as usize], map[b.node() as usize]) else {
+                continue;
+            };
+            let ta = if a.is_complement() { la.not() } else { la };
+            let tb = if b.is_complement() { lb.not() } else { lb };
+            if ta.0 > tb.0 {
+                // The renaming swapped the operand order.
+                continue;
+            }
+            if new.node(l.node()) != Node::And(ta, tb) {
+                continue;
+            }
+            clean[idx] = true;
+            let Some((s, e)) = self.span[idx] else {
+                continue;
+            };
+            let nidx = l.node() as usize;
+            if span[nidx].is_some() {
+                continue;
+            }
+            let start = store.len();
+            for cut in &self.store[s as usize..e as usize] {
+                match translate_cut(cut, map) {
+                    Some(c) => store.push(c),
+                    None => {
+                        // Defensive: a clean cone's cut leaves are always
+                        // mapped positively, but never translate halfway.
+                        store.truncate(start);
+                        continue 'nodes;
+                    }
+                }
+            }
+            span[nidx] = Some((start as u32, store.len() as u32));
+        }
+        self.store = store;
+        self.span = span;
+    }
+
+    /// Unpacks into the per-node vector layout (cloning the cuts of
+    /// valid nodes; dirty nodes come out empty).
+    pub fn into_per_node(self) -> Vec<Vec<Cut>> {
+        (0..self.span.len())
+            .map(|i| self.cuts(i as u32).to_vec())
+            .collect()
+    }
+}
+
+/// Translates one cut through an old-node → new-literal map: leaves are
+/// renamed (must map to positive literals, injectively), re-sorted, and
+/// the truth table permuted to the new leaf order. `None` when any leaf
+/// is dropped, complemented, or collides after renaming.
+fn translate_cut(cut: &Cut, map: &[Option<Lit>]) -> Option<Cut> {
+    let k = cut.leaves.len();
+    debug_assert!(k <= 6);
+    let mut renamed = [(0u32, 0usize); 6];
+    for (i, &leaf) in cut.leaves.iter().enumerate() {
+        let l = (*map.get(leaf as usize)?)?;
+        if l.is_complement() {
+            return None;
+        }
+        renamed[i] = (l.node(), i);
+    }
+    let renamed = &mut renamed[..k];
+    renamed.sort_unstable();
+    if renamed.windows(2).any(|w| w[0].0 == w[1].0) {
+        return None;
+    }
+    let leaves: Vec<u32> = renamed.iter().map(|&(n, _)| n).collect();
+    let identity = renamed.iter().enumerate().all(|(pos, &(_, i))| pos == i);
+    let tt = if identity {
+        cut.tt
+    } else {
+        let perm: Vec<usize> = renamed.iter().map(|&(_, i)| i).collect();
+        cut.tt.permute(&perm)
+    };
+    Some(Cut { leaves, tt })
+}
+
+/// The stored cut set of one AND node as an owned vector: fanin cut sets
+/// merged into `scratch` (cleared, capacity reused), pruned in place,
+/// plus the trivial cut. Used by the parallel fill path, which needs an
+/// owned result per task; the serial path appends into the database's
+/// flat arena directly.
+fn node_cuts<S: CutSource + ?Sized>(
     aig: &Aig,
     idx: u32,
-    all: &[Vec<Cut>],
+    all: &S,
     config: CutConfig,
     scratch: &mut Vec<Cut>,
 ) -> Vec<Cut> {
@@ -139,7 +440,9 @@ fn node_cuts(
     };
     scratch.clear();
     merge_fanin_cuts(a, b, all, config, scratch);
-    let mut kept = prune_into(scratch, config.max_cuts);
+    prune(scratch, config.max_cuts);
+    let mut kept = Vec::with_capacity(scratch.len() + 1);
+    kept.append(scratch);
     kept.push(Cut::trivial(idx));
     kept
 }
@@ -172,7 +475,7 @@ pub fn enumerate_cuts_choice(choice: &ChoiceAig, config: CutConfig) -> Vec<Vec<C
                 unreachable!("alternatives are AND nodes");
             };
             let mut mine = Vec::new();
-            merge_fanin_cuts(a, b, &all, config, &mut mine);
+            merge_fanin_cuts(a, b, all.as_slice(), config, &mut mine);
             for mut cut in mine {
                 if phase {
                     cut.tt = !cut.tt;
@@ -189,29 +492,51 @@ pub fn enumerate_cuts_choice(choice: &ChoiceAig, config: CutConfig) -> Vec<Vec<C
     all
 }
 
-/// Merges the fanin cut sets of an AND node.
-fn merge_fanin_cuts(a: Lit, b: Lit, all: &[Vec<Cut>], config: CutConfig, out: &mut Vec<Cut>) {
-    let ca = &all[a.node() as usize];
-    let cb = &all[b.node() as usize];
+/// Merges the fanin cut sets of an AND node. Rejected merges (leaf union
+/// over `k`, duplicate of an already-merged cut) never allocate: the
+/// union is built on the stack and compared against the accumulator
+/// before an owned cut is materialized.
+fn merge_fanin_cuts<S: CutSource + ?Sized>(
+    a: Lit,
+    b: Lit,
+    all: &S,
+    config: CutConfig,
+    out: &mut Vec<Cut>,
+) {
+    let ca = all.cuts_of(a.node());
+    let cb = all.cuts_of(b.node());
     for cut_a in ca {
         for cut_b in cb {
-            if let Some(cut) = merge(a, cut_a, b, cut_b, config.k) {
-                if !out.iter().any(|c| c == &cut) {
-                    out.push(cut);
-                }
+            let Some((union, n)) = merge_leaves(cut_a, cut_b, config.k) else {
+                continue;
+            };
+            let leaves = &union[..n];
+            let ta = expand(cut_a.tt, &cut_a.leaves, leaves);
+            let tb = expand(cut_b.tt, &cut_b.leaves, leaves);
+            let fa = if a.is_complement() { !ta } else { ta };
+            let fb = if b.is_complement() { !tb } else { tb };
+            let tt = fa & fb;
+            if !out.iter().any(|c| c.tt == tt && c.leaves == leaves) {
+                out.push(Cut {
+                    leaves: leaves.to_vec(),
+                    tt,
+                });
             }
         }
     }
 }
 
-/// Merges two fanin cuts into a cut of the AND node, or `None` if the
-/// union exceeds `k` leaves.
-fn merge(a: Lit, cut_a: &Cut, b: Lit, cut_b: &Cut, k: usize) -> Option<Cut> {
-    // Union of sorted leaf lists.
-    let mut leaves = Vec::with_capacity(cut_a.leaves.len() + cut_b.leaves.len());
+/// Union of two sorted leaf lists on the stack, or `None` if it exceeds
+/// `k` leaves.
+fn merge_leaves(cut_a: &Cut, cut_b: &Cut, k: usize) -> Option<([u32; 6], usize)> {
+    debug_assert!(k <= 6);
+    let la = &cut_a.leaves;
+    let lb = &cut_b.leaves;
+    let mut union = [0u32; 6];
+    let mut n = 0usize;
     let (mut i, mut j) = (0, 0);
-    while i < cut_a.leaves.len() || j < cut_b.leaves.len() {
-        let next = match (cut_a.leaves.get(i), cut_b.leaves.get(j)) {
+    while i < la.len() || j < lb.len() {
+        let next = match (la.get(i), lb.get(j)) {
             (Some(&x), Some(&y)) if x == y => {
                 i += 1;
                 j += 1;
@@ -235,62 +560,78 @@ fn merge(a: Lit, cut_a: &Cut, b: Lit, cut_b: &Cut, k: usize) -> Option<Cut> {
             }
             (None, None) => unreachable!(),
         };
-        leaves.push(next);
-        if leaves.len() > k {
+        if n == k {
             return None;
         }
+        union[n] = next;
+        n += 1;
     }
-    let n = leaves.len();
-    let ta = expand(cut_a.tt, &cut_a.leaves, &leaves, n);
-    let tb = expand(cut_b.tt, &cut_b.leaves, &leaves, n);
-    let fa = if a.is_complement() { !ta } else { ta };
-    let fb = if b.is_complement() { !tb } else { tb };
-    Some(Cut {
-        leaves,
-        tt: fa & fb,
-    })
+    Some((union, n))
 }
 
-/// Re-expresses `tt` (over `from` leaves) over the `to` leaf superset.
-fn expand(tt: TruthTable, from: &[u32], to: &[u32], n: usize) -> TruthTable {
-    let mut positions = [0usize; 6];
-    for (i, leaf) in from.iter().enumerate() {
-        positions[i] = to
-            .binary_search(leaf)
-            .expect("every source leaf is in the merged set");
+/// Re-expresses `tt` (over the sorted `from` leaves) over the sorted
+/// `to` leaf superset, entirely with word-level bit operations: each
+/// `to` position missing from `from` inserts a don't-care variable by
+/// duplicating the truth-table blocks below it.
+fn expand(tt: TruthTable, from: &[u32], to: &[u32]) -> TruthTable {
+    let n = to.len();
+    if from.len() == n {
+        debug_assert_eq!(from, to);
+        return tt;
     }
-    TruthTable::from_fn(n, |assignment| {
-        let mut local = [false; 6];
-        for (i, &p) in positions.iter().enumerate().take(from.len()) {
-            local[i] = assignment[p];
-        }
-        tt.eval(&local[..from.len()])
-    })
-}
-
-/// Keeps at most `max` cuts, preferring small leaf counts and dropping
-/// dominated cuts.
-fn prune(cuts: &mut Vec<Cut>, max: usize) {
-    let kept = prune_into(cuts, max);
-    *cuts = kept;
-}
-
-/// Drains `cuts` (leaving its capacity for reuse) into a fresh vector of
-/// at most `max` kept cuts, preferring small leaf counts and dropping
-/// dominated cuts.
-fn prune_into(cuts: &mut Vec<Cut>, max: usize) -> Vec<Cut> {
-    cuts.sort_by_key(|c| c.leaves.len());
-    let mut kept: Vec<Cut> = Vec::with_capacity(max + 1);
-    for cut in cuts.drain(..) {
-        if kept.len() >= max {
-            break;
-        }
-        if kept.iter().any(|k| k.dominates(&cut)) {
+    let mut bits = tt.bits();
+    let mut cur = from.len();
+    let mut fi = 0;
+    for (j, &leaf) in to.iter().enumerate() {
+        if fi < from.len() && from[fi] == leaf {
+            fi += 1;
             continue;
         }
-        kept.push(cut);
+        bits = insert_var(bits, cur, j);
+        cur += 1;
     }
-    kept
+    debug_assert_eq!(fi, from.len(), "every source leaf is in the merged set");
+    debug_assert_eq!(cur, n);
+    TruthTable::from_bits(n, bits)
+}
+
+/// Inserts a don't-care variable at position `at` into a function over
+/// `vars` variables: every block of `2^at` bits is duplicated.
+fn insert_var(bits: u64, vars: usize, at: usize) -> u64 {
+    debug_assert!(at <= vars && vars < 6);
+    let block = 1usize << at;
+    let total = 1usize << vars;
+    let mask = if block == 64 { !0 } else { (1u64 << block) - 1 };
+    let mut out = 0u64;
+    let mut src = 0usize;
+    let mut dst = 0usize;
+    while src < total {
+        let chunk = (bits >> src) & mask;
+        out |= chunk << dst;
+        out |= chunk << (dst + block);
+        src += block;
+        dst += 2 * block;
+    }
+    out
+}
+
+/// Keeps at most `max` cuts in place, preferring small leaf counts and
+/// dropping dominated cuts; kept cuts stay in (stable) sorted order and
+/// the vector's capacity is retained for reuse.
+fn prune(cuts: &mut Vec<Cut>, max: usize) {
+    cuts.sort_by_key(|c| c.leaves.len());
+    let mut kept = 0usize;
+    let mut i = 0usize;
+    while i < cuts.len() && kept < max {
+        let (head, tail) = cuts.split_at(kept);
+        let dominated = head.iter().any(|k| k.dominates(&tail[i - kept]));
+        if !dominated {
+            cuts.swap(kept, i);
+            kept += 1;
+        }
+        i += 1;
+    }
+    cuts.truncate(kept);
 }
 
 #[cfg(test)]
@@ -427,6 +768,27 @@ mod tests {
     }
 
     #[test]
+    fn bitwise_expand_matches_pointwise_evaluation() {
+        // expand() must behave exactly like re-evaluating the function
+        // with the source leaves wired to their positions in the target.
+        let from = [3u32, 7, 12];
+        let to = [1u32, 3, 7, 9, 12];
+        for seed in [0u64, 0xAC, 0b1010_1010, 0xDEAD_BEEF, 0xFF] {
+            let tt = TruthTable::from_bits(from.len(), seed);
+            let got = expand(tt, &from, &to);
+            let positions: Vec<usize> = from
+                .iter()
+                .map(|l| to.binary_search(l).expect("from ⊆ to"))
+                .collect();
+            let want = TruthTable::from_fn(to.len(), |assignment| {
+                let local: Vec<bool> = positions.iter().map(|&p| assignment[p]).collect();
+                tt.eval(&local)
+            });
+            assert_eq!(got, want, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
     fn choice_cuts_cover_both_structures() {
         // f = a ^ b built two ways across two snapshots: the class of f
         // must carry cuts whose functions agree with XOR over the PI
@@ -520,5 +882,126 @@ mod tests {
         let ta = TruthTable::var(2, 0);
         let tb = TruthTable::var(2, 1);
         assert_eq!(pi_cut.tt, !ta & tb);
+    }
+
+    /// A small but non-trivial network with sharing, complemented edges
+    /// and XOR cones.
+    fn sample_network() -> Aig {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..6).map(|_| aig.input()).collect();
+        let s = aig.and(xs[0], xs[1]);
+        let t = aig.xor(s, xs[2]);
+        let u = aig.mux(xs[3], t, s.not());
+        let v = aig.or(u, xs[4]);
+        let w = aig.and(v, xs[5].not());
+        let z = aig.xor(w, t);
+        aig.output(w);
+        aig.output(z);
+        aig
+    }
+
+    #[test]
+    fn cutdb_matches_one_shot_enumeration() {
+        let aig = sample_network();
+        let config = CutConfig { k: 4, max_cuts: 6 };
+        let mut db = CutDb::new(config);
+        db.ensure(&aig);
+        let per_node = enumerate_cuts(&aig, config);
+        for idx in 0..aig.len() as u32 {
+            assert_eq!(db.cuts(idx), &per_node[idx as usize][..], "node {idx}");
+        }
+        assert!(db.computed() > 0);
+        assert_eq!(db.reused(), 0, "first fill computes everything");
+        // A second ensure on the same network is pure reuse.
+        let computed_before = db.computed();
+        db.ensure(&aig);
+        assert_eq!(db.computed(), computed_before);
+        assert!(db.reused() > 0);
+    }
+
+    #[test]
+    fn cutdb_retarget_through_identity_cleanup_keeps_everything() {
+        let aig = sample_network();
+        let config = CutConfig { k: 4, max_cuts: 8 };
+        let mut db = CutDb::new(config);
+        db.ensure(&aig);
+        let computed = db.computed();
+        let (clean, map) = aig.cleanup_with_map();
+        assert!(aig.same_structure(&clean), "network was already compact");
+        db.retarget(&aig, &clean, &map);
+        db.ensure(&clean);
+        assert_eq!(
+            db.computed(),
+            computed,
+            "identity retarget recomputes nothing"
+        );
+        let fresh = enumerate_cuts(&clean, config);
+        for idx in 0..clean.len() as u32 {
+            assert_eq!(db.cuts(idx), &fresh[idx as usize][..], "node {idx}");
+        }
+    }
+
+    #[test]
+    fn cutdb_retarget_after_dropping_a_cone_matches_fresh_enumeration() {
+        // Build a network with a dangling cone, enumerate, then cleanup:
+        // surviving cones must keep their cuts (renamed), and the result
+        // must equal from-scratch enumeration on the cleaned network.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..5).map(|_| aig.input()).collect();
+        let keep1 = aig.and(xs[0], xs[1]);
+        let dead = aig.xor(xs[1], xs[2]); // becomes dangling
+        let _dead2 = aig.and(dead, xs[3]);
+        let keep2 = aig.and(keep1, xs[4].not());
+        let keep3 = aig.xor(keep2, xs[3]);
+        aig.output(keep3);
+        let config = CutConfig { k: 4, max_cuts: 6 };
+        let mut db = CutDb::new(config);
+        db.ensure(&aig);
+        let computed = db.computed();
+        let (clean, map) = aig.cleanup_with_map();
+        assert!(clean.and_count() < aig.and_count());
+        db.retarget(&aig, &clean, &map);
+        db.ensure(&clean);
+        // The surviving cone is structurally untouched, only renamed —
+        // nothing to recompute.
+        assert_eq!(db.computed(), computed);
+        let fresh = enumerate_cuts(&clean, config);
+        for idx in 0..clean.len() as u32 {
+            assert_eq!(db.cuts(idx), &fresh[idx as usize][..], "node {idx}");
+        }
+    }
+
+    #[test]
+    fn cutdb_reset_forgets_and_recomputes() {
+        let aig = sample_network();
+        let mut db = CutDb::new(CutConfig { k: 4, max_cuts: 8 });
+        db.ensure(&aig);
+        let computed = db.computed();
+        db.reset();
+        assert!(db.cuts(aig.len() as u32 - 1).is_empty());
+        db.ensure(&aig);
+        assert_eq!(db.computed(), 2 * computed);
+    }
+
+    #[test]
+    fn translate_cut_permutes_the_truth_table() {
+        // Leaves 2,5 renamed to 9,4: the sorted order flips, so variable
+        // 0 and 1 must swap in the truth table.
+        let cut = Cut {
+            leaves: vec![2, 5],
+            tt: TruthTable::var(2, 0) & !TruthTable::var(2, 1),
+        };
+        let mut map: Vec<Option<Lit>> = vec![None; 6];
+        map[2] = Some(Lit::new(9, false));
+        map[5] = Some(Lit::new(4, false));
+        let t = translate_cut(&cut, &map).expect("translates");
+        assert_eq!(t.leaves, vec![4, 9]);
+        assert_eq!(t.tt, !TruthTable::var(2, 0) & TruthTable::var(2, 1));
+        // A complemented mapping refuses to translate.
+        map[5] = Some(Lit::new(4, true));
+        assert!(translate_cut(&cut, &map).is_none());
+        // A collision refuses to translate.
+        map[5] = Some(Lit::new(9, false));
+        assert!(translate_cut(&cut, &map).is_none());
     }
 }

@@ -54,6 +54,7 @@ pub mod choice;
 pub mod cnf;
 pub mod cuts;
 pub mod graph;
+pub mod profile;
 pub mod refactor;
 pub mod rewrite;
 pub mod sim;
@@ -65,9 +66,9 @@ pub use aiger::{
 pub use balance::balance;
 pub use check::{check_equivalence, equivalent, miter, Equivalence, ShapeMismatch};
 pub use choice::{ChoiceAig, ChoiceConfig, ChoiceStats};
-pub use cuts::{enumerate_cuts, enumerate_cuts_choice, Cut, CutConfig};
+pub use cuts::{enumerate_cuts, enumerate_cuts_choice, Cut, CutConfig, CutDb, CutSource};
 pub use graph::{Aig, Lit};
 pub use refactor::refactor;
 pub use rewrite::{rewrite, rewrite_with, RewriteConfig, RewriteLibrary};
-pub use sim::simulate64;
-pub use synth::{synthesize, Flow, FlowError, FlowReport, Metrics, Pass, DEFAULT_FLOW};
+pub use sim::{simulate64, simulate_wide, WideWord, WIDE_WORDS};
+pub use synth::{synthesize, Flow, FlowCuts, FlowError, FlowReport, Metrics, Pass, DEFAULT_FLOW};

@@ -1,0 +1,182 @@
+//! Lightweight global performance counters for the synthesis engine.
+//!
+//! The hot loops (cut enumeration, SAT sweeping, signature simulation,
+//! parallel dispatch) bump relaxed atomics; the flow manager snapshots
+//! them around each pass so a [`crate::FlowReport`] can attribute cost
+//! to a phase instead of a wall-clock blur. Counters are process-global
+//! and monotone — consumers always work with deltas between two
+//! [`snapshot`]s, never with absolute values.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static CUTS_REUSED: AtomicU64 = AtomicU64::new(0);
+static CUTS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+static SAT_MERGE_CALLS: AtomicU64 = AtomicU64::new(0);
+static SAT_MERGE_PROVEN: AtomicU64 = AtomicU64::new(0);
+static SAT_MERGE_REFUTED: AtomicU64 = AtomicU64::new(0);
+static SAT_MERGE_BUDGET_OUT: AtomicU64 = AtomicU64::new(0);
+static SIM_WORDS: AtomicU64 = AtomicU64::new(0);
+static REFINE_ROUNDS: AtomicU64 = AtomicU64::new(0);
+static PAR_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// A consistent-enough view of every engine counter (each field is read
+/// individually; the counters are independent, so tearing across fields
+/// is acceptable for profiling).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Cut sets served from the incremental database without recompute.
+    pub cuts_reused: u64,
+    /// Cut sets enumerated from fanin cut sets.
+    pub cuts_computed: u64,
+    /// SAT equivalence queries issued by the sweeper.
+    pub sat_merge_calls: u64,
+    /// Queries that proved equivalence (a merge happened).
+    pub sat_merge_proven: u64,
+    /// Queries refuted by a counterexample.
+    pub sat_merge_refuted: u64,
+    /// Queries abandoned at the conflict budget.
+    pub sat_merge_budget_out: u64,
+    /// 64-pattern signature words evaluated (node visits × words).
+    pub sim_words: u64,
+    /// Signature-refinement rounds (class rebuilds) in the sweeper.
+    pub refine_rounds: u64,
+    /// Tasks dispatched to the worker pool by the parallel hot loops.
+    pub par_tasks: u64,
+}
+
+impl Counters {
+    /// Counter-by-counter difference `self - earlier` (saturating, so a
+    /// stale snapshot can never underflow).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            cuts_reused: self.cuts_reused.saturating_sub(earlier.cuts_reused),
+            cuts_computed: self.cuts_computed.saturating_sub(earlier.cuts_computed),
+            sat_merge_calls: self.sat_merge_calls.saturating_sub(earlier.sat_merge_calls),
+            sat_merge_proven: self
+                .sat_merge_proven
+                .saturating_sub(earlier.sat_merge_proven),
+            sat_merge_refuted: self
+                .sat_merge_refuted
+                .saturating_sub(earlier.sat_merge_refuted),
+            sat_merge_budget_out: self
+                .sat_merge_budget_out
+                .saturating_sub(earlier.sat_merge_budget_out),
+            sim_words: self.sim_words.saturating_sub(earlier.sim_words),
+            refine_rounds: self.refine_rounds.saturating_sub(earlier.refine_rounds),
+            par_tasks: self.par_tasks.saturating_sub(earlier.par_tasks),
+        }
+    }
+
+    /// The counters as `(name, value)` pairs, in a stable order — the one
+    /// serialization (flow reports, bench JSON) iterates.
+    pub fn pairs(&self) -> [(&'static str, u64); 9] {
+        [
+            ("cuts_reused", self.cuts_reused),
+            ("cuts_computed", self.cuts_computed),
+            ("sat_merge_calls", self.sat_merge_calls),
+            ("sat_merge_proven", self.sat_merge_proven),
+            ("sat_merge_refuted", self.sat_merge_refuted),
+            ("sat_merge_budget_out", self.sat_merge_budget_out),
+            ("sim_words", self.sim_words),
+            ("refine_rounds", self.refine_rounds),
+            ("par_tasks", self.par_tasks),
+        ]
+    }
+
+    /// Whether every counter is zero (an empty delta).
+    pub fn is_zero(&self) -> bool {
+        self.pairs().iter().all(|&(_, v)| v == 0)
+    }
+}
+
+/// Reads every counter.
+pub fn snapshot() -> Counters {
+    Counters {
+        cuts_reused: CUTS_REUSED.load(Relaxed),
+        cuts_computed: CUTS_COMPUTED.load(Relaxed),
+        sat_merge_calls: SAT_MERGE_CALLS.load(Relaxed),
+        sat_merge_proven: SAT_MERGE_PROVEN.load(Relaxed),
+        sat_merge_refuted: SAT_MERGE_REFUTED.load(Relaxed),
+        sat_merge_budget_out: SAT_MERGE_BUDGET_OUT.load(Relaxed),
+        sim_words: SIM_WORDS.load(Relaxed),
+        refine_rounds: REFINE_ROUNDS.load(Relaxed),
+        par_tasks: PAR_TASKS.load(Relaxed),
+    }
+}
+
+pub(crate) fn add_cuts_reused(n: u64) {
+    CUTS_REUSED.fetch_add(n, Relaxed);
+}
+
+pub(crate) fn add_cuts_computed(n: u64) {
+    CUTS_COMPUTED.fetch_add(n, Relaxed);
+}
+
+pub(crate) fn add_sat_merge_call() {
+    SAT_MERGE_CALLS.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn add_sat_merge_proven() {
+    SAT_MERGE_PROVEN.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn add_sat_merge_refuted() {
+    SAT_MERGE_REFUTED.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn add_sat_merge_budget_out() {
+    SAT_MERGE_BUDGET_OUT.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn add_sim_words(n: u64) {
+    SIM_WORDS.fetch_add(n, Relaxed);
+}
+
+pub(crate) fn add_refine_round() {
+    REFINE_ROUNDS.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn add_par_tasks(n: u64) {
+    PAR_TASKS.fetch_add(n, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_monotone_and_saturating() {
+        let before = snapshot();
+        add_cuts_reused(3);
+        add_cuts_computed(2);
+        add_par_tasks(1);
+        let after = snapshot();
+        let d = after.delta_since(&before);
+        // Other tests may run concurrently and also bump the globals, so
+        // only lower bounds are stable.
+        assert!(d.cuts_reused >= 3);
+        assert!(d.cuts_computed >= 2);
+        assert!(d.par_tasks >= 1);
+        // Reversed order saturates to zero instead of wrapping.
+        let z = before.delta_since(&after);
+        assert_eq!(z.cuts_reused, 0);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn pairs_cover_every_field() {
+        let c = Counters {
+            cuts_reused: 1,
+            cuts_computed: 2,
+            sat_merge_calls: 3,
+            sat_merge_proven: 4,
+            sat_merge_refuted: 5,
+            sat_merge_budget_out: 6,
+            sim_words: 7,
+            refine_rounds: 8,
+            par_tasks: 9,
+        };
+        let sum: u64 = c.pairs().iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, 45, "every field appears exactly once");
+    }
+}

@@ -19,8 +19,8 @@
 //! against the evolving output graph), the cleaned input is returned
 //! unchanged.
 
-use crate::cuts::{enumerate_cuts, CutConfig};
-use crate::graph::{Aig, Lit, Node};
+use crate::cuts::{CutConfig, CutDb, CutSource};
+use crate::graph::{compose_maps, Aig, Lit, Node};
 use logic::npn::{npn_canon, NpnCanon};
 use logic::sop::isop;
 use logic::TruthTable;
@@ -675,27 +675,81 @@ struct ScoredCut {
 /// commit loop walks nodes in order exactly as before, pricing each
 /// pre-scored candidate against the evolving output graph.
 pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
+    let mut db = CutDb::new(CutConfig {
+        k: 4,
+        max_cuts: config.max_cuts,
+    });
+    rewrite_clean(aig, config, &mut db).0
+}
+
+/// [`rewrite_core`] behind the same input `cleanup` the public wrapper
+/// performs — the pass's result must not depend on whether the caller
+/// hands it a compact network, and the commit loop walks the arena in
+/// index order, so a dangling node or a different numbering would shift
+/// its tie-breaks. The database arrives keyed to `aig`, is retargeted
+/// onto the cleaned copy for the core, and is re-keyed to `aig`'s node
+/// space afterwards so the caller's bookkeeping (the flow retargets it
+/// through the returned map on acceptance) stays valid. The returned
+/// map is over `aig`'s node space: the cleanup map composed with the
+/// core's.
+pub(crate) fn rewrite_clean(
+    aig: &Aig,
+    config: &RewriteConfig,
+    db: &mut CutDb,
+) -> (Aig, Vec<Option<Lit>>) {
+    let (clean, to_clean) = aig.cleanup_with_map();
+    db.retarget(aig, &clean, &to_clean);
+    let (out, core_map) = rewrite_core(&clean, config, db);
+    // The cleanup map is injective on surviving nodes, so it inverts
+    // into a clean-node → old-literal map that re-keys the database.
+    let mut from_clean: Vec<Option<Lit>> = vec![None; clean.len()];
+    from_clean[0] = Some(Lit::FALSE);
+    for (i, slot) in to_clean.iter().enumerate() {
+        if let Some(l) = slot {
+            if l.node() != 0 {
+                from_clean[l.node() as usize] = Some(Lit::new(i as u32, l.is_complement()));
+            }
+        }
+    }
+    db.retarget(&clean, aig, &from_clean);
+    let map = to_clean
+        .iter()
+        .map(|slot| {
+            slot.and_then(|l| {
+                core_map[l.node() as usize].map(|m| if l.is_complement() { m.not() } else { m })
+            })
+        })
+        .collect();
+    (out, map)
+}
+
+/// [`rewrite_with`] against a persistent cut database: cuts of `aig` are
+/// taken from (and missing ones computed into) `db`, and the old-node →
+/// new-literal map of the transformation is returned alongside the
+/// network so the caller can retarget its databases. Unlike the public
+/// wrapper this does not clean up the input first — the flow engine
+/// always hands it a compact network the database is keyed to.
+pub(crate) fn rewrite_core(
+    aig: &Aig,
+    config: &RewriteConfig,
+    db: &mut CutDb,
+) -> (Aig, Vec<Option<Lit>>) {
     let lib = library();
-    let input = aig.cleanup();
-    let cuts = enumerate_cuts(
-        &input,
-        CutConfig {
-            k: 4,
-            max_cuts: config.max_cuts,
-        },
-    );
+    let input = aig;
+    db.ensure(input);
+    let cuts: &CutDb = db;
     let refs = input.fanout_counts();
 
     // Scoring phase: pure per-(node, cut) work over the fixed input.
     let score_node = |idx: u32, memo: &mut HashMap<u64, NpnCanon>| -> Vec<ScoredCut> {
-        cuts[idx as usize]
+        cuts.cuts_of(idx)
             .iter()
             .filter(|cut| !cut.is_trivial(idx))
             .map(|cut| {
                 let (fs, leaf_nodes) = cut.function_over_support();
                 let f4 = fs.extend_to(4);
                 let canon = *memo.entry(f4.bits()).or_insert_with(|| npn_canon(f4));
-                let freed = mffc_size_ro(&input, idx, &cut.leaves, refs) as i64;
+                let freed = mffc_size_ro(input, idx, &cut.leaves, refs) as i64;
                 ScoredCut {
                     leaf_nodes,
                     canon,
@@ -786,11 +840,17 @@ pub fn rewrite_with(aig: &Aig, config: &RewriteConfig) -> Aig {
         let l = edge(map[o.node() as usize], *o);
         out.output(l);
     }
-    let result = out.cleanup();
+    let (result, cleanup_map) = out.cleanup_with_map();
     if result.and_count() > input.and_count() {
-        input
+        // No-growth guard: fall back to the input unchanged, with the
+        // identity map (every node survives as itself).
+        let identity = (0..input.len())
+            .map(|i| Some(Lit::new(i as u32, false)))
+            .collect();
+        (input.clone(), identity)
     } else {
-        result
+        let node_map = compose_maps(&map, &cleanup_map);
+        (result, node_map)
     }
 }
 

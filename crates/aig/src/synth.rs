@@ -21,11 +21,13 @@
 //! SAT sweep: the current network with every proven class collapsed onto
 //! its representative.
 
-use crate::balance::balance;
+use crate::balance::{balance, balance_core};
 use crate::choice::ChoiceAig;
-use crate::graph::Aig;
-use crate::refactor::refactor;
-use crate::rewrite::{rewrite_with, RewriteConfig};
+use crate::cuts::{CutConfig, CutDb};
+use crate::graph::{Aig, Lit};
+use crate::profile;
+use crate::refactor::{refactor, refactor_core, REFACTOR_CUTS};
+use crate::rewrite::{rewrite_clean, rewrite_with, RewriteConfig};
 use std::time::{Duration, Instant};
 
 /// The default synthesis script: balance for depth, rewrite and refactor
@@ -54,6 +56,67 @@ impl Metrics {
     }
 }
 
+/// The old-node → new-literal map a pass reports alongside its candidate
+/// network: `None` entries are nodes the pass dropped.
+pub type NodeMap = Vec<Option<Lit>>;
+
+/// The persistent cut databases one [`Flow`] run owns and threads
+/// through every step. Rewrite and refactor keep *separate* databases:
+/// both enumerate 4-cuts, but with different priority caps (8 vs 6), and
+/// the sets are not interchangeable — a fanin's stored cut-set size
+/// feeds its consumers' merge pools, so truncating an 8-cut database
+/// does not reproduce from-scratch 6-cut enumeration.
+pub struct FlowCuts {
+    /// k=4 / max_cuts=8 database the rewrite passes consume.
+    pub rewrite: CutDb,
+    /// k=4 / max_cuts=6 database the refactor pass consumes.
+    pub refactor: CutDb,
+}
+
+impl FlowCuts {
+    /// Fresh, empty databases.
+    pub fn new() -> Self {
+        Self {
+            rewrite: CutDb::new(CutConfig {
+                k: 4,
+                max_cuts: RewriteConfig::default().max_cuts,
+            }),
+            refactor: CutDb::new(REFACTOR_CUTS),
+        }
+    }
+
+    /// Re-keys both databases after an accepted step: translated through
+    /// the pass's node map when one exists, dropped otherwise. Public so
+    /// callers driving [`Pass::apply_incremental`] outside a [`Flow`]
+    /// can keep the databases keyed to the network they accept.
+    pub fn retarget(&mut self, old: &Aig, new: &Aig, map: Option<&NodeMap>) {
+        match map {
+            Some(map) => {
+                self.rewrite.retarget(old, new, map);
+                self.refactor.retarget(old, new, map);
+            }
+            None => {
+                self.rewrite.reset();
+                self.refactor.reset();
+            }
+        }
+    }
+
+    /// Cut reuse/compute totals summed over both databases.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.rewrite.reused() + self.refactor.reused(),
+            self.rewrite.computed() + self.refactor.computed(),
+        )
+    }
+}
+
+impl Default for FlowCuts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One synthesis pass: a transformation plus its accept criterion.
 ///
 /// `apply` must return a functionally equivalent network (the flow
@@ -68,6 +131,15 @@ pub trait Pass {
     fn apply(&self, aig: &Aig) -> Aig;
     /// Whether the candidate should replace the current network.
     fn accept(&self, before: Metrics, after: Metrics) -> bool;
+    /// Proposes a rewritten network against the flow's persistent cut
+    /// databases, additionally reporting the old-node → new-literal map
+    /// so the flow can retarget the databases on acceptance. The default
+    /// falls back to [`Pass::apply`] with no map (the databases are
+    /// reset when such a step is accepted).
+    fn apply_incremental(&self, aig: &Aig, cuts: &mut FlowCuts) -> (Aig, Option<NodeMap>) {
+        let _ = cuts;
+        (self.apply(aig), None)
+    }
 }
 
 /// Delay-oriented AND-tree balancing (`b`).
@@ -90,6 +162,11 @@ impl Pass for BalancePass {
         } else {
             after.depth == before.depth && after.ands <= before.ands
         }
+    }
+
+    fn apply_incremental(&self, aig: &Aig, _cuts: &mut FlowCuts) -> (Aig, Option<NodeMap>) {
+        let (out, map) = balance_core(aig);
+        (out, Some(map))
     }
 }
 
@@ -146,6 +223,16 @@ impl Pass for RewritePass {
         };
         size_ok && after.depth <= depth_cap
     }
+
+    fn apply_incremental(&self, aig: &Aig, cuts: &mut FlowCuts) -> (Aig, Option<NodeMap>) {
+        let config = RewriteConfig {
+            zero_gain: self.zero_gain,
+            level_aware: self.level_aware,
+            ..RewriteConfig::default()
+        };
+        let (out, map) = rewrite_clean(aig, &config, &mut cuts.rewrite);
+        (out, Some(map))
+    }
 }
 
 /// Cut-based SOP refactoring (`rf`).
@@ -162,6 +249,11 @@ impl Pass for RefactorPass {
 
     fn accept(&self, before: Metrics, after: Metrics) -> bool {
         after.ands < before.ands
+    }
+
+    fn apply_incremental(&self, aig: &Aig, cuts: &mut FlowCuts) -> (Aig, Option<NodeMap>) {
+        let (out, map) = refactor_core(aig, &mut cuts.refactor);
+        (out, Some(map))
     }
 }
 
@@ -413,22 +505,41 @@ impl Flow {
     /// constant that was not structurally constant before — the mapper
     /// has no tie cells, so such a network cannot be mapped.
     pub fn run_with_choices(&self, aig: &Aig) -> (Aig, Option<ChoiceAig>, FlowReport) {
+        let (best, choices, report, _) = self.run_full(aig);
+        (best, choices, report)
+    }
+
+    /// Like [`Flow::run_with_report`], additionally returning the run's
+    /// final [`FlowCuts`] databases, keyed to the returned network. This
+    /// is the observability hook for the incremental-maintenance
+    /// contract: `ensure` on the returned network must leave each
+    /// database identical to from-scratch enumeration
+    /// ([`crate::cuts::enumerate_cuts`]) at its configuration.
+    pub fn run_with_cuts(&self, aig: &Aig) -> (Aig, FlowReport, FlowCuts) {
+        let (best, _, report, cuts) = self.run_full(aig);
+        (best, report, cuts)
+    }
+
+    fn run_full(&self, aig: &Aig) -> (Aig, Option<ChoiceAig>, FlowReport, FlowCuts) {
         let started = Instant::now();
+        let flow_counters = profile::snapshot();
         let mut best = aig.cleanup();
         let initial = Metrics::of(&best);
         let mut snapshots: Vec<Aig> = vec![best.clone()];
         let mut choices: Option<ChoiceAig> = None;
+        let mut cuts = FlowCuts::new();
         let mut reports = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
             let before = Metrics::of(&best);
             let t0 = Instant::now();
+            let counters = profile::snapshot();
             let is_dch = matches!(step, Step::Dch);
-            let (candidate, after, accepted) = match step {
+            let (candidate, node_map, after, accepted) = match step {
                 Step::Pass(pass) => {
-                    let candidate = pass.apply(&best);
+                    let (candidate, node_map) = pass.apply_incremental(&best, &mut cuts);
                     let after = Metrics::of(&candidate);
                     let accepted = pass.accept(before, after);
-                    (candidate, after, accepted)
+                    (candidate, node_map, after, accepted)
                 }
                 Step::Dch => {
                     // Snapshots in reverse-chronological order, current
@@ -444,12 +555,16 @@ impl Flow {
                         && after.depth <= before.depth + before.depth / 8
                         && no_new_constant_outputs(&best, &collapsed);
                     choices = Some(choice);
-                    (collapsed, after, accepted)
+                    (collapsed, None, after, accepted)
                 }
             };
             let elapsed = t0.elapsed();
             if accepted {
                 debug_assert_pass_sound(&best, &candidate, step.name());
+                // The databases follow the accepted candidate: translated
+                // through the pass's node map when it reported one,
+                // dropped otherwise (balance-free steps like dch).
+                cuts.retarget(&best, &candidate, node_map.as_ref());
                 // Rejected pass candidates are still sound alternatives
                 // worth snapshotting; accepted ones replace the network.
                 snapshots.push(candidate.clone());
@@ -463,15 +578,20 @@ impl Flow {
                 before,
                 after,
                 elapsed,
+                profile: profile::snapshot().delta_since(&counters),
             });
         }
+        let (cuts_reused, cuts_computed) = cuts.stats();
         let report = FlowReport {
             initial,
             final_metrics: Metrics::of(&best),
             passes: reports,
             elapsed: started.elapsed(),
+            profile: profile::snapshot().delta_since(&flow_counters),
+            cuts_reused,
+            cuts_computed,
         };
-        (best, choices, report)
+        (best, choices, report, cuts)
     }
 }
 
@@ -506,6 +626,11 @@ pub struct PassReport {
     pub after: Metrics,
     /// Wall-clock time the pass took.
     pub elapsed: Duration,
+    /// Engine counter deltas attributed to this pass (cut reuse, SAT
+    /// merges, simulation volume, parallel tasks). Deltas of the global
+    /// counters, so concurrent flows in other threads can bleed in —
+    /// treat as attribution, not accounting.
+    pub profile: profile::Counters,
 }
 
 /// Per-pass metrics and timing of one [`Flow`] run.
@@ -519,6 +644,14 @@ pub struct FlowReport {
     pub passes: Vec<PassReport>,
     /// Total wall-clock time including cleanup and metric reads.
     pub elapsed: Duration,
+    /// Engine counter deltas over the whole run (see
+    /// [`PassReport::profile`] for the per-pass attribution caveat).
+    pub profile: profile::Counters,
+    /// Cut sets served from this run's databases without recompute —
+    /// exact (read off the run's own [`FlowCuts`], not the globals).
+    pub cuts_reused: u64,
+    /// Cut sets this run's databases enumerated — exact.
+    pub cuts_computed: u64,
 }
 
 impl std::fmt::Display for FlowReport {
@@ -545,6 +678,15 @@ impl std::fmt::Display for FlowReport {
                 if p.accepted { "accepted" } else { "rejected" },
             )?;
         }
+        writeln!(
+            f,
+            "  cuts: {} reused / {} computed; sat merges: {} ({} proven); sim words: {}",
+            self.cuts_reused,
+            self.cuts_computed,
+            self.profile.sat_merge_calls,
+            self.profile.sat_merge_proven,
+            self.profile.sim_words,
+        )?;
         Ok(())
     }
 }
@@ -790,8 +932,34 @@ mod tests {
         assert!(report.passes[0].after.depth < report.passes[0].before.depth);
         assert_eq!(report.final_metrics, Metrics::of(&opt));
         assert_eq!(report.initial.ands, aig.and_count());
-        // The display form renders one line per pass.
+        // The display form renders one line per pass, plus a header and
+        // the trailing profile-counter line.
         let text = report.to_string();
-        assert_eq!(text.lines().count(), 1 + report.passes.len());
+        assert_eq!(text.lines().count(), 1 + report.passes.len() + 1);
+        assert!(text.contains("cuts:"), "{text}");
+    }
+
+    #[test]
+    fn flow_reuses_cuts_across_passes() {
+        // A multi-pass script over a network with stable cones must
+        // serve a nonzero fraction of cut sets from the database.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..12).map(|_| aig.input()).collect();
+        let parity = aig.xor_many(&xs[..8]);
+        let conj = aig.and_many(&xs[4..]);
+        let f = aig.mux(parity, conj, xs[0]);
+        aig.output(parity);
+        aig.output(conj);
+        aig.output(f);
+        let flow = Flow::default_flow();
+        let (opt, report) = flow.run_with_report(&aig);
+        assert!(equivalent(&aig, &opt, 0x51, 64));
+        assert!(
+            report.cuts_reused > 0,
+            "the default flow must reuse cuts across passes: {} reused / {} computed",
+            report.cuts_reused,
+            report.cuts_computed
+        );
+        assert!(report.cuts_computed > 0);
     }
 }

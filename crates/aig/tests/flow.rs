@@ -221,6 +221,31 @@ proptest! {
     }
 
     #[test]
+    fn incremental_cut_db_matches_from_scratch_enumeration(
+        script in flow_script(),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        // The incremental-maintenance contract: after an arbitrary flow
+        // script — any mix of retargeted (b/rw/rf) and database-resetting
+        // (dch) steps — topping the databases up on the final network
+        // must reproduce from-scratch enumeration exactly, cut for cut,
+        // in order. Retargeting may only keep what re-enumeration would
+        // recompute.
+        let network = random_aig(&ops, 6, 3);
+        let flow = Flow::parse(&script).expect("generated scripts are grammatical");
+        let (optimized, _report, cuts) = flow.run_with_cuts(&network);
+        for mut db in [cuts.rewrite, cuts.refactor] {
+            let config = db.config();
+            db.ensure(&optimized);
+            prop_assert_eq!(
+                db.into_per_node(),
+                aig::enumerate_cuts(&optimized, config),
+                "flow {} left a {:?} database differing from scratch", script, config
+            );
+        }
+    }
+
+    #[test]
     fn flow_parsing_round_trips(scripts in prop::collection::vec(pass_token(), 1..8)) {
         let script = scripts.join(";");
         let flow = Flow::parse(&script).expect("grammatical");

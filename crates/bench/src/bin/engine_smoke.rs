@@ -177,6 +177,21 @@ fn run(args: &BenchArgs) {
                 )
             })
             .collect();
+        // The sample flow's profile counters: the flow's own cut-database
+        // statistics (exact) plus its process-counter deltas.
+        let counter_json: Vec<String> = flow_report
+            .profile
+            .pairs()
+            .iter()
+            .filter(|(name, _)| !name.starts_with("cuts_"))
+            .map(|(name, value)| format!("\"{name}\": {value}"))
+            .collect();
+        let flow_profile = format!(
+            "{{\"cuts_reused\": {}, \"cuts_computed\": {}, {}}}",
+            flow_report.cuts_reused,
+            flow_report.cuts_computed,
+            counter_json.join(", "),
+        );
         let mut extra = vec![
             ("serial_seconds", bench::qor::json_seconds(serial_time)),
             ("parallel_seconds", bench::qor::json_seconds(parallel_time)),
@@ -185,6 +200,7 @@ fn run(args: &BenchArgs) {
                 bench::qor::json_seconds(rewrite_build),
             ),
             ("flow_stages_c1355", format!("[{}]", flow_passes.join(", "))),
+            ("flow_profile_c1355", flow_profile),
         ];
         if let Some(stats) = choice_stats {
             extra.push((

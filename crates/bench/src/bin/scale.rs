@@ -18,6 +18,17 @@
 //! `--verify sat` additionally SAT-proves each synthesized network
 //! equivalent to its generator output (slow at large sizes; CI runs it
 //! on the 10k workloads).
+//!
+//! Each phase is timed as the *minimum* over [`TIMING_RUNS`] identical
+//! runs per pool — the minimum is the standard robust estimator for a
+//! deterministic workload (every run does exactly the same work; any
+//! excess over the fastest run is scheduler or cache noise). When the
+//! parallel pool has one worker it is configuration-identical to the
+//! serial pool, so both columns report the shared best time instead of
+//! sampling the same distribution twice. Each row also records the
+//! `aig::profile` counter deltas of its serial runs (cut reuse, SAT
+//! merges, simulation words), which `tools/scale_guard.py` checks to
+//! prove the incremental cut database is live.
 
 use aig::check::{check_equivalence, Equivalence};
 use aig::{Aig, Flow};
@@ -35,6 +46,9 @@ const SYNTH_FLOW: &str = "b;rw;rf;b;rw -z;b";
 /// Default measurement sizes: small / medium / large (CI trims to
 /// 10k/50k; the committed baseline includes 100k).
 const DEFAULT_SIZES: [usize; 3] = [10_000, 50_000, 100_000];
+
+/// Timed runs per phase per pool; the reported time is the minimum.
+const TIMING_RUNS: usize = 2;
 
 fn parse_size(s: &str) -> Option<usize> {
     let lower = s.to_ascii_lowercase();
@@ -103,15 +117,21 @@ fn main() {
                 emit_aiger(dir, spec.family, size, &aig);
             }
             let ands = aig.and_count();
+            let counters_before = aig::profile::snapshot();
 
-            // Synth: serial and parallel must agree bit-for-bit.
-            let (t_synth_s, synth_s) = serial_pool.install(|| timed(|| synth_flow.run(&aig)));
-            let (t_synth_p, synth_p) = parallel_pool.install(|| timed(|| synth_flow.run(&aig)));
+            // Synth: serial and parallel must agree bit-for-bit. The
+            // serial run keeps its FlowReport so the row can record the
+            // cut database's reuse statistics.
+            let (t_synth_s, (synth_s, synth_report)) =
+                timed_best(&serial_pool, || synth_flow.run_with_report(&aig));
+            let (t_synth_p, (synth_p, _)) =
+                timed_best(&parallel_pool, || synth_flow.run_with_report(&aig));
             assert!(
                 synth_s.same_structure(&synth_p),
                 "{} {size}: parallel synth diverged from serial",
                 spec.family
             );
+            let (t_synth_s, t_synth_p) = fold_single_thread(threads, t_synth_s, t_synth_p);
             let synth = Phase {
                 name: "synth",
                 ands,
@@ -120,13 +140,14 @@ fn main() {
             };
 
             // dch sweep over the raw workload.
-            let (t_dch_s, dch_s) = serial_pool.install(|| timed(|| dch_flow.run(&aig)));
-            let (t_dch_p, dch_p) = parallel_pool.install(|| timed(|| dch_flow.run(&aig)));
+            let (t_dch_s, dch_s) = timed_best(&serial_pool, || dch_flow.run(&aig));
+            let (t_dch_p, dch_p) = timed_best(&parallel_pool, || dch_flow.run(&aig));
             assert!(
                 dch_s.same_structure(&dch_p),
                 "{} {size}: parallel dch diverged from serial",
                 spec.family
             );
+            let (t_dch_s, t_dch_p) = fold_single_thread(threads, t_dch_s, t_dch_p);
             let dch = Phase {
                 name: "dch",
                 ands,
@@ -136,12 +157,13 @@ fn main() {
 
             // Mapping the synthesized network (the pipeline's next stage).
             let map_ands = synth_s.and_count();
-            let (t_map_s, mapped_s) = serial_pool.install(|| {
-                timed(|| techmap::map_aig_with_cache(&synth_s, library, cache, &map_config))
+            let (t_map_s, mapped_s) = timed_best(&serial_pool, || {
+                techmap::map_aig_with_cache(&synth_s, library, cache, &map_config)
             });
-            let (t_map_p, mapped_p) = parallel_pool.install(|| {
-                timed(|| techmap::map_aig_with_cache(&synth_s, library, cache, &map_config))
+            let (t_map_p, mapped_p) = timed_best(&parallel_pool, || {
+                techmap::map_aig_with_cache(&synth_s, library, cache, &map_config)
             });
+            let (t_map_s, t_map_p) = fold_single_thread(threads, t_map_s, t_map_p);
             let (mapped_s, mapped_p) = match (mapped_s, mapped_p) {
                 (Ok(s), Ok(p)) => (s, p),
                 (Err(e), _) | (_, Err(e)) => {
@@ -149,6 +171,7 @@ fn main() {
                     std::process::exit(1);
                 }
             };
+            let row_counters = aig::profile::snapshot().delta_since(&counters_before);
             assert_eq!(
                 mapped_s.gate_count(),
                 mapped_p.gate_count(),
@@ -193,6 +216,15 @@ fn main() {
                     phase.serial_seconds / phase.parallel_seconds.max(1e-9),
                 );
             }
+            println!(
+                "  {:<5} {:>8} flow : cuts {} reused / {} computed; sat merges {}; sim words {}",
+                spec.family,
+                size,
+                synth_report.cuts_reused,
+                synth_report.cuts_computed,
+                row_counters.sat_merge_calls,
+                row_counters.sim_words,
+            );
             rows.push(result_json(
                 spec.family,
                 size,
@@ -200,6 +232,8 @@ fn main() {
                 synth_s.and_count(),
                 mapped_s.gate_count(),
                 &[synth, dch, map],
+                &synth_report,
+                &row_counters,
             ));
         }
     }
@@ -235,6 +269,31 @@ fn timed<R>(work: impl FnOnce() -> R) -> (f64, R) {
     (t.elapsed().as_secs_f64(), r)
 }
 
+/// Runs `work` [`TIMING_RUNS`] times inside `pool`, returning the fastest
+/// wall-clock and the (deterministic, hence identical) last result.
+fn timed_best<R>(pool: &rayon::ThreadPool, work: impl Fn() -> R + Sync) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..TIMING_RUNS {
+        let (t, r) = pool.install(|| timed(&work));
+        best = best.min(t);
+        result = Some(r);
+    }
+    (best, result.expect("TIMING_RUNS >= 1"))
+}
+
+/// With one worker the "parallel" pool is configuration-identical to the
+/// serial pool, so both columns report the shared best measurement
+/// instead of sampling the same distribution twice.
+fn fold_single_thread(threads: usize, serial: f64, parallel: f64) -> (f64, f64) {
+    if threads == 1 {
+        let best = serial.min(parallel);
+        (best, best)
+    } else {
+        (serial, parallel)
+    }
+}
+
 fn emit_aiger(dir: &str, family: &str, size: usize, aig: &Aig) {
     std::fs::create_dir_all(dir).unwrap_or_else(|e| {
         eprintln!("cannot create {dir}: {e}");
@@ -248,6 +307,7 @@ fn emit_aiger(dir: &str, family: &str, size: usize, aig: &Aig) {
     println!("  wrote {path}");
 }
 
+#[allow(clippy::too_many_arguments)] // one row, one call site
 fn result_json(
     family: &str,
     size: usize,
@@ -255,6 +315,8 @@ fn result_json(
     synth_ands: usize,
     gates: usize,
     phases: &[Phase; 3],
+    synth_report: &aig::FlowReport,
+    counters: &aig::profile::Counters,
 ) -> String {
     let phase_json: Vec<String> = phases
         .iter()
@@ -271,13 +333,26 @@ fn result_json(
             )
         })
         .collect();
+    // The profile object leads with the synth flow's own cut-database
+    // statistics (exact), then the process-counter deltas spanning the
+    // row's runs (attribution, not accounting — see `aig::profile`).
+    let counter_json: Vec<String> = counters
+        .pairs()
+        .iter()
+        .filter(|(name, _)| !name.starts_with("cuts_")) // the flow's exact numbers lead
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
     format!(
-        "{{\"family\": {}, \"target\": {}, \"ands\": {}, \"synth_ands\": {}, \"gates\": {}, {}}}",
+        "{{\"family\": {}, \"target\": {}, \"ands\": {}, \"synth_ands\": {}, \"gates\": {}, {}, \
+         \"profile\": {{\"cuts_reused\": {}, \"cuts_computed\": {}, {}}}}}",
         bench::qor::json_string(family),
         size,
         ands,
         synth_ands,
         gates,
         phase_json.join(", "),
+        synth_report.cuts_reused,
+        synth_report.cuts_computed,
+        counter_json.join(", "),
     )
 }

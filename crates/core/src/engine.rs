@@ -27,7 +27,7 @@
 //! [`PipelineError`] instead of panicking.
 
 use crate::experiments::{Table1, Table1Config, Table1Row};
-use crate::pipeline::{evaluate_circuit_with_choices, CircuitResult, PipelineError};
+use crate::pipeline::{CircuitResult, PipelineError};
 use aig::ChoiceAig;
 use charlib::{characterize_library, CharacterizedLibrary};
 use gate_lib::GateFamily;
@@ -164,6 +164,17 @@ pub fn run_table1_subset(
         .par_iter()
         .map(|bench| synthesize_with_choices(&flow, &bench.aig, &config.pipeline))
         .collect();
+    // Enumerate each circuit's mapper cuts once, up front; every
+    // per-family job below maps against a clone of the filled database
+    // instead of re-enumerating the same network per library.
+    let cut_dbs: Vec<aig::CutDb> = synthesized
+        .par_iter()
+        .map(|(aig, _)| {
+            let mut db = crate::pipeline::mapper_cut_db(&config.pipeline.map);
+            db.ensure(&aig.cleanup());
+            db
+        })
+        .collect();
     let jobs: Vec<(usize, usize)> = (0..benches.len())
         .flat_map(|ci| (0..GateFamily::ALL.len()).map(move |fi| (ci, fi)))
         .collect();
@@ -171,7 +182,14 @@ pub fn run_table1_subset(
         .into_par_iter()
         .map(|(ci, fi)| {
             let (aig, choices) = &synthesized[ci];
-            evaluate_circuit_with_choices(aig, choices.as_ref(), libs[fi], &config.pipeline)
+            let mut db = cut_dbs[ci].clone();
+            crate::pipeline::evaluate_circuit_with_cut_db(
+                aig,
+                choices.as_ref(),
+                libs[fi],
+                &config.pipeline,
+                &mut db,
+            )
         })
         .collect();
     let results: Vec<CircuitResult> = results.into_iter().collect::<Result<_, _>>()?;

@@ -6,8 +6,8 @@ use charlib::CharacterizedLibrary;
 use device::{EnergyDelay, Power, Time};
 use power_est::{estimate_power, simulate_activity, PowerBreakdown};
 use techmap::{
-    critical_path, map_aig_with_cache, map_choice_aig_with_cache, verify_mapping_with, MapConfig,
-    MapError, MappedNetlist, Verify, VerifyError,
+    critical_path, map_aig_with_cache, map_aig_with_cut_db, map_choice_aig_with_cache,
+    verify_mapping_with, MapConfig, MapError, MappedNetlist, Verify, VerifyError,
 };
 
 /// Pipeline knobs.
@@ -181,7 +181,28 @@ pub fn evaluate_circuit_with_choices(
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
 ) -> Result<CircuitResult, PipelineError> {
-    let (mapped, gates_no_choice) = map_portfolio(synthesized, choices, library, config)?;
+    let mut db = mapper_cut_db(&config.map);
+    evaluate_circuit_with_cut_db(synthesized, choices, library, config, &mut db)
+}
+
+/// [`evaluate_circuit_with_choices`] against a caller-held cut database
+/// keyed to `synthesized` (see [`mapper_cut_db`]). The Table-1 drivers
+/// enumerate each circuit's cuts once and hand every per-family
+/// evaluation a clone, so mapping the same network against three
+/// libraries pays for one enumeration instead of three.
+///
+/// # Errors
+///
+/// As [`evaluate_circuit`].
+pub fn evaluate_circuit_with_cut_db(
+    synthesized: &Aig,
+    choices: Option<&ChoiceAig>,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+    db: &mut aig::CutDb,
+) -> Result<CircuitResult, PipelineError> {
+    let (mapped, gates_no_choice) =
+        map_portfolio_with_cut_db(synthesized, choices, library, config, db)?;
     verify_mapped(synthesized, &mapped, library, config)?;
     let mut result = evaluate_mapped(&mapped, library, config);
     result.gates_no_choice = gates_no_choice;
@@ -250,8 +271,37 @@ pub fn map_portfolio(
     library: &CharacterizedLibrary,
     config: &PipelineConfig,
 ) -> Result<(MappedNetlist, Option<usize>), PipelineError> {
+    let mut db = mapper_cut_db(&config.map);
+    map_portfolio_with_cut_db(synthesized, choices, library, config, &mut db)
+}
+
+/// An empty cut database shaped for the configured mapper (`cut_k`
+/// clamped into the supported range so construction never panics on a
+/// config the mapper itself would reject with a typed error).
+pub fn mapper_cut_db(map: &MapConfig) -> aig::CutDb {
+    aig::CutDb::new(aig::CutConfig {
+        k: map.cut_k.clamp(2, 6),
+        max_cuts: map.max_cuts,
+    })
+}
+
+/// [`map_portfolio`] against a caller-held cut database keyed to
+/// `synthesized`: the plain mapping consumes (and tops up) the database;
+/// the choice and primary-snapshot candidates map other networks and
+/// are unaffected.
+///
+/// # Errors
+///
+/// As [`map_portfolio`].
+pub fn map_portfolio_with_cut_db(
+    synthesized: &Aig,
+    choices: Option<&ChoiceAig>,
+    library: &CharacterizedLibrary,
+    config: &PipelineConfig,
+    db: &mut aig::CutDb,
+) -> Result<(MappedNetlist, Option<usize>), PipelineError> {
     let cache = crate::engine::match_cache(library.family);
-    let plain = map_aig_with_cache(synthesized, library, cache, &config.map)?;
+    let plain = map_aig_with_cut_db(synthesized, library, cache, &config.map, db)?;
     let Some(choice) = choices.filter(|_| config.choices) else {
         return Ok((plain, None));
     };

@@ -73,7 +73,9 @@ pub mod verify;
 
 pub use config::{LoadModel, MapConfig, MapError, Objective};
 pub use export::{cell_histogram, to_structural_verilog};
-pub use mapper::{map_aig, map_aig_with_cache, map_choice_aig, map_choice_aig_with_cache};
+pub use mapper::{
+    map_aig, map_aig_with_cache, map_aig_with_cut_db, map_choice_aig, map_choice_aig_with_cache,
+};
 pub use matching::{MatchCandidate, Matcher, NpnMatchCache};
 pub use netlist::{Instance, MappedNetlist, NetRef};
 pub use sta::{critical_path, StaReport};

@@ -12,7 +12,7 @@ use crate::config::{MapConfig, MapError, Objective};
 use crate::matching::{Matcher, NpnMatchCache};
 use crate::netlist::{Instance, MappedNetlist, NetRef};
 use aig::choice::ChoiceAig;
-use aig::cuts::{enumerate_cuts, enumerate_cuts_choice, Cut, CutConfig};
+use aig::cuts::{enumerate_cuts_choice, CutConfig, CutDb, CutSource};
 use aig::graph::{Aig, Lit, Node};
 use charlib::{CharacterizedGate, CharacterizedLibrary};
 use std::collections::HashMap;
@@ -68,19 +68,50 @@ pub fn map_aig_with_cache(
     cache: &NpnMatchCache,
     config: &MapConfig,
 ) -> Result<MappedNetlist, MapError> {
+    let mut db = CutDb::new(CutConfig {
+        k: config.cut_k.clamp(2, 6),
+        max_cuts: config.max_cuts,
+    });
+    map_aig_with_cut_db(aig, library, cache, config, &mut db)
+}
+
+/// [`map_aig_with_cache`] against a persistent cut database: phase 1
+/// serves every cut set the database already holds and computes only the
+/// missing ones, so a caller that maps the same (or an incrementally
+/// evolved and [`CutDb::retarget`]ed) network repeatedly — a technology
+/// sweep over one synthesized circuit, say — pays for enumeration once.
+///
+/// `db` must have been created with the same cut shape (`k`, `max_cuts`)
+/// as `config` requests, and hold cuts of `aig`'s cleaned form (an empty
+/// or size-mismatched database is simply filled from scratch).
+///
+/// # Errors
+///
+/// As [`map_aig`], plus [`MapError::InvalidCutK`] when the database's cut
+/// shape disagrees with `config`.
+pub fn map_aig_with_cut_db(
+    aig: &Aig,
+    library: &CharacterizedLibrary,
+    cache: &NpnMatchCache,
+    config: &MapConfig,
+    db: &mut CutDb,
+) -> Result<MappedNetlist, MapError> {
     if !(2..=6).contains(&config.cut_k) {
         return Err(MapError::InvalidCutK { k: config.cut_k });
     }
-    let aig = aig.cleanup();
-
-    // Phase 1: cut enumeration.
-    let cuts = enumerate_cuts(
-        &aig,
-        CutConfig {
+    if db.config()
+        != (CutConfig {
             k: config.cut_k,
             max_cuts: config.max_cuts,
-        },
-    );
+        })
+    {
+        return Err(MapError::InvalidCutK { k: db.config().k });
+    }
+    let aig = aig.cleanup();
+
+    // Phase 1: cut enumeration — incremental against the database.
+    db.ensure(&aig);
+    let cuts: &CutDb = db;
 
     // Phase 2: NPN-canonical matching — shared immutable class table plus
     // a per-run canonization memo.
@@ -94,7 +125,7 @@ pub fn map_aig_with_cache(
         &aig,
         &order,
         aig.fanout_counts(),
-        &cuts,
+        cuts,
         &mut matcher,
         library,
         config,
@@ -106,7 +137,7 @@ pub fn map_aig_with_cache(
         aig.len(),
         aig.input_nodes(),
         aig.output_lits(),
-        &cuts,
+        cuts,
         &chosen,
     )?;
 
@@ -265,11 +296,15 @@ fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
 /// `order` lists the AND nodes to process, fanins-first — ascending
 /// node index for a plain network, [`ChoiceAig::class_order`] for a
 /// choice network (where only class representatives are priced).
-fn select_matches(
+///
+/// Generic over the cut supply ([`CutSource`]) so the plain path reads
+/// straight out of a [`CutDb`] while the choice path keeps its per-class
+/// `Vec<Vec<Cut>>`.
+fn select_matches<S: CutSource + ?Sized>(
     aig: &Aig,
     order: &[u32],
     fanouts: &[u32],
-    cuts: &[Vec<Cut>],
+    cuts: &S,
     matcher: &mut Matcher<'_>,
     library: &CharacterizedLibrary,
     config: &MapConfig,
@@ -300,7 +335,7 @@ fn select_matches(
     for &node in order {
         let idx = node as usize;
         let mut best: Option<(f64, f64, Chosen)> = None;
-        for cut in &cuts[idx] {
+        for cut in cuts.cuts_of(node) {
             if cut.is_trivial(idx as u32) {
                 continue;
             }
@@ -367,7 +402,7 @@ fn select_matches(
         }
         let (arr, f, c) = best.ok_or(MapError::UnmatchedNode {
             node,
-            cuts: cuts[idx].len(),
+            cuts: cuts.cuts_of(node).len(),
         })?;
         arrival[idx] = arr;
         flow[idx] = f;
@@ -378,11 +413,11 @@ fn select_matches(
 
 /// Phase 4: walks the chosen matches from the primary outputs and lists
 /// the matches actually used, in post-order (fanins precede consumers).
-fn extract_cover(
+fn extract_cover<S: CutSource + ?Sized>(
     len: usize,
     input_nodes: &[u32],
     outputs: &[Lit],
-    cuts: &[Vec<Cut>],
+    cuts: &S,
     chosen: &[Option<Chosen>],
 ) -> Result<Vec<CoverStep>, MapError> {
     for (k, lit) in outputs.iter().enumerate() {
@@ -410,7 +445,7 @@ fn extract_cover(
                 .as_ref()
                 .ok_or(MapError::UnmatchedNode {
                     node,
-                    cuts: cuts[node as usize].len(),
+                    cuts: cuts.cuts_of(node).len(),
                 })?;
             if expanded {
                 emitted[node as usize] = true;
@@ -625,6 +660,46 @@ mod tests {
                 Some(MapError::InvalidCutK { k })
             );
         }
+    }
+
+    #[test]
+    fn cut_db_mapping_matches_and_reuses() {
+        // Mapping through a persistent CutDb is identical to the one-shot
+        // path, and a second run over the same network recomputes nothing.
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::Cmos);
+        let cache = NpnMatchCache::new(&lib).expect("cache builds");
+        let config = MapConfig::default();
+        let one_shot = map_aig_with_cache(&aig, &lib, &cache, &config).expect("maps");
+        let mut db = CutDb::new(CutConfig {
+            k: config.cut_k,
+            max_cuts: config.max_cuts,
+        });
+        let first = map_aig_with_cut_db(&aig, &lib, &cache, &config, &mut db).expect("maps");
+        assert_eq!(first.instances, one_shot.instances);
+        let computed_once = db.computed();
+        assert!(computed_once > 0);
+        let second = map_aig_with_cut_db(&aig, &lib, &cache, &config, &mut db).expect("maps");
+        assert_eq!(second.instances, one_shot.instances);
+        assert_eq!(
+            db.computed(),
+            computed_once,
+            "a warm database must serve every cut set"
+        );
+        assert!(db.reused() > 0);
+    }
+
+    #[test]
+    fn cut_db_shape_mismatch_is_an_error() {
+        let aig = small_alu_aig();
+        let lib = characterize_library(GateFamily::Cmos);
+        let cache = NpnMatchCache::new(&lib).expect("cache builds");
+        let config = MapConfig::default();
+        let mut db = CutDb::new(CutConfig { k: 4, max_cuts: 4 });
+        assert_eq!(
+            map_aig_with_cut_db(&aig, &lib, &cache, &config, &mut db).err(),
+            Some(MapError::InvalidCutK { k: 4 })
+        );
     }
 
     #[test]

@@ -159,7 +159,8 @@ pub fn verify_mapping(
 }
 
 /// Verifies by simulation only: exhaustive for ≤ 16 inputs (definitive),
-/// `rounds` random 64-pattern words otherwise (a pass is probabilistic, a
+/// `rounds` random 64-pattern words — rounded up to whole 256-pattern
+/// [`aig::WideWord`] blocks — otherwise (a pass is probabilistic, a
 /// failure is always real and reported as a [`CexReport`]).
 ///
 /// # Errors
@@ -182,17 +183,31 @@ pub fn verify_mapping_sim(
     let n = aig.input_count();
     let mut rng = aig::sim::PatternRng::new(seed);
     let exhaustive = n <= 16;
-    let total_rounds = if exhaustive {
-        (1usize << n).div_ceil(64)
-    } else {
-        rounds
-    };
     let mut values = Vec::new();
     let mut got = Vec::new();
-    for round in 0..total_rounds {
-        let inputs: Vec<u64> = if exhaustive {
+    let mut check_round =
+        |inputs: &[u64], expected: &[u64], mask: u64| -> Result<(), VerifyError> {
+            netlist.simulate64_into(library, inputs, &mut values);
+            netlist.output_words_into(&values, &mut got);
+            for (k, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+                let diff = (e ^ g) & mask;
+                if diff != 0 {
+                    let bit = diff.trailing_zeros();
+                    let pattern: Vec<bool> = inputs.iter().map(|w| (w >> bit) & 1 == 1).collect();
+                    return Err(VerifyError::Mismatch(CexReport {
+                        inputs: pattern,
+                        output: k,
+                        expected: (e >> bit) & 1 == 1,
+                        got: (g >> bit) & 1 == 1,
+                    }));
+                }
+            }
+            Ok(())
+        };
+    if exhaustive {
+        for round in 0..(1usize << n).div_ceil(64) {
             let base = (round * 64) as u64;
-            (0..n)
+            let inputs: Vec<u64> = (0..n)
                 .map(|i| {
                     let mut w = 0u64;
                     for k in 0..64u64 {
@@ -202,34 +217,30 @@ pub fn verify_mapping_sim(
                     }
                     w
                 })
-                .collect()
-        } else {
-            (0..n).map(|_| rng.next_word()).collect()
-        };
-        let expected = aig::simulate64(&aig, &inputs);
-        netlist.simulate64_into(library, &inputs, &mut values);
-        netlist.output_words_into(&values, &mut got);
-        let mask = if exhaustive {
-            let remaining = (1u64 << n).saturating_sub((round * 64) as u64);
-            if remaining >= 64 {
+                .collect();
+            let expected = aig::simulate64(&aig, &inputs);
+            let remaining = (1u64 << n).saturating_sub(base);
+            let mask = if remaining >= 64 {
                 u64::MAX
             } else {
                 (1u64 << remaining) - 1
-            }
-        } else {
-            u64::MAX
-        };
-        for (k, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
-            let diff = (e ^ g) & mask;
-            if diff != 0 {
-                let bit = diff.trailing_zeros();
-                let pattern: Vec<bool> = inputs.iter().map(|w| (w >> bit) & 1 == 1).collect();
-                return Err(VerifyError::Mismatch(CexReport {
-                    inputs: pattern,
-                    output: k,
-                    expected: (e >> bit) & 1 == 1,
-                    got: (g >> bit) & 1 == 1,
-                }));
+            };
+            check_round(&inputs, &expected, mask)?;
+        }
+    } else {
+        // Random rounds run through the widened simulation kernel: one
+        // AIG pass covers a whole cache-line block of patterns (rounds
+        // are rounded up to full blocks — strictly more coverage).
+        let mut inputs = vec![0u64; n];
+        for _ in 0..rounds.div_ceil(aig::WIDE_WORDS) {
+            let wide: Vec<aig::WideWord> = (0..n).map(|_| rng.next_wide()).collect();
+            let expected = aig::simulate_wide(&aig, &wide);
+            for w in 0..aig::WIDE_WORDS {
+                for (i, block) in wide.iter().enumerate() {
+                    inputs[i] = block[w];
+                }
+                let lane: Vec<u64> = expected.iter().map(|b| b[w]).collect();
+                check_round(&inputs, &lane, u64::MAX)?;
             }
         }
     }

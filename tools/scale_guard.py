@@ -25,13 +25,17 @@ BENCH_scale.json and exits non-zero when:
     serial. (The >= 2x speedup acceptance target is asserted by the
     multi-core perf runner, not here, so a 1-core container can still
     run the guard.)
+  * the incremental cut database is silently bypassed: on a multi-pass
+    flow (the artifact's flow script has more than one step) every
+    regenerated row must report profile.cuts_reused > 0 — pass 2..n of
+    the script must serve at least some cut sets from the database.
 """
 
 import json
 import sys
 
 NOISE_FLOOR = 3.0
-MIN_PARALLEL_FRACTION = 0.5
+MIN_PARALLEL_FRACTION = 0.9
 PHASES = ("synth", "dch", "map")
 
 
@@ -80,6 +84,21 @@ def main() -> int:
                 failures.append(
                     f"{family}/{size} {phase}: serial throughput collapsed "
                     f"{ref_nps:.0f} -> {cur_nps:.0f} nodes/sec (> {NOISE_FLOOR}x slower)"
+                )
+
+    multi_pass = len([s for s in regenerated.get("flow", "").split(";") if s.strip()]) > 1
+    if multi_pass:
+        for (family, size), cur in sorted(regen.items()):
+            reused = cur.get("profile", {}).get("cuts_reused")
+            if reused is None:
+                failures.append(
+                    f"{family}/{size}: regenerated row carries no profile.cuts_reused "
+                    "(profile emission is part of the artifact contract)"
+                )
+            elif reused <= 0:
+                failures.append(
+                    f"{family}/{size}: cuts_reused = {reused} on a multi-pass flow — "
+                    "the incremental cut database is being bypassed"
                 )
 
     if regenerated.get("threads", 1) > 1 and regen:
