@@ -62,12 +62,16 @@ pub fn table1_json(
         );
         for (k, r) in row.results.iter().enumerate() {
             let energy = r.total_power().value() / p.frequency_hz;
-            // Choice-aware runs record the no-choice gate count so the
-            // artifact carries the QoR delta per circuit × family.
-            let delta = r
+            // Choice-aware runs record the no-choice gate count and STA
+            // delay so the artifact carries the QoR delta per circuit ×
+            // family and both portfolio guarantees stay checkable.
+            let mut delta = r
                 .gates_no_choice
                 .map(|g| format!(", \"gates_no_choice\": {g}"))
                 .unwrap_or_default();
+            if let Some(d) = r.delay_no_choice {
+                let _ = write!(delta, ", \"delay_s_no_choice\": {}", json_f64(d.value()));
+            }
             let _ = write!(
                 out,
                 "{}{{\"gates\": {}{delta}, \"delay_s\": {}, \"area_m2\": {}, \"pd_w\": {}, \

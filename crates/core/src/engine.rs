@@ -418,12 +418,42 @@ mod tests {
         let table =
             run_table1_subset(&Table1Config { pipeline }, names).expect("choice-aware run maps");
         for r in &table.rows[0].results {
+            // Default objective is Delay: the portfolio arbitrates on
+            // STA critical path, so the delay guarantee holds (gates may
+            // go either way — the delta is recorded, not bounded).
+            assert!(r.gates_no_choice.is_some());
+            let plain_delay = r
+                .delay_no_choice
+                .expect("choice runs record the no-choice STA delay")
+                .value();
+            assert!(
+                r.delay.value() <= plain_delay * (1.0 + 1e-9),
+                "the delay portfolio must never keep a slower mapping: {} vs {plain_delay}",
+                r.delay.value()
+            );
+        }
+        // Under the area objective the original gate-count guarantee
+        // still holds.
+        let area_pipeline = crate::pipeline::PipelineConfig {
+            patterns: 256,
+            choices: true,
+            map: techmap::MapConfig::for_objective(techmap::Objective::Area),
+            ..Default::default()
+        };
+        let area_table = run_table1_subset(
+            &Table1Config {
+                pipeline: area_pipeline,
+            },
+            names,
+        )
+        .expect("area choice-aware run maps");
+        for r in &area_table.rows[0].results {
             let plain = r
                 .gates_no_choice
                 .expect("choice runs record the no-choice gate count");
             assert!(
                 r.gates <= plain,
-                "the portfolio must never keep a worse choice mapping: {} vs {plain}",
+                "the area portfolio must never keep a worse choice mapping: {} vs {plain}",
                 r.gates
             );
         }

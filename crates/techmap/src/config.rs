@@ -87,6 +87,21 @@ impl LoadModel {
     }
 }
 
+/// The default capacitive load of a primary-output net: one inverter
+/// input capacitance of the target library — the smallest plausible
+/// downstream consumer. Primary-output nets have no consumer pins inside
+/// the netlist, so without this a PO driver's delay would be computed at
+/// zero farads, systematically underestimating the critical path; the
+/// selection DP, the mapper's predicted-delay bookkeeping, and
+/// [`sta::critical_path`](crate::sta::critical_path) all charge the same
+/// value so the timing model is consistent end to end.
+pub fn default_output_load(library: &CharacterizedLibrary) -> f64 {
+    library
+        .find("INV")
+        .and_then(|g| g.input_caps.first().copied())
+        .unwrap_or(0.0)
+}
+
 /// Configuration of one mapping run.
 ///
 /// The default reproduces the historical mapper exactly: delay objective
@@ -109,6 +124,19 @@ pub struct MapConfig {
     /// flow passes discarded. With `false` the choice network is merely
     /// collapsed to its representatives and mapped plain.
     pub use_choices: bool,
+    /// Capacitive load on primary-output nets, farads. `None` (the
+    /// default) resolves to [`default_output_load`] — one inverter input
+    /// capacitance of the target library — so PO driver delays are never
+    /// computed into zero farads. The resolved value is charged both by
+    /// the selection DP's arrival estimates and by static timing.
+    pub output_load: Option<f64>,
+    /// Area-recovery rounds the delay objective runs after its
+    /// arrival-time DP: required times are propagated backward from the
+    /// primary outputs and nodes with positive slack are re-selected —
+    /// the first round minimizing area flow, later rounds exact local
+    /// area (ABC `&if`-style). `0` disables recovery (the historical
+    /// single-pass greedy mapper). Ignored by the Area/Energy objectives.
+    pub recovery_rounds: usize,
 }
 
 impl Default for MapConfig {
@@ -119,6 +147,8 @@ impl Default for MapConfig {
             max_cuts: Self::DEFAULT_MAX_CUTS,
             load: LoadModel::default(),
             use_choices: false,
+            output_load: None,
+            recovery_rounds: Self::DEFAULT_RECOVERY_ROUNDS,
         }
     }
 }
@@ -128,6 +158,9 @@ impl MapConfig {
     pub const DEFAULT_CUT_K: usize = 6;
     /// Default priority-cut cap per node.
     pub const DEFAULT_MAX_CUTS: usize = 8;
+    /// Default delay-objective recovery schedule: one area-flow round
+    /// followed by two exact-local-area rounds.
+    pub const DEFAULT_RECOVERY_ROUNDS: usize = 3;
 
     /// The default configuration with a different objective.
     pub fn for_objective(objective: Objective) -> Self {
@@ -135,6 +168,13 @@ impl MapConfig {
             objective,
             ..Self::default()
         }
+    }
+
+    /// The primary-output load in farads, resolving the `None` default
+    /// against the library ([`default_output_load`]).
+    pub fn output_load_farads(&self, library: &CharacterizedLibrary) -> f64 {
+        self.output_load
+            .unwrap_or_else(|| default_output_load(library))
     }
 }
 

@@ -17,7 +17,13 @@
 //!    behind the paper's expressive-power advantage;
 //! 3. **objective-driven selection** — a dynamic program minimizing the
 //!    configured [`Objective`] (`Delay`, `Area`, or `Energy`) under a
-//!    configurable [`LoadModel`];
+//!    configurable [`LoadModel`] (primary-output drivers additionally
+//!    charged [`MapConfig::output_load`]); the delay objective then runs
+//!    the classical two-phase refinement — required times propagated
+//!    backward from the outputs, followed by
+//!    [`MapConfig::recovery_rounds`] rounds of area-flow and
+//!    exact-local-area recovery on positive-slack nodes, which shed area
+//!    without touching the DP-optimal critical path;
 //! 4. **cover extraction** — the chosen matches actually reachable from
 //!    the primary outputs, in topological emission order;
 //! 5. **inverter materialization** — shared inverters for input/output
@@ -71,14 +77,14 @@ pub mod netlist;
 pub mod sta;
 pub mod verify;
 
-pub use config::{LoadModel, MapConfig, MapError, Objective};
+pub use config::{default_output_load, LoadModel, MapConfig, MapError, Objective};
 pub use export::{cell_histogram, to_structural_verilog};
 pub use mapper::{
     map_aig, map_aig_with_cache, map_aig_with_cut_db, map_choice_aig, map_choice_aig_with_cache,
 };
 pub use matching::{MatchCandidate, Matcher, NpnMatchCache};
 pub use netlist::{Instance, MappedNetlist, NetRef};
-pub use sta::{critical_path, StaReport};
+pub use sta::{critical_path, critical_path_with_load, StaReport};
 pub use verify::{
     verify_mapping, verify_mapping_sim, verify_mapping_with, CexReport, Verify, VerifyError,
 };

@@ -15,6 +15,7 @@ use aig::choice::ChoiceAig;
 use aig::cuts::{enumerate_cuts_choice, CutConfig, CutDb, CutSource};
 use aig::graph::{Aig, Lit, Node};
 use charlib::{CharacterizedGate, CharacterizedLibrary};
+use device::Capacitance;
 use std::collections::HashMap;
 
 /// A resolved match chosen for an AND node.
@@ -117,14 +118,16 @@ pub fn map_aig_with_cut_db(
     // a per-run canonization memo.
     let mut matcher = Matcher::new(cache);
 
-    // Phase 3: objective-driven selection.
+    // Phase 3: objective-driven selection — the arrival/flow DP, plus
+    // the delay objective's required-time and area-recovery passes.
     let order: Vec<u32> = (0..aig.len() as u32)
         .filter(|&n| matches!(aig.node(n), Node::And(_, _)))
         .collect();
-    let chosen = select_matches(
+    let selection = select_matches(
         &aig,
         &order,
         aig.fanout_counts(),
+        aig.output_lits(),
         cuts,
         &mut matcher,
         library,
@@ -138,17 +141,19 @@ pub fn map_aig_with_cut_db(
         aig.input_nodes(),
         aig.output_lits(),
         cuts,
-        &chosen,
+        &selection.chosen,
     )?;
 
     // Phase 5: inverter materialization and netlist assembly.
-    Ok(materialize(
+    let mut netlist = materialize(
         library,
         cache.inverter(),
         &cover,
         aig.input_nodes(),
         aig.output_lits(),
-    ))
+    );
+    netlist.set_predicted_delay_s(selection.predicted);
+    Ok(netlist)
 }
 
 /// Maps a choice network onto a characterized library with a private
@@ -216,10 +221,11 @@ pub fn map_choice_aig_with_cache(
 
     // Phase 3: selection over classes, dependencies first.
     let fanouts = choice_fanouts(choice);
-    let chosen = select_matches(
+    let selection = select_matches(
         arena,
         choice.class_order(),
         &fanouts,
+        choice.outputs(),
         &cuts,
         &mut matcher,
         library,
@@ -234,15 +240,17 @@ pub fn map_choice_aig_with_cache(
         arena.input_nodes(),
         choice.outputs(),
         &cuts,
-        &chosen,
+        &selection.chosen,
     )?;
-    Ok(materialize(
+    let mut netlist = materialize(
         library,
         cache.inverter(),
         &cover,
         arena.input_nodes(),
         choice.outputs(),
-    ))
+    );
+    netlist.set_predicted_delay_s(selection.predicted);
+    Ok(netlist)
 }
 
 /// Fanout estimate for the flow discount of choice-network selection:
@@ -285,13 +293,164 @@ fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
     }
 }
 
-/// Phase 3: the dynamic program choosing one match per AND node.
+/// Precomputed per-run cost tables shared by the arrival DP, the
+/// required-time pass, and the recovery rounds. Per-gate delays exist at
+/// two load points: the uniform [`LoadModel`](crate::LoadModel) estimate
+/// for internal nets, and that estimate plus the configured output load
+/// for nets driving primary outputs — so the DP never prices a PO driver
+/// into zero extra farads and agrees with static timing on where load
+/// lives.
+struct Costs {
+    free_neg: bool,
+    /// Per-gate delay under the uniform load estimate.
+    cell_delay: Vec<f64>,
+    /// Per-gate delay under the load estimate plus the PO load.
+    cell_delay_po: Vec<f64>,
+    /// Per-gate flow metric (area or per-cycle energy).
+    cell_unit: Vec<f64>,
+    /// Per-gate area (exact-area recovery always prices in m²).
+    cell_area: Vec<f64>,
+    inv_delay: f64,
+    inv_delay_po: f64,
+    inv_unit: f64,
+    inv_area: f64,
+}
+
+impl Costs {
+    fn new(library: &CharacterizedLibrary, inverter: usize, config: &MapConfig) -> Self {
+        let load_est = config.load.estimate(library);
+        let po_load = Capacitance::new(load_est.value() + config.output_load_farads(library));
+        // Per-gate costs are fixed for the whole run; compute them once
+        // instead of per candidate in the inner loop (the Energy flow
+        // unit in particular walks the full power model).
+        let cell_delay: Vec<f64> = library
+            .gates
+            .iter()
+            .map(|g| g.delay(load_est).value())
+            .collect();
+        let cell_delay_po: Vec<f64> = library
+            .gates
+            .iter()
+            .map(|g| g.delay(po_load).value())
+            .collect();
+        let cell_unit: Vec<f64> = library
+            .gates
+            .iter()
+            .map(|g| flow_unit(g, config.objective))
+            .collect();
+        let cell_area: Vec<f64> = library.gates.iter().map(|g| g.area).collect();
+        Self {
+            free_neg: library.family.free_input_negation(),
+            inv_delay: cell_delay[inverter],
+            inv_delay_po: cell_delay_po[inverter],
+            inv_unit: cell_unit[inverter],
+            inv_area: cell_area[inverter],
+            cell_delay,
+            cell_delay_po,
+            cell_unit,
+            cell_area,
+        }
+    }
+
+    /// Extra arrival a match's pin pays for a complemented leaf (an
+    /// explicit inverter unless the family negates for free).
+    fn pin_delay(&self, inverted: bool) -> f64 {
+        if inverted && !self.free_neg {
+            self.inv_delay
+        } else {
+            0.0
+        }
+    }
+
+    /// Delay from the worst pin arrival to the node's output net: the
+    /// cell under the right load point, plus the dedicated output
+    /// inverter when the match is phase-flipped (the inverter, not the
+    /// cell, then sees the PO load).
+    fn match_delay(&self, po_driver: bool, gate: usize, output_inverted: bool) -> f64 {
+        if output_inverted {
+            self.cell_delay[gate]
+                + if po_driver {
+                    self.inv_delay_po
+                } else {
+                    self.inv_delay
+                }
+        } else if po_driver {
+            self.cell_delay_po[gate]
+        } else {
+            self.cell_delay[gate]
+        }
+    }
+
+    /// Extra delay between a node's positive phase and a primary-output
+    /// tap of it: the shared PO inverter for complemented taps in
+    /// families without free negation.
+    fn po_tap_extra(&self, complemented: bool) -> f64 {
+        if complemented && !self.free_neg {
+            self.inv_delay_po
+        } else {
+            0.0
+        }
+    }
+
+    /// The match's own flow/area contribution (cell plus dedicated
+    /// output inverter; shared input inverters are priced by the caller,
+    /// which knows the fanout discount to apply).
+    fn match_unit(&self, gate: usize, output_inverted: bool) -> f64 {
+        self.cell_unit[gate] + if output_inverted { self.inv_unit } else { 0.0 }
+    }
+}
+
+/// Scale-free comparison tolerance: arrival times are order 1e-11 s and
+/// flows order 1e-15 m² — an absolute epsilon either never fires or
+/// swallows everything, so every tie-break uses this relative form.
+fn rel_eps(a: f64, b: f64) -> f64 {
+    1e-12 * a.abs().max(b.abs())
+}
+
+/// What phase 3 hands to cover extraction: the match per node plus the
+/// DP's own critical-path estimate for the selected cover.
+struct Selection {
+    chosen: Vec<Option<Chosen>>,
+    /// Predicted critical path in seconds (max predicted PO arrival).
+    predicted: f64,
+}
+
+/// The DP's critical-path estimate: worst arrival over the primary
+/// outputs, including the shared PO inverter on complemented taps.
+fn predicted_critical(arrival: &[f64], outputs: &[Lit], costs: &Costs) -> f64 {
+    outputs
+        .iter()
+        .map(|lit| arrival[lit.node() as usize] + costs.po_tap_extra(lit.is_complement()))
+        .fold(0.0f64, f64::max)
+}
+
+/// Arrival of one match given current leaf arrivals.
+fn eval_match(m: &Chosen, arrival: &[f64], po_driver: bool, costs: &Costs) -> f64 {
+    let mut arr_in = 0.0f64;
+    for &(leaf, inv) in &m.pins {
+        arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv));
+    }
+    arr_in + costs.match_delay(po_driver, m.gate, m.output_inverted)
+}
+
+/// Phase 3: objective-driven selection — one match per AND node.
 ///
 /// Every node carries two costs: arrival time under the configured load
-/// model, and the objective's flow metric (area or energy accumulated
-/// over the chosen cover, discounted by fanout). [`Objective::Delay`]
-/// minimizes arrival and tie-breaks on flow; [`Objective::Area`] /
-/// [`Objective::Energy`] minimize flow and tie-break on arrival.
+/// model (with PO drivers additionally charged
+/// [`MapConfig::output_load`](crate::MapConfig::output_load)), and the
+/// objective's flow metric (area or energy accumulated over the chosen
+/// cover, discounted by fanout). [`Objective::Delay`] minimizes arrival
+/// and tie-breaks on flow; [`Objective::Area`] / [`Objective::Energy`]
+/// minimize flow and tie-break on arrival.
+///
+/// For [`Objective::Delay`] the DP is only the first phase: required
+/// times are then propagated backward from the primary outputs and
+/// [`MapConfig::recovery_rounds`](crate::MapConfig::recovery_rounds)
+/// rounds of area recovery re-select matches on nodes with positive
+/// slack — minimizing area flow first, exact local area afterwards —
+/// subject to `arrival ≤ required`, so the recovered cover keeps the
+/// DP's optimal depth while shedding area off the non-critical paths
+/// (the classical two-phase mapper of ABC's `&if`).
 ///
 /// `order` lists the AND nodes to process, fanins-first — ascending
 /// node index for a plain network, [`ChoiceAig::class_order`] for a
@@ -300,43 +459,35 @@ fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
 /// Generic over the cut supply ([`CutSource`]) so the plain path reads
 /// straight out of a [`CutDb`] while the choice path keeps its per-class
 /// `Vec<Vec<Cut>>`.
+#[allow(clippy::too_many_arguments)]
 fn select_matches<S: CutSource + ?Sized>(
     aig: &Aig,
     order: &[u32],
     fanouts: &[u32],
+    outputs: &[Lit],
     cuts: &S,
     matcher: &mut Matcher<'_>,
     library: &CharacterizedLibrary,
     config: &MapConfig,
-) -> Result<Vec<Option<Chosen>>, MapError> {
-    let free_neg = library.family.free_input_negation();
-    let load_est = config.load.estimate(library);
-    // Per-gate costs are fixed for the whole run; compute them once
-    // instead of per candidate in the inner loop (the Energy flow unit in
-    // particular walks the full power model).
-    let cell_delay: Vec<f64> = library
-        .gates
-        .iter()
-        .map(|g| g.delay(load_est).value())
-        .collect();
-    let cell_unit: Vec<f64> = library
-        .gates
-        .iter()
-        .map(|g| flow_unit(g, config.objective))
-        .collect();
-    let inv_delay = cell_delay[matcher.inverter()];
-    let inv_unit = cell_unit[matcher.inverter()];
-
+) -> Result<Selection, MapError> {
+    let costs = Costs::new(library, matcher.inverter(), config);
     let n = aig.len();
+    let mut po_driver = vec![false; n];
+    for lit in outputs {
+        po_driver[lit.node() as usize] = true;
+    }
+
     let mut arrival = vec![0.0f64; n];
     let mut flow = vec![0.0f64; n];
     let mut chosen: Vec<Option<Chosen>> = vec![None; n];
 
+    // Phase 3a: the arrival/flow DP.
     for &node in order {
         let idx = node as usize;
+        let po = po_driver[idx];
         let mut best: Option<(f64, f64, Chosen)> = None;
         for cut in cuts.cuts_of(node) {
-            if cut.is_trivial(idx as u32) {
+            if cut.is_trivial(node) {
                 continue;
             }
             // The shared support projection (`aig::cuts`) both the mapper
@@ -352,20 +503,18 @@ fn select_matches<S: CutSource + ?Sized>(
                 let mut arr_in = 0.0f64;
                 let mut inv_flow_cost = 0.0;
                 for &(leaf, inv) in &pins {
-                    let mut a = arrival[leaf as usize];
-                    if inv && !free_neg {
-                        a += inv_delay;
-                        inv_flow_cost += inv_unit; // shared in practice; upper bound here
+                    arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv));
+                    if inv && !costs.free_neg {
+                        // One materialized inverter serves every consumer
+                        // of the complemented leaf, so its flow cost is
+                        // discounted by the leaf's fanout exactly like
+                        // the leaf's own flow below.
+                        inv_flow_cost += costs.inv_unit / fanouts[leaf as usize].max(1) as f64;
                     }
-                    arr_in = arr_in.max(a);
                 }
-                let mut arr = arr_in + cell_delay[cand.gate];
-                let mut local = cell_unit[cand.gate] + inv_flow_cost;
-                if cand.output_inverted {
-                    arr += inv_delay;
-                    local += inv_unit;
-                }
-                let f = local
+                let arr = arr_in + costs.match_delay(po, cand.gate, cand.output_inverted);
+                let f = costs.match_unit(cand.gate, cand.output_inverted)
+                    + inv_flow_cost
                     + pins
                         .iter()
                         .map(|&(leaf, _)| {
@@ -375,7 +524,12 @@ fn select_matches<S: CutSource + ?Sized>(
                 let better = match (&best, config.objective) {
                     (None, _) => true,
                     (Some((bd, bf, _)), Objective::Delay) => {
-                        arr < bd - 1e-15 || ((arr - bd).abs() <= 1e-15 && f < *bf)
+                        // Relative epsilon, like the flow branch below:
+                        // arrivals are order 1e-11 s, so an absolute
+                        // 1e-15 tolerance would never declare a tie and
+                        // the area-flow tie-break would never fire.
+                        let eps = rel_eps(arr, *bd);
+                        arr < bd - eps || ((arr - bd).abs() <= eps && f < *bf)
                     }
                     (Some((bd, bf, _)), Objective::Area | Objective::Energy) => {
                         // Relative epsilon: flow magnitudes differ by
@@ -383,7 +537,7 @@ fn select_matches<S: CutSource + ?Sized>(
                         // summation order can perturb equal flows by an
                         // ulp — without the tolerance the arrival
                         // tie-break would never fire.
-                        let eps = 1e-12 * bf.abs().max(f.abs());
+                        let eps = rel_eps(f, *bf);
                         f < *bf - eps || ((f - bf).abs() <= eps && arr < *bd)
                     }
                 };
@@ -408,7 +562,307 @@ fn select_matches<S: CutSource + ?Sized>(
         flow[idx] = f;
         chosen[idx] = Some(c);
     }
-    Ok(chosen)
+
+    // Phase 3b: required times + area recovery (delay objective only —
+    // the other objectives already minimized their flow directly).
+    if config.objective == Objective::Delay && config.recovery_rounds > 0 {
+        let target = predicted_critical(&arrival, outputs, &costs);
+        recover_area(
+            RecoverCtx {
+                order,
+                outputs,
+                po_driver: &po_driver,
+                costs: &costs,
+                config,
+                target,
+            },
+            cuts,
+            matcher,
+            &mut chosen,
+            &mut arrival,
+            &mut flow,
+        );
+    }
+
+    let predicted = predicted_critical(&arrival, outputs, &costs);
+    Ok(Selection { chosen, predicted })
+}
+
+/// The read-only state recovery rounds share (bundled so the round loop
+/// and its helpers stay within clippy's argument budget).
+struct RecoverCtx<'a> {
+    order: &'a [u32],
+    outputs: &'a [Lit],
+    po_driver: &'a [bool],
+    costs: &'a Costs,
+    config: &'a MapConfig,
+    /// The DP's optimal critical path — the required time at every PO.
+    target: f64,
+}
+
+/// Phase 3b: iterated area recovery under required times.
+///
+/// Each round recomputes the current cover's reference counts and
+/// required times, then re-selects every node's match minimizing area
+/// flow (round 1) or exact local area (later rounds) subject to
+/// `arrival ≤ required` — the node's current match is always feasible,
+/// so the cover's predicted critical path never exceeds `target`.
+fn recover_area<S: CutSource + ?Sized>(
+    ctx: RecoverCtx<'_>,
+    cuts: &S,
+    matcher: &mut Matcher<'_>,
+    chosen: &mut [Option<Chosen>],
+    arrival: &mut [f64],
+    flow: &mut [f64],
+) {
+    let costs = ctx.costs;
+    for round in 0..ctx.config.recovery_rounds {
+        let exact = round > 0;
+        let (mut refs, mut inv_refs) = cover_refs(chosen, ctx.outputs, costs.free_neg);
+        let required = required_times(&ctx, chosen, &refs);
+        for &node in ctx.order {
+            let idx = node as usize;
+            let po = ctx.po_driver[idx];
+            let req = required[idx];
+            // Tiny relative slack: required times are derived from the
+            // same arithmetic, but subtraction re-association can cost
+            // an ulp and must not reject the currently chosen match.
+            let feasible = req + 1e-9 * req.abs();
+            let covered = refs[idx] > 0;
+            // Exact-area probing prices a candidate's cone against the
+            // cover *without* this node's current match, so sharing with
+            // the match being replaced is not double-counted.
+            if exact && covered {
+                if let Some(c) = &chosen[idx] {
+                    deref_match(c, chosen, &mut refs, &mut inv_refs, costs);
+                }
+            }
+            let mut best: Option<(f64, f64, Chosen)> = None;
+            for cut in cuts.cuts_of(node) {
+                if cut.is_trivial(node) {
+                    continue;
+                }
+                let (fs, leaves) = cut.function_over_support();
+                if leaves.is_empty() {
+                    continue;
+                }
+                for cand in matcher.matches(fs) {
+                    let pins: Vec<(u32, bool)> =
+                        cand.pins.iter().map(|&(v, inv)| (leaves[v], inv)).collect();
+                    let m = Chosen {
+                        gate: cand.gate,
+                        pins,
+                        output_inverted: cand.output_inverted,
+                    };
+                    let arr = eval_match(&m, arrival, po, costs);
+                    if arr > feasible {
+                        continue;
+                    }
+                    let cost = if exact {
+                        let a = ref_match(&m, chosen, &mut refs, &mut inv_refs, costs);
+                        deref_match(&m, chosen, &mut refs, &mut inv_refs, costs);
+                        a
+                    } else {
+                        let mut f = costs.match_unit(m.gate, m.output_inverted);
+                        for &(leaf, inv) in &m.pins {
+                            let share = refs[leaf as usize].max(1) as f64;
+                            f += flow[leaf as usize] / share;
+                            if inv && !costs.free_neg {
+                                f += costs.inv_unit / share;
+                            }
+                        }
+                        f
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some((bc, ba, _)) => {
+                            let eps = rel_eps(cost, *bc);
+                            cost < bc - eps || ((cost - bc).abs() <= eps && arr < *ba)
+                        }
+                    };
+                    if better {
+                        best = Some((cost, arr, m));
+                    }
+                }
+            }
+            match best {
+                Some((cost, arr, m)) => {
+                    if exact && covered {
+                        ref_match(&m, chosen, &mut refs, &mut inv_refs, costs);
+                    }
+                    arrival[idx] = arr;
+                    if !exact {
+                        flow[idx] = cost;
+                    }
+                    chosen[idx] = Some(m);
+                }
+                None => {
+                    // Every candidate infeasible (float corner): keep the
+                    // current match, refresh its arrival, restore refs.
+                    if let Some(c) = chosen[idx].clone() {
+                        if exact && covered {
+                            ref_match(&c, chosen, &mut refs, &mut inv_refs, costs);
+                        }
+                        arrival[idx] = eval_match(&c, arrival, po, costs);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference counts of the current cover: `refs[n]` consumers (covered
+/// matches plus PO taps) reading node `n`, `inv_refs[n]` of them through
+/// the shared inverter (families without free negation only). The
+/// exact-area walks keep both incrementally up to date.
+fn cover_refs(chosen: &[Option<Chosen>], outputs: &[Lit], free_neg: bool) -> (Vec<u32>, Vec<u32>) {
+    let n = chosen.len();
+    let mut refs = vec![0u32; n];
+    let mut inv_refs = vec![0u32; n];
+    let mut seen = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for lit in outputs {
+        refs[lit.node() as usize] += 1;
+        if lit.is_complement() && !free_neg {
+            inv_refs[lit.node() as usize] += 1;
+        }
+        stack.push(lit.node());
+    }
+    while let Some(node) = stack.pop() {
+        let idx = node as usize;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        if let Some(c) = &chosen[idx] {
+            for &(leaf, inv) in &c.pins {
+                refs[leaf as usize] += 1;
+                if inv && !free_neg {
+                    inv_refs[leaf as usize] += 1;
+                }
+                stack.push(leaf);
+            }
+        }
+    }
+    (refs, inv_refs)
+}
+
+/// Backward required-time propagation over the current cover: every PO
+/// is required at `target` (the DP's optimal critical path), and each
+/// covered match propagates `required − match delay − pin inverter` to
+/// its leaves. Uncovered nodes keep `+∞` — they constrain nothing until
+/// a later re-selection pulls them in, at which point the consumer's own
+/// feasibility check prices their true arrival.
+fn required_times(ctx: &RecoverCtx<'_>, chosen: &[Option<Chosen>], refs: &[u32]) -> Vec<f64> {
+    let costs = ctx.costs;
+    let mut required = vec![f64::INFINITY; chosen.len()];
+    for lit in ctx.outputs {
+        let idx = lit.node() as usize;
+        let r = ctx.target - costs.po_tap_extra(lit.is_complement());
+        if r < required[idx] {
+            required[idx] = r;
+        }
+    }
+    for &node in ctx.order.iter().rev() {
+        let idx = node as usize;
+        if refs[idx] == 0 || !required[idx].is_finite() {
+            continue;
+        }
+        let Some(c) = &chosen[idx] else { continue };
+        let d = costs.match_delay(ctx.po_driver[idx], c.gate, c.output_inverted);
+        for &(leaf, inv) in &c.pins {
+            let r = required[idx] - d - costs.pin_delay(inv);
+            let l = leaf as usize;
+            if r < required[l] {
+                required[l] = r;
+            }
+        }
+    }
+    required
+}
+
+/// Pulls a match into the cover: increments its pin references
+/// (recursively re-covering leaves whose count rises from zero) and
+/// returns the exact area added — cells, dedicated output inverters, and
+/// shared input inverters newly materialized. Iterative so megagate-deep
+/// covers cannot overflow the stack.
+fn ref_match(
+    m: &Chosen,
+    chosen: &[Option<Chosen>],
+    refs: &mut [u32],
+    inv_refs: &mut [u32],
+    costs: &Costs,
+) -> f64 {
+    let mut area = costs.cell_area[m.gate]
+        + if m.output_inverted {
+            costs.inv_area
+        } else {
+            0.0
+        };
+    let mut stack: Vec<(u32, bool)> = m.pins.clone();
+    while let Some((leaf, inv)) = stack.pop() {
+        let l = leaf as usize;
+        if inv && !costs.free_neg {
+            inv_refs[l] += 1;
+            if inv_refs[l] == 1 {
+                area += costs.inv_area;
+            }
+        }
+        refs[l] += 1;
+        if refs[l] == 1 {
+            if let Some(c) = &chosen[l] {
+                area += costs.cell_area[c.gate]
+                    + if c.output_inverted {
+                        costs.inv_area
+                    } else {
+                        0.0
+                    };
+                stack.extend_from_slice(&c.pins);
+            }
+        }
+    }
+    area
+}
+
+/// Removes a match from the cover — the exact mirror of [`ref_match`]:
+/// decrements pin references (recursively un-covering leaves whose count
+/// drops to zero) and returns the area freed.
+fn deref_match(
+    m: &Chosen,
+    chosen: &[Option<Chosen>],
+    refs: &mut [u32],
+    inv_refs: &mut [u32],
+    costs: &Costs,
+) -> f64 {
+    let mut area = costs.cell_area[m.gate]
+        + if m.output_inverted {
+            costs.inv_area
+        } else {
+            0.0
+        };
+    let mut stack: Vec<(u32, bool)> = m.pins.clone();
+    while let Some((leaf, inv)) = stack.pop() {
+        let l = leaf as usize;
+        if inv && !costs.free_neg {
+            inv_refs[l] -= 1;
+            if inv_refs[l] == 0 {
+                area += costs.inv_area;
+            }
+        }
+        refs[l] -= 1;
+        if refs[l] == 0 {
+            if let Some(c) = &chosen[l] {
+                area += costs.cell_area[c.gate]
+                    + if c.output_inverted {
+                        costs.inv_area
+                    } else {
+                        0.0
+                    };
+                stack.extend_from_slice(&c.pins);
+            }
+        }
+    }
+    area
 }
 
 /// Phase 4: walks the chosen matches from the primary outputs and lists
@@ -600,7 +1054,7 @@ mod tests {
         let aig = small_alu_aig();
         for family in GateFamily::ALL {
             let lib = characterize_library(family);
-            let mut gates = Vec::new();
+            let mut areas = Vec::new();
             for objective in Objective::ALL {
                 let mapped = map_aig(&aig, &lib, &MapConfig::for_objective(objective))
                     .expect("mapping succeeds");
@@ -608,14 +1062,29 @@ mod tests {
                     verify_mapping(&aig, &mapped, &lib).is_ok(),
                     "{family}/{objective}: mapped netlist differs from AIG"
                 );
-                gates.push(mapped.gate_count());
+                areas.push(mapped.area(&lib));
             }
-            // Area mapping must not use more cells than delay mapping.
+            // Area mapping must not occupy more silicon than pure
+            // depth-greedy delay mapping (the metric it actually
+            // minimizes; gate counts can legitimately order either way
+            // since cells differ in size). Compare against the
+            // un-recovered mapper: with recovery enabled the delay
+            // objective's exact-local-area rounds can beat single-pass
+            // area flow outright.
+            let greedy_delay = map_aig(
+                &aig,
+                &lib,
+                &MapConfig {
+                    recovery_rounds: 0,
+                    ..MapConfig::default()
+                },
+            )
+            .expect("mapping succeeds")
+            .area(&lib);
             assert!(
-                gates[1] <= gates[0],
-                "{family}: area {} vs delay {}",
-                gates[1],
-                gates[0]
+                areas[1] <= greedy_delay * (1.0 + 1e-9),
+                "{family}: area-objective {} m² vs greedy delay {greedy_delay} m²",
+                areas[1]
             );
         }
     }

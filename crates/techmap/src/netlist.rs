@@ -56,6 +56,10 @@ pub struct MappedNetlist {
     /// output. The mask is `u64::MAX` for inverted taps so a word read is
     /// one branch-free `values[net] ^ mask`.
     output_index: Vec<(usize, u64)>,
+    /// The mapper's own critical-path estimate in seconds (the selection
+    /// DP's arrival bookkeeping for the emitted cover); `None` for
+    /// hand-built netlists.
+    predicted_delay_s: Option<f64>,
 }
 
 impl MappedNetlist {
@@ -85,12 +89,28 @@ impl MappedNetlist {
             instances,
             outputs,
             output_index,
+            predicted_delay_s: None,
         }
     }
 
     /// The primary outputs, in declaration order.
     pub fn outputs(&self) -> &[NetRef] {
         &self.outputs
+    }
+
+    /// The mapper's own critical-path estimate in seconds — the arrival
+    /// the selection DP predicted for this cover under its
+    /// [`LoadModel`](crate::LoadModel) and output-load estimates. `None`
+    /// for netlists not produced by the mapper. Compare against
+    /// [`critical_path`](crate::sta::critical_path) to gauge how closely
+    /// the mapping-time timing model tracks the exact per-net loads.
+    pub fn predicted_delay_s(&self) -> Option<f64> {
+        self.predicted_delay_s
+    }
+
+    /// Records the mapper's critical-path estimate (mapper-internal).
+    pub(crate) fn set_predicted_delay_s(&mut self, seconds: f64) {
+        self.predicted_delay_s = Some(seconds);
     }
 
     /// Total number of nets (PIs + instance outputs).

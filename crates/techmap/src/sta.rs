@@ -17,15 +17,41 @@ pub struct StaReport {
 
 /// Computes arrival times: primary inputs arrive at t = 0, every instance
 /// adds its load-dependent cell delay `0.69·R·(C_out + C_load)`.
+///
+/// Primary-output nets carry the library's default output load
+/// ([`crate::config::default_output_load`], one inverter input
+/// capacitance) in addition to any internal consumers — PO nets have no
+/// consumer pins inside the netlist, and timing a driver into zero
+/// farads would systematically underestimate the critical path. Use
+/// [`critical_path_with_load`] for an explicit per-output load (e.g. the
+/// one a non-default [`crate::MapConfig::output_load`] mapped under).
 pub fn critical_path(netlist: &MappedNetlist, library: &CharacterizedLibrary) -> StaReport {
+    critical_path_with_load(
+        netlist,
+        library,
+        crate::config::default_output_load(library),
+    )
+}
+
+/// [`critical_path`] with an explicit primary-output load in farads,
+/// charged once per output tap on the driving net.
+pub fn critical_path_with_load(
+    netlist: &MappedNetlist,
+    library: &CharacterizedLibrary,
+    output_load: f64,
+) -> StaReport {
     let n = netlist.net_count();
-    // Net loads: sum of consumer pin capacitances.
+    // Net loads: sum of consumer pin capacitances, plus the configured
+    // load per primary-output tap.
     let mut net_load = vec![0.0f64; n];
     for inst in &netlist.instances {
         let cell = &library.gates[inst.gate];
         for (pin, r) in inst.inputs.iter().enumerate() {
             net_load[r.net] += cell.input_caps[pin];
         }
+    }
+    for r in netlist.outputs() {
+        net_load[r.net] += output_load;
     }
     // Arrival propagation (instances are topologically ordered).
     let mut net_arrival = vec![0.0f64; n];

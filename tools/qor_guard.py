@@ -5,14 +5,29 @@ Usage: qor_guard.py COMMITTED.json REGENERATED.json
 
 Compares the regenerated `table1 --json` artifact against the committed
 baseline and exits non-zero when any circuit regresses in synthesis
-quality (`and_count`) or mapped size (`gates`, any family). Also checks
-the choice-mapping invariant: wherever a result records
-`gates_no_choice`, the kept mapping must use no more gates than the
-no-choice mapping would have.
+quality (`and_count`), mapped size (`gates`, any family), or mapped
+delay (`delay_s` beyond a 0.5% float-noise floor, any family).
+
+Also checks the portfolio invariants recorded in the artifact itself,
+keyed to the objective it was generated under: wherever a result records
+`delay_s_no_choice` under the delay objective, the kept mapping must be
+no slower than the no-choice mapping; under other objectives the
+`gates_no_choice` bound applies instead (the delay portfolio arbitrates
+on STA critical path, so gate counts may go either way there — the delay
+guard above still bounds total size drift against the baseline).
 """
 
 import json
 import sys
+
+# Relative headroom for delay comparisons: STA sums per-net delays, so
+# noise at this level is summation-order jitter, not a regression.
+DELAY_TOL = 0.005
+
+# Under the delay objective gate counts are a tie-break, not the
+# arbitration metric; allow this much per-circuit size drift before
+# calling it a regression.
+GATES_TOL_DELAY = 0.02
 
 
 def main() -> int:
@@ -24,6 +39,7 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         regenerated = json.load(f)
 
+    objective = regenerated.get("objective", "delay")
     base = {c["name"]: c for c in committed["circuits"]}
     families = regenerated.get("families", [])
     failures = []
@@ -31,7 +47,7 @@ def main() -> int:
     for name in base:
         if name not in regenerated_names:
             failures.append(f"{name}: missing from the regenerated artifact (coverage lost)")
-    print(f"{'circuit':<8} {'ands':>12} " + " ".join(f"{fam:>28}" for fam in families))
+    print(f"{'circuit':<8} {'ands':>12} " + " ".join(f"{fam:>42}" for fam in families))
     for circuit in regenerated["circuits"]:
         name = circuit["name"]
         if name not in base:
@@ -49,22 +65,44 @@ def main() -> int:
         cells = [f"{ands:>5} (ref {ref_ands:>5})"]
         for fam, res, ref_res in zip(families, circuit["results"], ref["results"]):
             gates, ref_gates = res["gates"], ref_res["gates"]
-            if gates > ref_gates:
+            gates_cap = (
+                ref_gates * (1 + GATES_TOL_DELAY) if objective == "delay" else ref_gates
+            )
+            if gates > gates_cap:
                 failures.append(f"{name}/{fam}: gates regressed {ref_gates} -> {gates}")
-            plain = res.get("gates_no_choice")
-            if plain is not None and gates > plain:
+            delay, ref_delay = res["delay_s"], ref_res["delay_s"]
+            if delay > ref_delay * (1 + DELAY_TOL):
                 failures.append(
-                    f"{name}/{fam}: choice mapping kept a worse cover ({gates} > {plain})"
+                    f"{name}/{fam}: delay_s regressed {ref_delay:.4e} -> {delay:.4e} "
+                    f"({delay / ref_delay - 1:+.2%})"
                 )
-            cells.append(f"{gates:>6} (ref {ref_gates:>6}, Δ{gates - ref_gates:+d})")
-        print(f"{name:<8} {cells[0]:>12} " + " ".join(f"{c:>28}" for c in cells[1:]))
+            plain_gates = res.get("gates_no_choice")
+            plain_delay = res.get("delay_s_no_choice")
+            if objective == "delay":
+                if plain_delay is not None and delay > plain_delay * (1 + 1e-9):
+                    failures.append(
+                        f"{name}/{fam}: choice mapping kept a slower cover "
+                        f"({delay:.4e} > {plain_delay:.4e})"
+                    )
+            elif plain_gates is not None and gates > plain_gates:
+                failures.append(
+                    f"{name}/{fam}: choice mapping kept a worse cover ({gates} > {plain_gates})"
+                )
+            cells.append(
+                f"{gates:>6} (ref {ref_gates:>6}, Δ{gates - ref_gates:+d}) "
+                f"d{delay / ref_delay - 1:+.2%}"
+            )
+        print(f"{name:<8} {cells[0]:>12} " + " ".join(f"{c:>42}" for c in cells[1:]))
 
     if failures:
         print("\nQoR regressions detected:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nno QoR regressions: every circuit's and_count and gates are <= the baseline")
+    print(
+        "\nno QoR regressions: every circuit's and_count, gates and delay_s "
+        "are within tolerance of the baseline"
+    )
     return 0
 
 
