@@ -99,28 +99,34 @@ pub fn adder_xor_tree(target_ands: usize) -> Aig {
     aig
 }
 
-/// A seeded random 2-regular AIG with `target_ands` AND nodes over 64
-/// primary inputs: every new node conjoins two randomly complemented
-/// fanins drawn from a sliding window of recent nodes (keeping the graph
-/// deep rather than flat), and every node left dangling at the end
-/// becomes a primary output so cleanup preserves the full size. Each
-/// output is the dangling root XORed with a dedicated guard input the
-/// random logic never touches, so every output semantically depends on
-/// the guard and no sound optimization can reduce one to a constant
-/// (which the mapper would reject for lack of tie cells). The
-/// construction goes through [`Aig::and`], so the result is strashed and
-/// constant-folded like every engine-built network.
+/// A seeded random 2-regular AIG with `target_ands` AND nodes: every new
+/// node conjoins two randomly complemented fanins drawn from a sliding
+/// window of recent nodes (keeping the graph deep rather than flat), and
+/// every node left dangling at the end becomes a primary output so
+/// cleanup preserves the full size. Each output is the dangling root
+/// XORed with a dedicated guard input the random logic never touches, so
+/// every output semantically depends on the guard and no sound
+/// optimization can reduce one to a constant (which the mapper would
+/// reject for lack of tie cells). The construction goes through
+/// [`Aig::and`], so the result is strashed and constant-folded like every
+/// engine-built network.
+///
+/// The primary-input count (and with it the fanin window) grows with the
+/// target: a fixed support caps the network's semantic content, so past
+/// a point every larger target synthesized to the *same* irredundant
+/// network and the workload stopped scaling. With `64 + target/128`
+/// inputs the post-synthesis size keeps growing with N.
 pub fn random_kregular(target_ands: usize, seed: u64) -> Aig {
-    const INPUTS: usize = 64;
-    const WINDOW: usize = 256;
+    let inputs = 64 + target_ands / 128;
+    let window = inputs.max(256);
     let mut rng = XorShift64::new(seed);
     let mut aig = Aig::new();
-    let pool: Vec<Lit> = (0..INPUTS).map(|_| aig.input()).collect();
+    let pool: Vec<Lit> = (0..inputs).map(|_| aig.input()).collect();
     let guard = aig.input();
     let mut recent: Vec<Lit> = pool.clone();
     while aig.and_count() < target_ands {
         let pick = |rng: &mut XorShift64, recent: &[Lit]| {
-            let span = recent.len().min(WINDOW);
+            let span = recent.len().min(window);
             let base = recent[recent.len() - span + (rng.next() as usize % span)];
             if rng.next() & 1 == 1 {
                 base.not()
@@ -144,7 +150,7 @@ pub fn random_kregular(target_ands: usize, seed: u64) -> Aig {
         .fanout_counts()
         .iter()
         .enumerate()
-        .skip(1 + INPUTS + 1)
+        .skip(1 + inputs + 1)
         .filter(|&(_, &r)| r == 0)
         .map(|(i, _)| i as u32)
         .collect();
@@ -202,6 +208,16 @@ mod tests {
         assert!(a.and_count() >= 10_000);
         let c = random_kregular(10_000, 8);
         assert!(!c.same_structure(&a), "different seed, different graph");
+    }
+
+    #[test]
+    fn random_aig_support_grows_with_target() {
+        // A fixed support caps semantic content (the 50k and 100k
+        // workloads used to synthesize to the identical network); the
+        // input pool must widen as the target grows.
+        let small = random_kregular(10_000, 7);
+        let big = random_kregular(100_000, 7);
+        assert!(big.input_nodes().len() > small.input_nodes().len());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   one gate family;
 //! * [`experiments`] — the paper's artifacts: [Table 1](experiments::table1)
 //!   (12 benchmarks × 3 families), the gate-level library comparison of §4,
-//!   the I_off pattern census of §3.2, and the Fig. 4 stack-effect study.
+//!   the I_off pattern census of §3.2, and the Fig. 4 stack-effect study;
+//! * [`json`] — the hand-rolled JSON scalar helpers every artifact
+//!   emitter (bench binaries, the `synthd` server) shares.
 //!
 //! # Example
 //!
@@ -24,10 +26,14 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod json;
 pub mod pipeline;
 
 pub use engine::{library, run_table1, run_table1_serial, run_table1_subset};
 pub use experiments::{
     fig4_study, gate_library_comparison, pattern_census, table1, Table1, Table1Config,
 };
-pub use pipeline::{evaluate_circuit, evaluate_circuit_serial, CircuitResult, PipelineConfig};
+pub use pipeline::{
+    evaluate_circuit, evaluate_circuit_serial, run_job, CircuitResult, JobError, MappedJob,
+    PipelineConfig,
+};

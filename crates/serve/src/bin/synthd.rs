@@ -1,0 +1,85 @@
+//! The `synthd` daemon: bind, warm the process-wide caches, serve
+//! until a shutdown frame arrives.
+//!
+//! ```text
+//! synthd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--no-warm]
+//! ```
+//!
+//! By default the three per-family characterized libraries and NPN
+//! match caches are built *before* the ready line is printed, so the
+//! first request ever served already runs warm (`--no-warm` skips
+//! this, moving the build cost into the first requests). The ready
+//! line — `synthd listening on ADDR` — goes to stdout and is the
+//! machine-readable signal harnesses wait for.
+
+use gate_lib::GateFamily;
+use serve::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:9470".into(),
+        ..ServerConfig::default()
+    };
+    let mut warm = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse(&value("--queue"), "--queue"),
+            "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
+            "--no-warm" => warm = false,
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!(
+                    "usage: synthd [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--no-warm]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.workers == 0 || config.queue_depth == 0 {
+        eprintln!("--workers and --queue must be at least 1");
+        std::process::exit(2);
+    }
+    if warm {
+        eprintln!("synthd: warming per-family caches...");
+        for family in GateFamily::ALL {
+            let library = ambipolar::engine::library(family);
+            let _ = ambipolar::engine::match_cache(family);
+            eprintln!(
+                "synthd: {} ready ({} gates)",
+                family.label(),
+                library.gates.len()
+            );
+        }
+    }
+    let server = match Server::start(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("synthd: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("synthd listening on {}", server.addr());
+    eprintln!(
+        "synthd: {} workers, queue depth {}, cache capacity {}",
+        config.workers, config.queue_depth, config.cache_capacity
+    );
+    server.wait();
+    eprintln!("synthd: shutdown complete");
+}
+
+fn parse(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|e| {
+        eprintln!("{flag} {value}: {e}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,91 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message — request or response — travels as one *frame*: a
+//! little-endian `u32` byte count followed by exactly that many payload
+//! bytes. Framing is the only thing this module knows; what the bytes
+//! mean is [`crate::protocol`]'s business. The format is trivially
+//! incremental (a reader always knows how much to expect next) and
+//! self-synchronizing per connection: one request frame in, one
+//! response frame out, in order.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload. The largest legitimate
+/// payload is a binary AIGER of a scale-harness circuit (a few MiB at
+/// 100 k ANDs) or the Verilog of its mapped cover; 256 MiB leaves two
+/// orders of magnitude of headroom while refusing absurd lengths from a
+/// corrupt or hostile peer before any allocation happens.
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Writes one frame: length prefix, payload, flush.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`] with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning its payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including a clean EOF before the length
+/// prefix, surfaced as [`io::ErrorKind::UnexpectedEof`]); rejects
+/// lengths over [`MAX_FRAME`] with [`io::ErrorKind::InvalidData`]
+/// before allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xFF; 1000]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![0xFF; 1000]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

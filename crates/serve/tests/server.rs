@@ -1,0 +1,320 @@
+//! End-to-end `synthd` behavior over real sockets: determinism of
+//! concurrent resubmission (bit-identical netlists and QoR documents,
+//! equal to the in-process pipeline path), warm-cache amortization
+//! (per-family libraries built at most once per process, content-hash
+//! hits on resubmission), typed backpressure, per-request timeout, and
+//! error surfaces.
+
+use ambipolar::engine;
+use ambipolar::pipeline::{mapper_cut_db, run_job, PipelineConfig};
+use gate_lib::GateFamily;
+use serve::{Client, JobSpec, Response, Server, ServerConfig};
+use techmap::{MapConfig, Objective, Verify};
+
+fn catalog_aiger(name: &str) -> Vec<u8> {
+    let b = bench_circuits::benchmark_by_name(name).expect("catalog circuit");
+    aig::to_aiger_binary(&b.aig)
+}
+
+fn spec(name: &str, family: GateFamily, patterns: u64, verify: Verify) -> JobSpec {
+    JobSpec {
+        family,
+        objective: Objective::Delay,
+        cut_k: 6,
+        max_cuts: 0,
+        verify,
+        choices: false,
+        patterns,
+        seed: 0xDA7E_2010,
+        timeout_ms: 0,
+        flow: aig::DEFAULT_FLOW.to_owned(),
+        name: name.to_owned(),
+        aiger: catalog_aiger(name),
+    }
+}
+
+fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+        cache_capacity: 8,
+    })
+    .expect("bind localhost")
+}
+
+/// The satellite's core claim: one circuit submitted many ways
+/// concurrently produces byte-identical responses, equal to what the
+/// in-process pipeline computes, while every per-family cache builds at
+/// most once for the whole process.
+#[test]
+fn concurrent_resubmission_is_deterministic_and_warm() {
+    let server = start(4, 32);
+    let addr = server.addr();
+    let patterns = 1024;
+
+    // Populate the content cache with one synchronous submission per
+    // family, so the concurrent wave below is guaranteed warm.
+    let mut first: Vec<(GateFamily, String, String)> = Vec::new();
+    let mut client = Client::connect(addr).expect("connect");
+    for family in GateFamily::ALL {
+        match client
+            .submit(&spec("C1355", family, patterns, Verify::Sat))
+            .expect("submit")
+        {
+            Response::Ok {
+                netlist_verilog,
+                qor_json,
+                ..
+            } => first.push((family, netlist_verilog, qor_json)),
+            other => panic!("{family}: expected Ok, got {other:?}"),
+        }
+    }
+
+    // 3 families × 3 concurrent clients each, all resubmitting the
+    // same circuit.
+    let responses: Vec<(GateFamily, String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = GateFamily::ALL
+            .into_iter()
+            .flat_map(|family| (0..3).map(move |_| family))
+            .map(|family| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    match client
+                        .submit(&spec("C1355", family, patterns, Verify::Sat))
+                        .expect("submit")
+                    {
+                        Response::Ok {
+                            netlist_verilog,
+                            qor_json,
+                            telemetry_json,
+                        } => {
+                            assert!(
+                                telemetry_json.contains("\"cache_hit\": true"),
+                                "{family}: resubmission must hit the warm cache: {telemetry_json}"
+                            );
+                            (family, netlist_verilog, qor_json)
+                        }
+                        other => panic!("{family}: expected Ok, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    // Byte-identity per family, against the first (cold) response.
+    for (family, netlist, qor) in &responses {
+        let (_, first_netlist, first_qor) = first
+            .iter()
+            .find(|(f, _, _)| f == family)
+            .expect("first response for family");
+        assert_eq!(netlist, first_netlist, "{family}: netlist diverged");
+        assert_eq!(qor, first_qor, "{family}: QoR document diverged");
+    }
+
+    // Equality with the in-process pipeline path: same knobs, same
+    // deterministic engine, no server in the loop.
+    let input = bench_circuits::benchmark_by_name("C1355")
+        .expect("C1355")
+        .aig;
+    let pipeline = PipelineConfig {
+        patterns: patterns as usize,
+        seed: 0xDA7E_2010,
+        verify: Verify::Sat,
+        map: MapConfig::default(),
+        ..PipelineConfig::default()
+    };
+    let flow = engine::parse_flow(&pipeline).expect("default flow parses");
+    let (synthesized, choices) = engine::synthesize_with_choices(&flow, &input, &pipeline);
+    for family in GateFamily::ALL {
+        let library = engine::library(family);
+        let mut db = mapper_cut_db(&pipeline.map);
+        let job = run_job(
+            &synthesized,
+            choices.as_ref(),
+            library,
+            &pipeline,
+            &mut db,
+            None,
+        )
+        .expect("in-process job");
+        let expected_qor = serve::job_qor_json(
+            &spec("C1355", family, patterns, Verify::Sat),
+            synthesized.and_count(),
+            &job,
+        );
+        let expected_netlist = techmap::to_structural_verilog(&job.netlist, library, "C1355");
+        let (_, netlist, qor) = first
+            .iter()
+            .find(|(f, _, _)| *f == family)
+            .expect("family response");
+        assert_eq!(qor, &expected_qor, "{family}: server QoR != in-process QoR");
+        assert_eq!(
+            netlist, &expected_netlist,
+            "{family}: server netlist != in-process netlist"
+        );
+    }
+
+    // Warm-cache accounting. Build counters are process-wide: even
+    // with every test in this binary running, each family's library /
+    // match cache characterizes at most once, the rewrite library at
+    // most once.
+    let stats = client.stats().expect("stats");
+    assert!(
+        engine::characterization_count() <= GateFamily::ALL.len(),
+        "libraries must characterize once per family: {stats}"
+    );
+    assert!(
+        engine::match_cache_build_count() <= GateFamily::ALL.len(),
+        "match caches must build once per family: {stats}"
+    );
+    assert!(
+        engine::rewrite_library_build_count() <= 1,
+        "the rewrite library must build once: {stats}"
+    );
+    let hits: u64 = json_u64(&stats, "cache_hits");
+    assert!(hits >= 9, "9 warm resubmissions must all hit: {stats}");
+    assert_eq!(json_u64(&stats, "jobs_ok"), 12, "{stats}");
+    assert_eq!(json_u64(&stats, "jobs_error"), 0, "{stats}");
+    server.shutdown();
+}
+
+/// Admission control: a full queue answers `Busy` immediately instead
+/// of queueing unboundedly.
+#[test]
+fn full_queue_reports_busy() {
+    let server = start(1, 1);
+    let addr = server.addr();
+    // Slow enough that 6 simultaneous arrivals cannot drain: C6288 is
+    // the catalog's largest circuit.
+    let results: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .submit(&spec("C6288", GateFamily::Cmos, 1 << 14, Verify::Off))
+                        .expect("submit")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let ok = results
+        .iter()
+        .filter(|r| matches!(r, Response::Ok { .. }))
+        .count();
+    let busy = results
+        .iter()
+        .filter(|r| matches!(r, Response::Busy))
+        .count();
+    assert_eq!(ok + busy, 6, "only Ok or Busy expected: {results:?}");
+    assert!(ok >= 1, "at least the running job completes");
+    assert!(
+        busy >= 1,
+        "with 1 worker + depth-1 queue, 6 simultaneous jobs must trip admission control"
+    );
+    server.shutdown();
+}
+
+/// Per-request deadlines: a 1 ms budget on a real circuit lapses at a
+/// stage boundary and reports `Timeout`, not a hang and not `Ok`.
+#[test]
+fn lapsed_deadline_reports_timeout() {
+    let server = start(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut job = spec("C6288", GateFamily::Cmos, 1 << 12, Verify::Off);
+    job.timeout_ms = 1;
+    match client.submit(&job).expect("submit") {
+        Response::Timeout => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Malformed inputs come back as typed errors, not dropped connections
+/// or worker crashes — and the server keeps serving afterwards.
+#[test]
+fn bad_inputs_are_typed_errors() {
+    let server = start(2, 8);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut bad_aiger = spec("t481", GateFamily::Cmos, 256, Verify::Off);
+    bad_aiger.aiger = b"not an aiger file".to_vec();
+    assert!(
+        matches!(client.submit(&bad_aiger).expect("submit"), Response::Error { msg } if msg.contains("AIGER")),
+        "garbage AIGER must be a typed error"
+    );
+
+    let mut bad_k = spec("t481", GateFamily::Cmos, 256, Verify::Off);
+    bad_k.cut_k = 9;
+    assert!(
+        matches!(client.submit(&bad_k).expect("submit"), Response::Error { msg } if msg.contains("cut_k")),
+        "out-of-range cut_k must be a typed error"
+    );
+
+    let mut bad_flow = spec("t481", GateFamily::Cmos, 256, Verify::Off);
+    bad_flow.flow = "b; frobnicate".into();
+    assert!(
+        matches!(
+            client.submit(&bad_flow).expect("submit"),
+            Response::Error { .. }
+        ),
+        "a malformed flow script must be a typed error"
+    );
+
+    // The same connection still serves good jobs.
+    assert!(
+        matches!(
+            client
+                .submit(&spec("t481", GateFamily::Cmos, 256, Verify::Sim))
+                .expect("submit"),
+            Response::Ok { .. }
+        ),
+        "the server must keep serving after rejecting bad jobs"
+    );
+    server.shutdown();
+}
+
+/// Orderly shutdown over the wire: the final stats come back, and the
+/// listener stops accepting.
+#[test]
+fn wire_shutdown_stops_the_server() {
+    let server = start(1, 4);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.shutdown().expect("shutdown handshake");
+    assert!(
+        stats.contains("\"jobs_ok\""),
+        "final stats document: {stats}"
+    );
+    server.wait(); // joins — must not hang
+                   // The listener is gone; a fresh connection must fail (immediately
+                   // or on first use).
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.stats().is_err(),
+    };
+    assert!(refused, "a shut-down server must not answer");
+}
+
+/// Pulls `"key": N` out of a flat JSON document (the stats schema is
+/// hand-rolled and flat, so a parser dependency is overkill).
+fn json_u64(doc: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let start = doc.find(&pat).unwrap_or_else(|| panic!("{key} in {doc}")) + pat.len();
+    doc[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("{key}: {e}"))
+}

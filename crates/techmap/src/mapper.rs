@@ -8,7 +8,7 @@
 //! configurable ([`MapConfig`]: objective, cut shape, load model). The
 //! whole engine is panic-free — malformed inputs surface as [`MapError`].
 
-use crate::config::{MapConfig, MapError, Objective};
+use crate::config::{LoadModel, MapConfig, MapError, Objective};
 use crate::matching::{Matcher, NpnMatchCache};
 use crate::netlist::{Instance, MappedNetlist, NetRef};
 use aig::choice::ChoiceAig;
@@ -293,45 +293,77 @@ fn flow_unit(cell: &CharacterizedGate, objective: Objective) -> f64 {
     }
 }
 
+/// Fanout buckets for the DP's pin-load estimate: delay tables are
+/// precomputed per load point at 1..=`FANOUT_BUCKETS` consumer pins, and
+/// a node's estimated fanout indexes the table. The clamp must clear the
+/// catalog's worst control nets — C7552's fan out close to a hundred,
+/// and clamping at 32 left its predicted/STA ratio near 0.5 — so the
+/// table runs to 128 pins (the tables are built once per mapping run;
+/// 128 load points per gate is noise next to cut enumeration).
+const FANOUT_BUCKETS: usize = 128;
+
+/// Table index for a node's fanout estimate.
+fn fanout_bucket(fanout: u32) -> usize {
+    (fanout.clamp(1, FANOUT_BUCKETS as u32) - 1) as usize
+}
+
 /// Precomputed per-run cost tables shared by the arrival DP, the
 /// required-time pass, and the recovery rounds. Per-gate delays exist at
-/// two load points: the uniform [`LoadModel`](crate::LoadModel) estimate
-/// for internal nets, and that estimate plus the configured output load
-/// for nets driving primary outputs — so the DP never prices a PO driver
-/// into zero extra farads and agrees with static timing on where load
-/// lives.
+/// `FANOUT_BUCKETS` load points per net kind: for internal nets the
+/// [`LoadModel`](crate::LoadModel) per-pin capacitance times the
+/// estimated consumer count, and for nets driving primary outputs the
+/// same minus the PO tap pin plus the configured output load — so the DP
+/// never prices a PO driver into zero extra farads, charges high-fanout
+/// nets the pins they actually drive, and agrees with static timing on
+/// where load lives. [`LoadModel::Fixed`] opts out of fanout awareness:
+/// every bucket carries the caller's explicit estimate.
 struct Costs {
     free_neg: bool,
-    /// Per-gate delay under the uniform load estimate.
-    cell_delay: Vec<f64>,
-    /// Per-gate delay under the load estimate plus the PO load.
-    cell_delay_po: Vec<f64>,
+    /// Per-gate delay at 1..=`FANOUT_BUCKETS` estimated consumer pins.
+    cell_delay: Vec<[f64; FANOUT_BUCKETS]>,
+    /// Per-gate delay with one consumer replaced by the PO load.
+    cell_delay_po: Vec<[f64; FANOUT_BUCKETS]>,
     /// Per-gate flow metric (area or per-cycle energy).
     cell_unit: Vec<f64>,
     /// Per-gate area (exact-area recovery always prices in m²).
     cell_area: Vec<f64>,
-    inv_delay: f64,
-    inv_delay_po: f64,
+    /// Library index of the inverter cell (delays via the bucket tables).
+    inverter: usize,
     inv_unit: f64,
     inv_area: f64,
 }
 
 impl Costs {
     fn new(library: &CharacterizedLibrary, inverter: usize, config: &MapConfig) -> Self {
-        let load_est = config.load.estimate(library);
-        let po_load = Capacitance::new(load_est.value() + config.output_load_farads(library));
+        let est = config.load.estimate(library).value();
+        let output_load = config.output_load_farads(library);
+        // Internal-net load at `pins` estimated consumers.
+        let internal = |pins: usize| -> f64 {
+            match config.load {
+                LoadModel::AveragePins(p) if p > 0.0 => est / p * pins as f64,
+                LoadModel::AveragePins(_) => 0.0,
+                LoadModel::Fixed(_) => est,
+            }
+        };
+        // PO-net load: the tap pin becomes the configured output load.
+        let po = |pins: usize| -> f64 {
+            match config.load {
+                LoadModel::AveragePins(_) => internal(pins - 1) + output_load,
+                LoadModel::Fixed(_) => est + output_load,
+            }
+        };
         // Per-gate costs are fixed for the whole run; compute them once
         // instead of per candidate in the inner loop (the Energy flow
         // unit in particular walks the full power model).
-        let cell_delay: Vec<f64> = library
+        let cell_delay: Vec<[f64; FANOUT_BUCKETS]> = library
             .gates
             .iter()
-            .map(|g| g.delay(load_est).value())
+            .map(|g| std::array::from_fn(|b| g.delay(Capacitance::new(internal(b + 1))).value()))
             .collect();
-        let cell_delay_po: Vec<f64> = library
+        let cell_delay_po: Vec<[f64; FANOUT_BUCKETS]> = library
             .gates
             .iter()
-            .map(|g| g.delay(po_load).value())
+            .map(|g| std::array::from_fn(|b| g.delay(Capacitance::new(po(b + 1))).value()))
             .collect();
         let cell_unit: Vec<f64> = library
             .gates
@@ -341,8 +373,7 @@ impl Costs {
         let cell_area: Vec<f64> = library.gates.iter().map(|g| g.area).collect();
         Self {
             free_neg: library.family.free_input_negation(),
-            inv_delay: cell_delay[inverter],
-            inv_delay_po: cell_delay_po[inverter],
+            inverter,
             inv_unit: cell_unit[inverter],
             inv_area: cell_area[inverter],
             cell_delay,
@@ -353,40 +384,47 @@ impl Costs {
     }
 
     /// Extra arrival a match's pin pays for a complemented leaf (an
-    /// explicit inverter unless the family negates for free).
-    fn pin_delay(&self, inverted: bool) -> f64 {
+    /// explicit inverter unless the family negates for free). The shared
+    /// inverter serves every complemented consumer of the leaf, so its
+    /// load is estimated from the leaf's fanout bucket `leaf_fb` — an
+    /// upper estimate (not all consumers read the complemented phase),
+    /// but far closer to static timing on inverter-heavy critical paths
+    /// than the old uniform two-pin charge.
+    fn pin_delay(&self, inverted: bool, leaf_fb: usize) -> f64 {
         if inverted && !self.free_neg {
-            self.inv_delay
+            self.cell_delay[self.inverter][leaf_fb]
         } else {
             0.0
         }
     }
 
-    /// Delay from the worst pin arrival to the node's output net: the
-    /// cell under the right load point, plus the dedicated output
-    /// inverter when the match is phase-flipped (the inverter, not the
-    /// cell, then sees the PO load).
-    fn match_delay(&self, po_driver: bool, gate: usize, output_inverted: bool) -> f64 {
+    /// Delay from the worst pin arrival to the node's output net under
+    /// the node's estimated fanout bucket `fb`: the cell at the right
+    /// load point, plus the dedicated output inverter when the match is
+    /// phase-flipped — the inverter, not the cell, then carries the
+    /// node's net (and the PO load), while the cell drives exactly the
+    /// inverter's single pin.
+    fn match_delay(&self, po_driver: bool, fb: usize, gate: usize, output_inverted: bool) -> f64 {
         if output_inverted {
-            self.cell_delay[gate]
+            self.cell_delay[gate][0]
                 + if po_driver {
-                    self.inv_delay_po
+                    self.cell_delay_po[self.inverter][fb]
                 } else {
-                    self.inv_delay
+                    self.cell_delay[self.inverter][fb]
                 }
         } else if po_driver {
-            self.cell_delay_po[gate]
+            self.cell_delay_po[gate][fb]
         } else {
-            self.cell_delay[gate]
+            self.cell_delay[gate][fb]
         }
     }
 
     /// Extra delay between a node's positive phase and a primary-output
     /// tap of it: the shared PO inverter for complemented taps in
-    /// families without free negation.
+    /// families without free negation, priced as a pure PO driver.
     fn po_tap_extra(&self, complemented: bool) -> f64 {
         if complemented && !self.free_neg {
-            self.inv_delay_po
+            self.cell_delay_po[self.inverter][0]
         } else {
             0.0
         }
@@ -424,13 +462,23 @@ fn predicted_critical(arrival: &[f64], outputs: &[Lit], costs: &Costs) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
-/// Arrival of one match given current leaf arrivals.
-fn eval_match(m: &Chosen, arrival: &[f64], po_driver: bool, costs: &Costs) -> f64 {
+/// Arrival of one match given current leaf arrivals, under the matched
+/// node's estimated fanout bucket `fb` (leaf fanouts price the shared
+/// pin inverters).
+fn eval_match(
+    m: &Chosen,
+    arrival: &[f64],
+    fanouts: &[u32],
+    po_driver: bool,
+    fb: usize,
+    costs: &Costs,
+) -> f64 {
     let mut arr_in = 0.0f64;
     for &(leaf, inv) in &m.pins {
-        arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv));
+        let leaf_fb = fanout_bucket(fanouts[leaf as usize]);
+        arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv, leaf_fb));
     }
-    arr_in + costs.match_delay(po_driver, m.gate, m.output_inverted)
+    arr_in + costs.match_delay(po_driver, fb, m.gate, m.output_inverted)
 }
 
 /// Phase 3: objective-driven selection — one match per AND node.
@@ -485,6 +533,7 @@ fn select_matches<S: CutSource + ?Sized>(
     for &node in order {
         let idx = node as usize;
         let po = po_driver[idx];
+        let fb = fanout_bucket(fanouts[idx]);
         let mut best: Option<(f64, f64, Chosen)> = None;
         for cut in cuts.cuts_of(node) {
             if cut.is_trivial(node) {
@@ -503,7 +552,8 @@ fn select_matches<S: CutSource + ?Sized>(
                 let mut arr_in = 0.0f64;
                 let mut inv_flow_cost = 0.0;
                 for &(leaf, inv) in &pins {
-                    arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv));
+                    let leaf_fb = fanout_bucket(fanouts[leaf as usize]);
+                    arr_in = arr_in.max(arrival[leaf as usize] + costs.pin_delay(inv, leaf_fb));
                     if inv && !costs.free_neg {
                         // One materialized inverter serves every consumer
                         // of the complemented leaf, so its flow cost is
@@ -512,7 +562,7 @@ fn select_matches<S: CutSource + ?Sized>(
                         inv_flow_cost += costs.inv_unit / fanouts[leaf as usize].max(1) as f64;
                     }
                 }
-                let arr = arr_in + costs.match_delay(po, cand.gate, cand.output_inverted);
+                let arr = arr_in + costs.match_delay(po, fb, cand.gate, cand.output_inverted);
                 let f = costs.match_unit(cand.gate, cand.output_inverted)
                     + inv_flow_cost
                     + pins
@@ -570,6 +620,7 @@ fn select_matches<S: CutSource + ?Sized>(
         recover_area(
             RecoverCtx {
                 order,
+                fanouts,
                 outputs,
                 po_driver: &po_driver,
                 costs: &costs,
@@ -592,6 +643,7 @@ fn select_matches<S: CutSource + ?Sized>(
 /// and its helpers stay within clippy's argument budget).
 struct RecoverCtx<'a> {
     order: &'a [u32],
+    fanouts: &'a [u32],
     outputs: &'a [Lit],
     po_driver: &'a [bool],
     costs: &'a Costs,
@@ -623,6 +675,7 @@ fn recover_area<S: CutSource + ?Sized>(
         for &node in ctx.order {
             let idx = node as usize;
             let po = ctx.po_driver[idx];
+            let fb = fanout_bucket(ctx.fanouts[idx]);
             let req = required[idx];
             // Tiny relative slack: required times are derived from the
             // same arithmetic, but subtraction re-association can cost
@@ -654,7 +707,7 @@ fn recover_area<S: CutSource + ?Sized>(
                         pins,
                         output_inverted: cand.output_inverted,
                     };
-                    let arr = eval_match(&m, arrival, po, costs);
+                    let arr = eval_match(&m, arrival, ctx.fanouts, po, fb, costs);
                     if arr > feasible {
                         continue;
                     }
@@ -703,7 +756,7 @@ fn recover_area<S: CutSource + ?Sized>(
                         if exact && covered {
                             ref_match(&c, chosen, &mut refs, &mut inv_refs, costs);
                         }
-                        arrival[idx] = eval_match(&c, arrival, po, costs);
+                        arrival[idx] = eval_match(&c, arrival, ctx.fanouts, po, fb, costs);
                     }
                 }
             }
@@ -769,9 +822,11 @@ fn required_times(ctx: &RecoverCtx<'_>, chosen: &[Option<Chosen>], refs: &[u32])
             continue;
         }
         let Some(c) = &chosen[idx] else { continue };
-        let d = costs.match_delay(ctx.po_driver[idx], c.gate, c.output_inverted);
+        let fb = fanout_bucket(ctx.fanouts[idx]);
+        let d = costs.match_delay(ctx.po_driver[idx], fb, c.gate, c.output_inverted);
         for &(leaf, inv) in &c.pins {
-            let r = required[idx] - d - costs.pin_delay(inv);
+            let leaf_fb = fanout_bucket(ctx.fanouts[leaf as usize]);
+            let r = required[idx] - d - costs.pin_delay(inv, leaf_fb);
             let l = leaf as usize;
             if r < required[l] {
                 required[l] = r;

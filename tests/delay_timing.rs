@@ -4,25 +4,29 @@
 //! objective must never lose to the area objective on the metric it
 //! owns.
 //!
-//! The DP prices every internal net at the uniform
-//! [`LoadModel`](techmap::LoadModel) estimate while STA re-derives exact
-//! per-net loads, so the two can never agree exactly — but they share
-//! the cell model, the inverter materialization rules, and the
-//! primary-output load, so the ratio must stay within a modest band. A
-//! systematic drift outside it means the models diverged (exactly the
-//! zero-PO-load bug this suite was written against).
+//! The DP prices every internal net at the fanout-aware
+//! [`LoadModel`](techmap::LoadModel) estimate (per-pin capacitance times
+//! the driver's AIG fanout) while STA re-derives exact per-net loads
+//! from the emitted cover, so the two can never agree exactly — but
+//! they share the cell model, the inverter materialization rules, and
+//! the primary-output load, so the ratio must stay within a modest
+//! band. A systematic drift outside it means the models diverged
+//! (exactly the zero-PO-load bug this suite was written against).
 
 use ambipolar::engine;
 use gate_lib::GateFamily;
 use rayon::prelude::*;
 use techmap::{critical_path, map_aig_with_cache, MapConfig, Objective};
 
-/// DP estimate vs STA may differ per net (uniform load vs exact load —
-/// the DP's two-average-pins estimate undercharges high-fanout nets, so
-/// the prediction runs systematically low), but aggregated over a
-/// critical path the ratio stays well inside [1/TOL, TOL]. Measured
-/// across the 12×3 catalog: predicted/STA in 0.48..=0.99.
-const AGREEMENT_TOL: f64 = 2.5;
+/// DP estimate vs STA may differ per net (estimated fanout × average
+/// pin cap vs the emitted cover's exact pin caps — cover consumer
+/// counts exceed AIG fanouts where chosen cones overlap, so the
+/// generalized family's wide cells still run the prediction somewhat
+/// low), but aggregated over a critical path the ratio stays well
+/// inside [1/TOL, TOL]. Measured across the 12×3 catalog with the
+/// fanout-aware load model: predicted/STA in 0.69..=1.09 (the uniform
+/// two-pin model sat in 0.48..=0.99).
+const AGREEMENT_TOL: f64 = 1.6;
 
 #[test]
 fn predicted_arrival_tracks_sta_across_the_catalog() {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Health guard for a `loadgen --json` serve_load artifact.
+
+Usage: serve_guard.py ARTIFACT.json [--p99-ms BOUND] [--min-speedup X]
+
+Checks a BENCH_serve.json-shaped artifact (the `loadgen` binary's
+output) and exits non-zero when the synthd run it records was unhealthy:
+
+  * any job failed, timed out, or diverged (`jobs_error`,
+    `jobs_timeout`, `jobs_diverged` must all be zero — synthd is
+    deterministic, so a single divergent response is a real bug, not
+    noise);
+  * the warm cache never engaged: with `repeat` > 1 every circuit after
+    wave 0 should hit, so `server.cache_hits` must be positive and
+    `server.cache_misses` must not exceed the unique-job count
+    (circuits x families) — more misses means the single-flight
+    dedup or the content key broke;
+  * one-time state was rebuilt: `server.characterizations` and
+    `server.match_cache_builds` above one per gate family, or
+    `server.rewrite_library_builds` above one, mean the engine-level
+    caches stopped amortizing (the whole point of the daemon);
+  * tail latency blew past the bound (`--p99-ms`, default 60000 — CI
+    runners are slow and share cores, so the default only catches
+    hangs; perf runners pass a tight bound);
+  * batched throughput fell below the serial one-shot baseline
+    (`--min-speedup`, default 1.0): a warm server that is slower than
+    cold per-job processes is a regression by definition.
+"""
+
+import json
+import sys
+
+FAMILIES = 3  # cmos, ambipolar-static, ambipolar-dynamic
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    p99_bound_ms = 60_000.0
+    min_speedup = 1.0
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--p99-ms":
+            p99_bound_ms = float(args[i + 1])
+            i += 2
+        elif args[i] == "--min-speedup":
+            min_speedup = float(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        doc = json.load(f)
+    if doc.get("artifact") != "serve_load":
+        print(f"not a serve_load artifact: {paths[0]}", file=sys.stderr)
+        return 2
+
+    server = doc["server"]
+    failures = []
+
+    for counter in ("jobs_error", "jobs_timeout", "jobs_diverged"):
+        if doc[counter] != 0:
+            failures.append(f"{counter} = {doc[counter]} (must be 0)")
+
+    unique_jobs = len(doc["circuits"]) * FAMILIES
+    if doc["repeat"] > 1:
+        if server["cache_hits"] <= 0:
+            failures.append(
+                f"cache_hits = {server['cache_hits']} on a repeat={doc['repeat']} "
+                "run — the warm cache never engaged"
+            )
+        if server["cache_misses"] > unique_jobs:
+            failures.append(
+                f"cache_misses = {server['cache_misses']} > {unique_jobs} unique "
+                "jobs — single-flight dedup or the content key broke"
+            )
+
+    if server["characterizations"] > FAMILIES:
+        failures.append(
+            f"characterizations = {server['characterizations']} > {FAMILIES} — "
+            "per-family libraries rebuilt"
+        )
+    if server["match_cache_builds"] > FAMILIES:
+        failures.append(
+            f"match_cache_builds = {server['match_cache_builds']} > {FAMILIES} — "
+            "NPN match caches rebuilt"
+        )
+    if server["rewrite_library_builds"] > 1:
+        failures.append(
+            f"rewrite_library_builds = {server['rewrite_library_builds']} > 1 — "
+            "the rewrite library rebuilt"
+        )
+
+    p99 = doc["latency_ms"]["p99"]
+    if p99 > p99_bound_ms:
+        failures.append(f"p99 latency {p99:.0f} ms exceeds the {p99_bound_ms:.0f} ms bound")
+
+    speedup = doc.get("speedup_vs_serial")
+    if speedup is not None and speedup < min_speedup:
+        failures.append(
+            f"speedup_vs_serial = {speedup:.2f} < {min_speedup:.2f} — the warm "
+            "server is slower than cold one-shot runs"
+        )
+
+    print(
+        f"serve guard: {doc['jobs_ok']}/{doc['jobs_total']} jobs ok, "
+        f"p50 {doc['latency_ms']['p50']:.0f} ms, p99 {p99:.0f} ms, "
+        f"cache {server['cache_hits']} hits / {server['cache_misses']} misses"
+        + (f", speedup {speedup:.2f}x vs serial" if speedup is not None else "")
+    )
+    if failures:
+        print("\nSERVE GUARD FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

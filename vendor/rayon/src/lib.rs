@@ -22,6 +22,37 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hooks for propagating a thread-local task context — a profiling-scope
+/// token, say — from the thread that launches a parallel operation onto
+/// the ephemeral scoped worker threads that execute its tasks. Real
+/// rayon keeps long-lived pool threads a caller can configure once; this
+/// shim spawns workers per operation, so without propagation any
+/// thread-local state the caller relies on would silently reset to its
+/// default on every parallel fan-out.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskContextHooks {
+    /// Reads the launching thread's context token.
+    pub capture: fn() -> u64,
+    /// Installs a captured token on a worker thread.
+    pub install: fn(u64),
+}
+
+/// Process-wide context hooks (at most one registration wins).
+static CONTEXT_HOOKS: OnceLock<TaskContextHooks> = OnceLock::new();
+
+/// Registers the context-propagation hooks. The first registration wins;
+/// subsequent calls are ignored (the engine registers exactly one pair,
+/// from `aig::profile`).
+pub fn register_task_context_hooks(hooks: TaskContextHooks) {
+    let _ = CONTEXT_HOOKS.set(hooks);
+}
+
+/// Captures the launching thread's context, if hooks are registered.
+fn captured_context() -> Option<(TaskContextHooks, u64)> {
+    CONTEXT_HOOKS.get().map(|h| (*h, (h.capture)()))
+}
 
 /// Workers currently spawned by in-flight parallel operations. Nested
 /// parallelism (a `par_iter` inside a `par_iter` task) subtracts these from
@@ -141,8 +172,14 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
+    let ctx = captured_context();
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(move || {
+            if let Some((hooks, token)) = ctx {
+                (hooks.install)(token);
+            }
+            b()
+        });
         let ra = a();
         (ra, hb.join().expect("rayon::join worker panicked"))
     })
@@ -232,18 +269,27 @@ where
         let results: Vec<std::sync::Mutex<Option<R>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let worker = || loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        // Launching thread's task context rides along to every worker
+        // (installing it on the launching thread itself is an idempotent
+        // no-op, so the one closure serves both).
+        let ctx = captured_context();
+        let worker = || {
+            if let Some((hooks, token)) = ctx {
+                (hooks.install)(token);
             }
-            let item = slots[i]
-                .lock()
-                .expect("item slot poisoned")
-                .take()
-                .expect("item claimed once");
-            let result = f(item);
-            *results[i].lock().expect("result slot poisoned") = Some(result);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item claimed once");
+                let result = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            }
         };
         std::thread::scope(|scope| {
             for _ in 0..workers - 1 {
