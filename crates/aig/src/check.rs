@@ -221,6 +221,13 @@ pub fn equivalent(a: &Aig, b: &Aig, seed: u64, rounds: usize) -> bool {
 /// strength against time.
 const MERGE_CONFLICT_BUDGET: u64 = 1_000;
 
+/// Interned handle for the per-proof conflict histogram (one registry
+/// lookup for the process, not one per SAT query).
+fn conflicts_per_proof() -> &'static obs::Histogram {
+    static H: std::sync::OnceLock<&'static obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| obs::histogram("sat_conflicts_per_proof"))
+}
+
 enum Prove {
     Equal,
     Diff(Vec<bool>),
@@ -552,7 +559,20 @@ impl Sweeper {
 
     /// Proves two fraig literals equal (both implications UNSAT), or
     /// returns a distinguishing input pattern, or gives up on budget.
+    /// Each proof attempt's conflict cost lands in the
+    /// `sat_conflicts_per_proof` histogram.
     fn prove_lits_equal(&mut self, x: Lit, y: Lit, budget: Option<u64>) -> Prove {
+        let conflicts_before = self.solver.conflict_count();
+        let result = self.prove_lits_equal_inner(x, y, budget);
+        conflicts_per_proof().observe(
+            self.solver
+                .conflict_count()
+                .saturating_sub(conflicts_before),
+        );
+        result
+    }
+
+    fn prove_lits_equal_inner(&mut self, x: Lit, y: Lit, budget: Option<u64>) -> Prove {
         let (vx, cx) = (self.enc[x.node() as usize], x.is_complement());
         let (vy, cy) = (self.enc[y.node() as usize], y.is_complement());
         // Query 1: x true, y false; query 2: x false, y true.
@@ -598,6 +618,8 @@ impl Sweeper {
     /// serial walk.
     fn refine(&mut self, patterns: &[Vec<bool>]) {
         debug_assert!(!patterns.is_empty() && patterns.len() <= 64);
+        let mut span = obs::span!("verify/refine");
+        span.record("patterns", patterns.len() as u64);
         crate::profile::add_refine_round();
         if self.sigs.words == self.sigs.stride {
             self.sigs.widen();

@@ -530,6 +530,7 @@ impl Flow {
         let mut cuts = FlowCuts::new();
         let mut reports = Vec::with_capacity(self.steps.len());
         for step in &self.steps {
+            let mut span = obs::span!("flow/{}", step.name());
             let before = Metrics::of(&best);
             let t0 = Instant::now();
             let counters = profile::snapshot();
@@ -572,6 +573,9 @@ impl Flow {
             } else if !is_dch {
                 snapshots.push(candidate);
             }
+            span.record("accepted", u64::from(accepted))
+                .record("ands_before", before.ands as u64)
+                .record("ands_after", after.ands as u64);
             reports.push(PassReport {
                 name: step.name().to_owned(),
                 accepted,
@@ -582,6 +586,8 @@ impl Flow {
             });
         }
         let (cuts_reused, cuts_computed) = cuts.stats();
+        obs::counter("flow_cuts_reused_total").add(cuts_reused);
+        obs::counter("flow_cuts_computed_total").add(cuts_computed);
         let report = FlowReport {
             initial,
             final_metrics: Metrics::of(&best),

@@ -9,7 +9,7 @@
 //! loadgen [--addr HOST:PORT] [--concurrency C] [--repeat R]
 //!         [--scale N] [--workers N] [--queue N] [--timeout-ms MS]
 //!         [bench flags: --patterns --seed --flow --objective --cut-k
-//!          --verify --choices --json PATH] [circuit names...]
+//!          --verify --choices --json PATH --trace-out PATH] [circuit names...]
 //! ```
 //!
 //! Without `--addr` an in-process [`serve::Server`] is started (the
@@ -20,6 +20,12 @@
 //! cache and later waves must hit it. Responses to identical specs are
 //! checked for byte-identity on the fly: any divergence counts as an
 //! error in the artifact (and trips `tools/serve_guard.py`).
+//!
+//! The artifact embeds the server's Prometheus metrics frame (scraped
+//! after the load phase, before the baseline) under `"metrics"`, and
+//! `--trace-out PATH` writes a Chrome-trace/Perfetto JSON of the span
+//! ring at exit — in in-process mode that trace contains every served
+//! request's span tree, which is what `tools/obs_guard.py` validates.
 
 use bench::qor::{json_f64, json_seconds, json_string, write_or_exit};
 use bench::BenchArgs;
@@ -121,6 +127,13 @@ fn main() {
         }
     };
     args.reject_emit_aiger("loadgen");
+    if args.trace_out.is_some() {
+        // In-process mode shares the span ring with the server, so the
+        // trace captures every request's root span; against an external
+        // `--addr` the server-side spans live in the daemon (use
+        // `synthd --trace-out` there instead).
+        obs::set_enabled(true);
+    }
     let pipeline = args.pipeline_config();
 
     // --- workload ---------------------------------------------------------
@@ -290,12 +303,14 @@ fn main() {
                                 }
                             }
                         }
-                        Response::Timeout => Kind::Timeout,
-                        Response::Error { msg } => {
+                        Response::Timeout { .. } => Kind::Timeout,
+                        Response::Error { msg, .. } => {
                             eprintln!("loadgen: job {}/{} failed: {msg}", spec.name, spec.family);
                             Kind::Error
                         }
-                        Response::Busy | Response::Stats { .. } => Kind::Error,
+                        Response::Busy | Response::Stats { .. } | Response::Metrics { .. } => {
+                            Kind::Error
+                        }
                     };
                     outcomes.lock().expect("outcome lock").push(Outcome {
                         latency,
@@ -314,6 +329,15 @@ fn main() {
         .and_then(|mut c| c.stats())
         .unwrap_or_else(|e| {
             eprintln!("loadgen: cannot fetch server stats: {e}");
+            std::process::exit(1);
+        });
+    // Scrape the Prometheus metrics frame before the serial baseline
+    // runs, so the latency-histogram counts reflect exactly the load
+    // phase (tools/obs_guard.py checks them against jobs_ok).
+    let server_metrics = Client::connect(&addr)
+        .and_then(|mut c| c.metrics())
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot fetch server metrics: {e}");
             std::process::exit(1);
         });
     drop(local); // orderly in-process shutdown before the baseline runs
@@ -398,7 +422,7 @@ fn main() {
          \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}},\n  \
          \"serial_baseline\": {{\"jobs\": {}, \"wall_seconds\": {}, \
          \"throughput_jobs_per_s\": {}}},\n  \"speedup_vs_serial\": {},\n  \
-         \"server\": {}\n}}\n",
+         \"metrics\": {},\n  \"server\": {}\n}}\n",
         flags.concurrency,
         flags.repeat,
         names.join(", "),
@@ -428,6 +452,7 @@ fn main() {
         json_seconds(baseline_wall),
         json_f64(baseline_throughput),
         json_f64(speedup),
+        json_string(&server_metrics),
         server_stats.trim_end(),
     );
     println!(
@@ -441,6 +466,15 @@ fn main() {
         write_or_exit(path, &doc);
     } else {
         print!("{doc}");
+    }
+    if let Some(path) = &args.trace_out {
+        match obs::write_trace(path) {
+            Ok(()) => eprintln!("loadgen: trace written to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if errors > 0 {
         std::process::exit(1);

@@ -29,6 +29,13 @@
 //! `aig::profile` counter deltas of its serial runs (cut reuse, SAT
 //! merges, simulation words), which `tools/scale_guard.py` checks to
 //! prove the incremental cut database is live.
+//!
+//! Span tracing runs for the whole harness (span granularity is one
+//! flow pass / mapper phase, far too coarse to perturb the timings):
+//! each JSON row carries a `spans_top` field — the workload's five
+//! largest spans by self time — so `BENCH_scale.json` attributes
+//! throughput changes to phases; `--trace-out PATH` additionally writes
+//! the full Chrome-trace JSON.
 
 use aig::check::{check_equivalence, Equivalence};
 use aig::{Aig, Flow};
@@ -82,6 +89,7 @@ impl Phase {
 
 fn main() {
     let args = BenchArgs::parse();
+    obs::set_enabled(true);
     let sizes: Vec<usize> = if args.positional.is_empty() {
         DEFAULT_SIZES.to_vec()
     } else {
@@ -118,6 +126,7 @@ fn main() {
             }
             let ands = aig.and_count();
             let counters_before = aig::profile::snapshot();
+            let spans_before = obs::span_stats();
 
             // Synth: serial and parallel must agree bit-for-bit. The
             // serial run keeps its FlowReport so the row can record the
@@ -234,6 +243,7 @@ fn main() {
                 &[synth, dch, map],
                 &synth_report,
                 &row_counters,
+                &spans_top_json(&spans_before),
             ));
         }
     }
@@ -254,6 +264,48 @@ fn main() {
         );
         bench::qor::write_or_exit(path, &doc);
     }
+    if let Some(path) = &args.trace_out {
+        match obs::write_trace(path) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The workload's five largest spans by self time since `before`
+/// (aggregated across this row's timing runs), as a JSON array.
+fn spans_top_json(before: &[obs::SpanStat]) -> String {
+    let mut deltas: Vec<obs::SpanStat> = obs::span_stats()
+        .into_iter()
+        .map(|s| {
+            let prev = before.iter().find(|b| b.name == s.name);
+            obs::SpanStat {
+                count: s.count - prev.map_or(0, |p| p.count),
+                total_us: s.total_us - prev.map_or(0, |p| p.total_us),
+                self_us: s.self_us - prev.map_or(0, |p| p.self_us),
+                name: s.name,
+            }
+        })
+        .filter(|s| s.count > 0)
+        .collect();
+    deltas.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    let top: Vec<String> = deltas
+        .iter()
+        .take(5)
+        .map(|s| {
+            format!(
+                "{{\"name\": {}, \"count\": {}, \"total_us\": {}, \"self_us\": {}}}",
+                bench::qor::json_string(&s.name),
+                s.count,
+                s.total_us,
+                s.self_us,
+            )
+        })
+        .collect();
+    format!("[{}]", top.join(", "))
 }
 
 fn pool(threads: usize) -> rayon::ThreadPool {
@@ -317,6 +369,7 @@ fn result_json(
     phases: &[Phase; 3],
     synth_report: &aig::FlowReport,
     counters: &aig::profile::Counters,
+    spans_top: &str,
 ) -> String {
     let phase_json: Vec<String> = phases
         .iter()
@@ -344,7 +397,7 @@ fn result_json(
         .collect();
     format!(
         "{{\"family\": {}, \"target\": {}, \"ands\": {}, \"synth_ands\": {}, \"gates\": {}, {}, \
-         \"profile\": {{\"cuts_reused\": {}, \"cuts_computed\": {}, {}}}}}",
+         \"profile\": {{\"cuts_reused\": {}, \"cuts_computed\": {}, {}}}, \"spans_top\": {}}}",
         bench::qor::json_string(family),
         size,
         ands,
@@ -354,5 +407,6 @@ fn result_json(
         synth_report.cuts_reused,
         synth_report.cuts_computed,
         counter_json.join(", "),
+        spans_top,
     )
 }

@@ -50,7 +50,7 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let table = args
-        .with_thread_pool(|| table1_subset(&config, subset))
+        .with_tracing(|| args.with_thread_pool(|| table1_subset(&config, subset)))
         .unwrap_or_else(|e| {
             eprintln!("mapping failed: {e}");
             std::process::exit(1);

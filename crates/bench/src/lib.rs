@@ -45,6 +45,9 @@ pub mod qor;
 ///   environment (`RAYON_NUM_THREADS`, then the machine's parallelism);
 /// * `--json PATH` — write the machine-readable QoR/runtime artifact
 ///   (supported by `table1`, `engine_smoke`, and `scale`);
+/// * `--trace-out PATH` — enable span tracing and write a
+///   Chrome-trace/Perfetto JSON at exit (supported by `table1`, `scale`,
+///   and `loadgen`);
 /// * positional arguments (e.g. the AIGER path for `map_aiger`, circuit
 ///   names for `table1`) are collected in order.
 #[derive(Clone, Debug, Default)]
@@ -69,6 +72,8 @@ pub struct BenchArgs {
     pub emit_aiger: Option<String>,
     /// `--json PATH`, if given.
     pub json: Option<String>,
+    /// `--trace-out PATH`, if given.
+    pub trace_out: Option<String>,
     /// Whether `--paper` was given.
     pub paper: bool,
     /// Positional (non-flag) arguments, in order.
@@ -87,7 +92,8 @@ impl BenchArgs {
                     "usage: [--patterns N] [--seed S] [--paper] [--flow SCRIPT] \
                      [--objective delay|area|energy] [--cut-k N] \
                      [--verify off|sim|sat] [--choices] [--threads N] \
-                     [--emit-aiger DIR] [--json PATH] [positional...]"
+                     [--emit-aiger DIR] [--json PATH] [--trace-out PATH] \
+                     [positional...]"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +117,7 @@ impl BenchArgs {
             || args.threads.is_some()
             || args.emit_aiger.is_some()
             || args.json.is_some()
+            || args.trace_out.is_some()
             || args.paper
             || !args.positional.is_empty()
         {
@@ -207,6 +214,10 @@ impl BenchArgs {
                     let value = iter.next().ok_or("--json requires a path")?;
                     out.json = Some(value);
                 }
+                "--trace-out" => {
+                    let value = iter.next().ok_or("--trace-out requires a path")?;
+                    out.trace_out = Some(value);
+                }
                 "--objective" => {
                     let value = iter.next().ok_or("--objective requires a value")?;
                     out.objective = Some(value.parse().map_err(|e| format!("--objective: {e}"))?);
@@ -302,6 +313,27 @@ impl BenchArgs {
                 .install(work),
             None => work(),
         }
+    }
+
+    /// Runs `work` with span tracing enabled when `--trace-out PATH`
+    /// was given, writing the Chrome-trace/Perfetto JSON to `PATH`
+    /// afterwards (open in `chrome://tracing` or ui.perfetto.dev).
+    /// Without the flag, tracing stays in whatever state the process
+    /// already had and nothing is written.
+    pub fn with_tracing<R>(&self, work: impl FnOnce() -> R) -> R {
+        let Some(path) = &self.trace_out else {
+            return work();
+        };
+        obs::set_enabled(true);
+        let result = work();
+        match obs::write_trace(path) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        result
     }
 }
 
@@ -445,6 +477,7 @@ mod tests {
         assert!(BenchArgs::parse_from(["--flow", "b; frobnicate"]).is_err());
         assert!(BenchArgs::parse_from(["--flow", ""]).is_err());
         assert!(BenchArgs::parse_from(["--json"]).is_err());
+        assert!(BenchArgs::parse_from(["--trace-out"]).is_err());
         assert!(BenchArgs::parse_from(["--threads"]).is_err());
         assert!(BenchArgs::parse_from(["--threads", "0"]).is_err());
         assert!(BenchArgs::parse_from(["--threads", "all"]).is_err());

@@ -288,13 +288,21 @@ pub fn run_job(
         }
     };
     check()?;
-    let (mapped, baseline) = map_portfolio_with_cut_db(synthesized, choices, library, config, db)
-        .map_err(JobError::Pipeline)?;
+    let (mapped, baseline) = {
+        let _s = obs::span!("map");
+        map_portfolio_with_cut_db(synthesized, choices, library, config, db)
+            .map_err(JobError::Pipeline)?
+    };
     check()?;
-    verify_mapped(synthesized, &mapped, library, config)
-        .map_err(|e| JobError::Pipeline(PipelineError::Verify(e)))?;
+    {
+        let _s = obs::span!("verify");
+        verify_mapped(synthesized, &mapped, library, config)
+            .map_err(|e| JobError::Pipeline(PipelineError::Verify(e)))?;
+    }
     check()?;
+    let _s = obs::span!("estimate");
     let mut result = evaluate_mapped(&mapped, library, config);
+    drop(_s);
     result.gates_no_choice = baseline.map(|b| b.gates);
     result.delay_no_choice = baseline.map(|b| b.delay);
     Ok(MappedJob {

@@ -1,0 +1,71 @@
+//! The workspace flight recorder: *where time went*, per request, as
+//! structured data — the complement of `aig::profile`'s *how much work
+//! happened* counters.
+//!
+//! Two pillars:
+//!
+//! * **Tracing** ([`span!`], [`Span`], [`export_trace`]): lightweight
+//!   span guards with monotonic timestamps, thread IDs, and parent
+//!   links, recorded into a bounded in-memory ring buffer and exported
+//!   as Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`). Span context rides the vendored rayon shim's
+//!   task-context hooks, so a span opened on a worker thread nests
+//!   under the span that launched the parallel operation — the same
+//!   mechanism `aig::profile::JobScope` uses for counter attribution.
+//!   Tracing is off by default and zero-cost when disabled: every
+//!   instrumentation site is gated on one relaxed atomic load, before
+//!   any allocation or formatting.
+//!
+//! * **Metrics** ([`counter`], [`histogram`], [`render_prometheus`]):
+//!   a process-wide registry of named monotone counters and
+//!   fixed-bucket log-scale (powers of two) histograms, rendered in
+//!   the Prometheus text exposition format. Metrics are always on —
+//!   they are a handful of relaxed atomic bumps at request/phase
+//!   granularity, never per-node.
+//!
+//! Spans answer "which pass/phase was slow on *this* request";
+//! `aig::profile` counters answer "how much algorithmic work ran";
+//! metrics answer "what does the process look like over its lifetime".
+
+mod metrics;
+mod span;
+
+pub use metrics::{counter, histogram, render_prometheus, Counter, Histogram, BUCKET_COUNT};
+pub use span::{
+    enabled, event, export_trace, reset, set_enabled, span_begin, span_stats, write_trace, Span,
+    SpanStat,
+};
+
+/// Opens a [`Span`] guard named by a format string. The span measures
+/// from the macro invocation to the guard's drop.
+///
+/// When tracing is disabled ([`set_enabled`]) the format arguments are
+/// **not evaluated** — the whole site costs one relaxed atomic load.
+///
+/// ```
+/// obs::set_enabled(true);
+/// {
+///     let _outer = obs::span!("flow/{}", "rw");
+///     let _inner = obs::span!("map/select");
+/// } // both close here
+/// let trace = obs::export_trace();
+/// assert!(trace.contains("\"flow/rw\""));
+/// obs::set_enabled(false);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::span_begin(::std::format!($($arg)*))
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // The macro is exercised from an integration-style path (`$crate`
+    // expands to `obs`): tracing state is process-global, so the span
+    // tests live in span.rs under one serializing lock.
+}

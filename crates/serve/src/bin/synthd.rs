@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! synthd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--no-warm]
+//!        [--trace-out PATH]
 //! ```
 //!
 //! By default the three per-family characterized libraries and NPN
@@ -11,6 +12,11 @@
 //! this, moving the build cost into the first requests). The ready
 //! line — `synthd listening on ADDR` — goes to stdout and is the
 //! machine-readable signal harnesses wait for.
+//!
+//! `--trace-out PATH` enables span recording for the process lifetime
+//! and writes a Chrome-trace/Perfetto JSON of the retained span ring to
+//! `PATH` at shutdown (open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
 
 use gate_lib::GateFamily;
 use serve::{Server, ServerConfig};
@@ -21,6 +27,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut warm = true;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -35,11 +42,12 @@ fn main() {
             "--queue" => config.queue_depth = parse(&value("--queue"), "--queue"),
             "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
             "--no-warm" => warm = false,
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             other => {
                 eprintln!("unknown flag: {other}");
                 eprintln!(
                     "usage: synthd [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache N] [--no-warm]"
+                     [--cache N] [--no-warm] [--trace-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -48,6 +56,9 @@ fn main() {
     if config.workers == 0 || config.queue_depth == 0 {
         eprintln!("--workers and --queue must be at least 1");
         std::process::exit(2);
+    }
+    if trace_out.is_some() {
+        obs::set_enabled(true);
     }
     if warm {
         eprintln!("synthd: warming per-family caches...");
@@ -74,6 +85,12 @@ fn main() {
         config.workers, config.queue_depth, config.cache_capacity
     );
     server.wait();
+    if let Some(path) = &trace_out {
+        match obs::write_trace(path) {
+            Ok(()) => eprintln!("synthd: trace written to {path}"),
+            Err(e) => eprintln!("synthd: cannot write trace {path}: {e}"),
+        }
+    }
     eprintln!("synthd: shutdown complete");
 }
 

@@ -162,6 +162,16 @@ impl SynthCache {
     /// this caller inherits leadership). Returns `None` when `deadline`
     /// lapses while waiting.
     pub fn lookup(&self, key: u64, deadline: Option<Instant>) -> Option<Lookup<'_>> {
+        // Follower wait time (single-flight) lands in the
+        // `synthd_cache_singleflight_wait_us` histogram; leader/follower
+        // elections show as instant events on the request's span.
+        let mut wait_started: Option<Instant> = None;
+        let observe_wait = |wait_started: Option<Instant>| {
+            if let Some(t0) = wait_started {
+                obs::histogram("synthd_cache_singleflight_wait_us")
+                    .observe(t0.elapsed().as_micros() as u64);
+            }
+        };
         let mut inner = self.inner.lock().expect("cache lock");
         loop {
             inner.clock += 1;
@@ -169,10 +179,14 @@ impl SynthCache {
             if let Some(slot) = inner.entries.get_mut(&key) {
                 slot.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::event("cache/hit");
+                observe_wait(wait_started);
                 return Some(Lookup::Hit(Arc::clone(&slot.entry)));
             }
             if inner.pending.insert(key) {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::event("cache/leader");
+                observe_wait(wait_started);
                 return Some(Lookup::Build(BuildLease {
                     cache: self,
                     key,
@@ -181,7 +195,12 @@ impl SynthCache {
             }
             // Someone is building this key; wait in bounded slices so
             // a caller-side deadline stays honored.
+            if wait_started.is_none() {
+                obs::event("cache/follower");
+                wait_started = Some(Instant::now());
+            }
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                observe_wait(wait_started);
                 return None;
             }
             let (guard, _) = self

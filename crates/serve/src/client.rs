@@ -89,6 +89,23 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics registry in the Prometheus text
+    /// exposition format.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; `InvalidData` when the server answers
+    /// with anything but a metrics page.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics, got {other:?}"),
+            )),
+        }
+    }
+
     /// Asks the server to shut down; returns its final statistics.
     ///
     /// # Errors

@@ -2,10 +2,11 @@
 //!
 //! A frame's payload (see [`crate::wire`]) starts with a one-byte tag.
 //! Requests: `1` = job submission carrying a [`JobSpec`], `2` = stats
-//! query, `3` = orderly shutdown. Responses: `1` = [`Response::Ok`]
-//! (mapped netlist + QoR), `2` = [`Response::Busy`] (admission control
-//! refused the job — queue full), `3` = [`Response::Error`], `4` =
-//! [`Response::Timeout`], `5` = [`Response::Stats`].
+//! query, `3` = orderly shutdown, `4` = metrics scrape. Responses: `1` =
+//! [`Response::Ok`] (mapped netlist + QoR), `2` = [`Response::Busy`]
+//! (admission control refused the job — queue full), `3` =
+//! [`Response::Error`], `4` = [`Response::Timeout`], `5` =
+//! [`Response::Stats`], `6` = [`Response::Metrics`] (Prometheus text).
 //!
 //! Encoding is hand-rolled little-endian: fixed-width scalars in
 //! declaration order, then length-prefixed (`u32`) byte strings. No
@@ -60,6 +61,9 @@ pub enum Request {
     Stats,
     /// Stop accepting work and exit once in-flight jobs drain.
     Shutdown,
+    /// Return the process metrics registry in the Prometheus text
+    /// exposition format.
+    Metrics,
 }
 
 /// A server→client message. Exactly one per request, in order.
@@ -67,14 +71,20 @@ pub enum Request {
 pub enum Response {
     /// The job ran to completion.
     Ok {
+        /// Server-assigned request id (monotonically increasing per
+        /// accepted request) — correlates this response with the
+        /// server-side root span and telemetry.
+        request_id: u64,
         /// Structural Verilog of the kept netlist
         /// ([`techmap::to_structural_verilog`]).
         netlist_verilog: String,
         /// Deterministic QoR document — a pure function of the job
         /// spec, so resubmissions must produce identical bytes.
         qor_json: String,
-        /// Timing/cache telemetry for this request (wall clock, queue
-        /// wait, cache hit, profile counters). Never byte-stable; kept
+        /// Telemetry for this request, split into a `"deterministic"`
+        /// section (cache flag + profile counters — byte-stable across
+        /// identical warm resubmissions) and a `"timing"` section
+        /// (request id, wall clock, queue wait — never stable). Kept
         /// out of `qor_json` so determinism stays checkable.
         telemetry_json: String,
     },
@@ -84,15 +94,26 @@ pub enum Response {
     /// The job failed (parse error, mapping error, refuted
     /// verification, …).
     Error {
+        /// Request id, `0` when the job failed before admission
+        /// assigned one (validation of the frame itself).
+        request_id: u64,
         /// Human-readable failure description.
         msg: String,
     },
     /// The job's deadline lapsed before it finished.
-    Timeout,
+    Timeout {
+        /// Server-assigned request id of the abandoned job.
+        request_id: u64,
+    },
     /// Lifetime server statistics, JSON.
     Stats {
         /// The document (see `Server` for the schema).
         json: String,
+    },
+    /// The metrics registry, Prometheus text exposition format.
+    Metrics {
+        /// The rendered metrics page (see `obs::render_prometheus`).
+        text: String,
     },
 }
 
@@ -252,6 +273,7 @@ impl Request {
             }
             Request::Stats => vec![2],
             Request::Shutdown => vec![3],
+            Request::Metrics => vec![4],
         }
     }
 
@@ -288,6 +310,7 @@ impl Request {
             }
             2 => Request::Stats,
             3 => Request::Shutdown,
+            4 => Request::Metrics,
             t => return Err(ProtocolError::BadTag("request", t)),
         };
         r.finish()?;
@@ -300,31 +323,45 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Response::Ok {
+                request_id,
                 netlist_verilog,
                 qor_json,
                 telemetry_json,
             } => {
                 let mut out = Vec::with_capacity(
-                    16 + netlist_verilog.len() + qor_json.len() + telemetry_json.len(),
+                    24 + netlist_verilog.len() + qor_json.len() + telemetry_json.len(),
                 );
                 out.push(1);
+                put_u64(&mut out, *request_id);
                 put_bytes(&mut out, netlist_verilog.as_bytes());
                 put_bytes(&mut out, qor_json.as_bytes());
                 put_bytes(&mut out, telemetry_json.as_bytes());
                 out
             }
             Response::Busy => vec![2],
-            Response::Error { msg } => {
-                let mut out = Vec::with_capacity(8 + msg.len());
+            Response::Error { request_id, msg } => {
+                let mut out = Vec::with_capacity(16 + msg.len());
                 out.push(3);
+                put_u64(&mut out, *request_id);
                 put_bytes(&mut out, msg.as_bytes());
                 out
             }
-            Response::Timeout => vec![4],
+            Response::Timeout { request_id } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(4);
+                put_u64(&mut out, *request_id);
+                out
+            }
             Response::Stats { json } => {
                 let mut out = Vec::with_capacity(8 + json.len());
                 out.push(5);
                 put_bytes(&mut out, json.as_bytes());
+                out
+            }
+            Response::Metrics { text } => {
+                let mut out = Vec::with_capacity(8 + text.len());
+                out.push(6);
+                put_bytes(&mut out, text.as_bytes());
                 out
             }
         }
@@ -339,17 +376,24 @@ impl Response {
         let mut r = Reader::new(payload);
         let resp = match r.u8()? {
             1 => Response::Ok {
+                request_id: r.u64()?,
                 netlist_verilog: r.string("netlist")?,
                 qor_json: r.string("qor_json")?,
                 telemetry_json: r.string("telemetry_json")?,
             },
             2 => Response::Busy,
             3 => Response::Error {
+                request_id: r.u64()?,
                 msg: r.string("error message")?,
             },
-            4 => Response::Timeout,
+            4 => Response::Timeout {
+                request_id: r.u64()?,
+            },
             5 => Response::Stats {
                 json: r.string("stats json")?,
+            },
+            6 => Response::Metrics {
+                text: r.string("metrics text")?,
             },
             t => return Err(ProtocolError::BadTag("response", t)),
         };
@@ -381,7 +425,12 @@ mod tests {
 
     #[test]
     fn requests_roundtrip() {
-        for req in [Request::Job(spec()), Request::Stats, Request::Shutdown] {
+        for req in [
+            Request::Job(spec()),
+            Request::Stats,
+            Request::Shutdown,
+            Request::Metrics,
+        ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
     }
@@ -390,14 +439,21 @@ mod tests {
     fn responses_roundtrip() {
         let all = [
             Response::Ok {
+                request_id: 7,
                 netlist_verilog: "module m; endmodule\n".into(),
                 qor_json: "{\"gates\": 3}".into(),
-                telemetry_json: "{\"wall_ms\": 1.5}".into(),
+                telemetry_json: "{\"timing\": {\"wall_ms\": 1.5}}".into(),
             },
             Response::Busy,
-            Response::Error { msg: "no".into() },
-            Response::Timeout,
+            Response::Error {
+                request_id: 8,
+                msg: "no".into(),
+            },
+            Response::Timeout { request_id: 9 },
             Response::Stats { json: "{}".into() },
+            Response::Metrics {
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
         ];
         for resp in all {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

@@ -69,6 +69,8 @@ impl Default for ServerConfig {
 }
 
 struct QueuedJob {
+    /// Server-assigned request id (monotone across accepted requests).
+    id: u64,
     spec: JobSpec,
     accepted: Instant,
     reply: mpsc::Sender<Response>,
@@ -90,6 +92,9 @@ struct Shared {
     cache: SynthCache,
     stats: Stats,
     config: ServerConfig,
+    /// Request-id allocator; ids start at 1 (0 marks "no id assigned" —
+    /// a job that failed before admission).
+    next_request_id: AtomicU64,
 }
 
 /// A running `synthd` instance. Dropping it (or calling
@@ -120,6 +125,7 @@ impl Server {
             cache: SynthCache::new(config.cache_capacity),
             stats: Stats::default(),
             config: config.clone(),
+            next_request_id: AtomicU64::new(1),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -238,6 +244,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Request::Stats => Response::Stats {
                 json: stats_json(shared),
             },
+            Request::Metrics => Response::Metrics {
+                text: obs::render_prometheus(),
+            },
             Request::Shutdown => {
                 let json = stats_json(shared);
                 trigger_shutdown(shared, stream.local_addr().expect("connected socket"));
@@ -258,6 +267,7 @@ fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
 
 fn protocol_error(e: &ProtocolError) -> Response {
     Response::Error {
+        request_id: 0,
         msg: format!("malformed request: {e}"),
     }
 }
@@ -265,10 +275,12 @@ fn protocol_error(e: &ProtocolError) -> Response {
 /// Admission control + synchronous wait for the job's single response.
 fn submit_job(shared: &Arc<Shared>, spec: JobSpec) -> Response {
     let (reply, response) = mpsc::channel();
+    let request_id;
     {
         let mut queue = shared.queue.lock().expect("queue lock");
         if shared.shutting_down.load(Ordering::SeqCst) {
             return Response::Error {
+                request_id: 0,
                 msg: "server is shutting down".into(),
             };
         }
@@ -276,7 +288,11 @@ fn submit_job(shared: &Arc<Shared>, spec: JobSpec) -> Response {
             shared.stats.jobs_busy.fetch_add(1, Ordering::Relaxed);
             return Response::Busy;
         }
+        // Ids are allocated at admission, under the queue lock, so they
+        // are dense and monotone over *accepted* requests.
+        request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
         queue.push_back(QueuedJob {
+            id: request_id,
             spec,
             accepted: Instant::now(),
             reply,
@@ -293,6 +309,7 @@ fn submit_job(shared: &Arc<Shared>, spec: JobSpec) -> Response {
         // panicked mid-job. The server stays up; this job reports an
         // internal error.
         Err(_) => Response::Error {
+            request_id,
             msg: "worker failed while executing the job".into(),
         },
     }
@@ -312,10 +329,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = shared.available.wait(queue).expect("queue lock");
             }
         };
-        let response = execute_job(shared, &job.spec, job.accepted);
+        let response = execute_job(shared, &job.spec, job.accepted, job.id);
         let counter = match &response {
             Response::Ok { .. } => &shared.stats.jobs_ok,
-            Response::Timeout => &shared.stats.jobs_timeout,
+            Response::Timeout { .. } => &shared.stats.jobs_timeout,
             _ => &shared.stats.jobs_error,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -327,25 +344,56 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// synthesis on a miss, mapping/verification/estimation via
 /// [`run_job`], then rendering. All profile counters the job causes —
 /// on whichever pool threads its parallel sections run — are captured
-/// by a [`JobScope`] and reported in the telemetry document.
-fn execute_job(shared: &Shared, spec: &JobSpec, accepted: Instant) -> Response {
-    let scope = JobScope::begin();
+/// by a [`JobScope`] and reported in the telemetry document. The whole
+/// execution runs under a `request` root span tagged with the request
+/// id, and the request's latency and queue wait land in the
+/// `synthd_request_latency_us` / `synthd_queue_wait_us` histograms.
+fn execute_job(shared: &Shared, spec: &JobSpec, accepted: Instant, request_id: u64) -> Response {
+    let mut root = obs::span!("request");
+    root.record("request_id", request_id)
+        .record_str("name", &spec.name)
+        .record_str("family", spec.family.label());
     let started = Instant::now();
     let queue_wait = started.saturating_duration_since(accepted);
+    obs::histogram("synthd_queue_wait_us").observe(queue_wait.as_micros() as u64);
+    let response = execute_job_inner(shared, spec, accepted, started, queue_wait, request_id);
+    // "Jobs served" = completed jobs: the histogram's total count must
+    // equal the stats document's jobs_ok.
+    if matches!(response, Response::Ok { .. }) {
+        obs::histogram("synthd_request_latency_us").observe(started.elapsed().as_micros() as u64);
+    }
+    response
+}
+
+fn execute_job_inner(
+    shared: &Shared,
+    spec: &JobSpec,
+    accepted: Instant,
+    started: Instant,
+    queue_wait: Duration,
+    request_id: u64,
+) -> Response {
+    let scope = JobScope::begin();
     let deadline = (spec.timeout_ms > 0).then(|| accepted + Duration::from_millis(spec.timeout_ms));
 
     let config = match pipeline_config(spec) {
         Ok(c) => c,
-        Err(msg) => return Response::Error { msg },
+        Err(msg) => return Response::Error { request_id, msg },
     };
     let flow = match engine::parse_flow(&config) {
         Ok(f) => f,
-        Err(e) => return Response::Error { msg: e.to_string() },
+        Err(e) => {
+            return Response::Error {
+                request_id,
+                msg: e.to_string(),
+            }
+        }
     };
     let input = match aig::from_aiger_auto(&spec.aiger) {
         Ok(aig) => aig,
         Err(e) => {
             return Response::Error {
+                request_id,
                 msg: format!("bad AIGER payload: {e}"),
             }
         }
@@ -361,13 +409,23 @@ fn execute_job(shared: &Shared, spec: &JobSpec, accepted: Instant) -> Response {
         spec.max_cuts,
     );
     let (entry, cache_hit) = match shared.cache.lookup(key, deadline) {
-        None => return Response::Timeout, // deadline lapsed waiting on the leader
+        None => {
+            // Deadline lapsed waiting on the single-flight leader.
+            obs::event("deadline/lapsed");
+            return Response::Timeout { request_id };
+        }
         Some(crate::cache::Lookup::Hit(entry)) => (entry, true),
         Some(crate::cache::Lookup::Build(lease)) => {
             if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Response::Timeout; // lease drop hands leadership on
+                obs::event("deadline/lapsed");
+                return Response::Timeout { request_id }; // lease drop hands leadership on
             }
-            let (synthesized, choices) = engine::synthesize_with_choices(&flow, &input, &config);
+            let synthesized;
+            let choices;
+            {
+                let _s = obs::span!("synthesize");
+                (synthesized, choices) = engine::synthesize_with_choices(&flow, &input, &config);
+            }
             let entry = Arc::new(SynthEntry {
                 cut_db: mapper_cut_db(&config.map),
                 synthesized,
@@ -394,8 +452,16 @@ fn execute_job(shared: &Shared, spec: &JobSpec, accepted: Instant) -> Response {
     );
     let job = match job {
         Ok(job) => job,
-        Err(JobError::DeadlineExceeded) => return Response::Timeout,
-        Err(JobError::Pipeline(e)) => return Response::Error { msg: e.to_string() },
+        Err(JobError::DeadlineExceeded) => {
+            obs::event("deadline/lapsed");
+            return Response::Timeout { request_id };
+        }
+        Err(JobError::Pipeline(e)) => {
+            return Response::Error {
+                request_id,
+                msg: e.to_string(),
+            }
+        }
     };
     // Republish with the (now topped-up) cut database so resubmissions
     // skip enumeration too. Hits republish nothing: their clone found
@@ -414,8 +480,15 @@ fn execute_job(shared: &Shared, spec: &JobSpec, accepted: Instant) -> Response {
     let netlist_verilog =
         techmap::to_structural_verilog(&job.netlist, library, &module_name(&spec.name));
     let qor_json = job_qor_json(spec, entry.synthesized.and_count(), &job);
-    let telemetry_json = telemetry_json(started.elapsed(), queue_wait, cache_hit, &scope.finish());
+    let telemetry_json = telemetry_json(
+        request_id,
+        started.elapsed(),
+        queue_wait,
+        cache_hit,
+        &scope.finish(),
+    );
     Response::Ok {
+        request_id,
         netlist_verilog,
         qor_json,
         telemetry_json,
@@ -503,24 +576,32 @@ pub fn job_qor_json(spec: &JobSpec, synth_ands: usize, job: &MappedJob) -> Strin
     )
 }
 
-/// The per-request telemetry document (never byte-stable: wall times).
+/// The per-request telemetry document, in two sections:
+///
+/// * `"deterministic"` — the cache flag and every profile counter the
+///   job's [`JobScope`] attributed to it. A warm resubmission of an
+///   identical spec repeats the exact same work against the exact same
+///   cached state, so this section is **byte-stable** across warm
+///   repeats (the determinism tests byte-compare it).
+/// * `"timing"` — request id, wall clock, queue wait. Never stable.
 fn telemetry_json(
+    request_id: u64,
     wall: Duration,
     queue_wait: Duration,
     cache_hit: bool,
     counters: &aig::profile::Counters,
 ) -> String {
+    let mut deterministic = format!("{{\"cache_hit\": {cache_hit}");
+    for (name, value) in counters.pairs() {
+        deterministic.push_str(&format!(", \"{name}\": {value}"));
+    }
+    deterministic.push('}');
     format!(
-        "{{\"wall_ms\": {}, \"queue_wait_ms\": {}, \"cache_hit\": {cache_hit}, \
-         \"cuts_reused\": {}, \"cuts_computed\": {}, \"sat_merge_calls\": {}, \
-         \"sim_words\": {}, \"par_tasks\": {}}}",
+        "{{\"deterministic\": {deterministic}, \
+         \"timing\": {{\"request_id\": {request_id}, \"wall_ms\": {}, \
+         \"queue_wait_ms\": {}}}}}",
         json_f64(wall.as_secs_f64() * 1e3),
         json_f64(queue_wait.as_secs_f64() * 1e3),
-        counters.cuts_reused,
-        counters.cuts_computed,
-        counters.sat_merge_calls,
-        counters.sim_words,
-        counters.par_tasks,
     )
 }
 

@@ -2,8 +2,10 @@
 //! concurrent resubmission (bit-identical netlists and QoR documents,
 //! equal to the in-process pipeline path), warm-cache amortization
 //! (per-family libraries built at most once per process, content-hash
-//! hits on resubmission), typed backpressure, per-request timeout, and
-//! error surfaces.
+//! hits on resubmission), typed backpressure, per-request timeout,
+//! error surfaces, request-ID allocation, byte-stable deterministic
+//! telemetry, and per-request span/counter attribution under
+//! concurrency.
 
 use ambipolar::engine;
 use ambipolar::pipeline::{mapper_cut_db, run_job, PipelineConfig};
@@ -88,6 +90,7 @@ fn concurrent_resubmission_is_deterministic_and_warm() {
                             netlist_verilog,
                             qor_json,
                             telemetry_json,
+                            ..
                         } => {
                             assert!(
                                 telemetry_json.contains("\"cache_hit\": true"),
@@ -233,7 +236,7 @@ fn lapsed_deadline_reports_timeout() {
     let mut job = spec("C6288", GateFamily::Cmos, 1 << 12, Verify::Off);
     job.timeout_ms = 1;
     match client.submit(&job).expect("submit") {
-        Response::Timeout => {}
+        Response::Timeout { .. } => {}
         other => panic!("expected Timeout, got {other:?}"),
     }
     server.shutdown();
@@ -250,14 +253,14 @@ fn bad_inputs_are_typed_errors() {
     let mut bad_aiger = spec("t481", GateFamily::Cmos, 256, Verify::Off);
     bad_aiger.aiger = b"not an aiger file".to_vec();
     assert!(
-        matches!(client.submit(&bad_aiger).expect("submit"), Response::Error { msg } if msg.contains("AIGER")),
+        matches!(client.submit(&bad_aiger).expect("submit"), Response::Error { msg, .. } if msg.contains("AIGER")),
         "garbage AIGER must be a typed error"
     );
 
     let mut bad_k = spec("t481", GateFamily::Cmos, 256, Verify::Off);
     bad_k.cut_k = 9;
     assert!(
-        matches!(client.submit(&bad_k).expect("submit"), Response::Error { msg } if msg.contains("cut_k")),
+        matches!(client.submit(&bad_k).expect("submit"), Response::Error { msg, .. } if msg.contains("cut_k")),
         "out-of-range cut_k must be a typed error"
     );
 
@@ -304,6 +307,248 @@ fn wire_shutdown_stops_the_server() {
         Ok(mut c) => c.stats().is_err(),
     };
     assert!(refused, "a shut-down server must not answer");
+}
+
+/// The telemetry split: the `"deterministic"` section (cache flag +
+/// per-job counters) must be byte-identical across warm resubmissions
+/// of an identical spec, while `"timing"` is free to vary.
+#[test]
+fn warm_telemetry_deterministic_section_is_byte_stable() {
+    let server = start(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let job = spec("t481", GateFamily::CntfetGeneralized, 512, Verify::Sim);
+    let telemetry = |response: Response| -> String {
+        match response {
+            Response::Ok { telemetry_json, .. } => telemetry_json,
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    };
+    let cold = telemetry(client.submit(&job).expect("submit"));
+    let warm_a = telemetry(client.submit(&job).expect("submit"));
+    let warm_b = telemetry(client.submit(&job).expect("submit"));
+    assert!(
+        cold.contains("\"cache_hit\": false") && warm_a.contains("\"cache_hit\": true"),
+        "first submission cold, second warm: {cold} / {warm_a}"
+    );
+    assert_eq!(
+        deterministic_section(&warm_a),
+        deterministic_section(&warm_b),
+        "warm resubmissions must agree byte-for-byte on the deterministic section"
+    );
+    // The timing section still carries the per-request identity.
+    assert!(
+        warm_a.contains("\"timing\": {\"request_id\": 2,"),
+        "{warm_a}"
+    );
+    assert!(
+        warm_b.contains("\"timing\": {\"request_id\": 3,"),
+        "{warm_b}"
+    );
+    server.shutdown();
+}
+
+/// Request IDs: allocated densely at admission, strictly monotone, and
+/// echoed both on the wire frame (`Ok` and `Error` alike) and inside
+/// the telemetry timing section.
+#[test]
+fn request_ids_are_dense_and_echoed() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut bad_flow = spec("t481", GateFamily::Cmos, 256, Verify::Off);
+    bad_flow.flow = "b; frobnicate".into();
+    let id1 = match client.submit(&bad_flow).expect("submit") {
+        Response::Error { request_id, .. } => request_id,
+        other => panic!("expected Error, got {other:?}"),
+    };
+    let good = spec("t481", GateFamily::Cmos, 256, Verify::Off);
+    let (id2, telemetry) = match client.submit(&good).expect("submit") {
+        Response::Ok {
+            request_id,
+            telemetry_json,
+            ..
+        } => (request_id, telemetry_json),
+        other => panic!("expected Ok, got {other:?}"),
+    };
+    let id3 = match client.submit(&good).expect("submit") {
+        Response::Ok { request_id, .. } => request_id,
+        other => panic!("expected Ok, got {other:?}"),
+    };
+    // A private server and one serial connection: every submission is
+    // admitted, so the sequence is exactly 1, 2, 3.
+    assert_eq!([id1, id2, id3], [1, 2, 3]);
+    assert!(
+        telemetry.contains(&format!("\"request_id\": {id2},")),
+        "telemetry must echo the wire request id: {telemetry}"
+    );
+    server.shutdown();
+}
+
+/// Two different circuits running simultaneously on the shared rayon
+/// pool each see exactly their own span tree (root `request` span with
+/// that job's `request_id`, its own nested synthesize/flow/map/verify
+/// children) and their own counter deltas (deterministic telemetry
+/// equal to a serial run of the same circuit).
+#[test]
+fn concurrent_jobs_attribute_spans_and_counters() {
+    let job_a = spec("t481", GateFamily::Cmos, 512, Verify::Sim);
+    let job_b = spec("C1355", GateFamily::CntfetGeneralized, 512, Verify::Sim);
+
+    // Serial baselines first, on their own server (fresh content
+    // cache), with tracing still off.
+    let serial = |job: &JobSpec| -> String {
+        let server = start(1, 4);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let telemetry = match client.submit(job).expect("submit") {
+            Response::Ok { telemetry_json, .. } => telemetry_json,
+            other => panic!("expected Ok, got {other:?}"),
+        };
+        server.shutdown();
+        telemetry
+    };
+    let serial_a = serial(&job_a);
+    let serial_b = serial(&job_b);
+    assert_ne!(
+        deterministic_section(&serial_a),
+        deterministic_section(&serial_b),
+        "distinct circuits must produce distinct counter profiles"
+    );
+
+    // Now both jobs at once on one two-worker server, spans on. Other
+    // tests in this binary may run concurrently and add spans to the
+    // process-wide ring; everything below filters by request id.
+    obs::set_enabled(true);
+    let server = start(2, 8);
+    let addr = server.addr();
+    let submit = |job: &JobSpec| -> (u64, String) {
+        let mut client = Client::connect(addr).expect("connect");
+        match client.submit(job).expect("submit") {
+            Response::Ok {
+                request_id,
+                telemetry_json,
+                ..
+            } => (request_id, telemetry_json),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    };
+    let ((id_a, conc_a), (id_b, conc_b)) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| submit(&job_a));
+        let b = scope.spawn(|| submit(&job_b));
+        (a.join().expect("job a"), b.join().expect("job b"))
+    });
+    server.shutdown();
+    obs::set_enabled(false);
+    assert_ne!(id_a, id_b, "concurrent requests get distinct ids");
+
+    // Counter attribution: interleaving must not leak one job's work
+    // into the other's telemetry.
+    assert_eq!(
+        deterministic_section(&conc_a),
+        deterministic_section(&serial_a),
+        "job A's counters under concurrency must equal its serial run"
+    );
+    assert_eq!(
+        deterministic_section(&conc_b),
+        deterministic_section(&serial_b),
+        "job B's counters under concurrency must equal its serial run"
+    );
+
+    // Span attribution: each request's root span owns its own subtree.
+    let trace = obs::export_trace();
+    let events: Vec<(String, u64, u64)> = trace
+        .lines()
+        .filter(|l| l.starts_with("{\"name\":"))
+        .map(|l| {
+            (
+                trace_str(l, "name"),
+                trace_u64(l, "id"),
+                trace_u64(l, "parent"),
+            )
+        })
+        .collect();
+    for request_id in [id_a, id_b] {
+        let root_line = trace
+            .lines()
+            .find(|l| {
+                l.starts_with("{\"name\":\"request\"") && trace_u64(l, "request_id") == request_id
+            })
+            .unwrap_or_else(|| panic!("no request root span for id {request_id} in {trace}"));
+        let root = trace_u64(root_line, "id");
+        let descendants = descendants_of(root, &events);
+        for needle in ["synthesize", "map", "verify"] {
+            assert!(
+                descendants.iter().any(|(name, _, _)| name == needle),
+                "request {request_id}: missing `{needle}` under its root span"
+            );
+        }
+        assert!(
+            descendants
+                .iter()
+                .any(|(name, _, _)| name.starts_with("flow/")),
+            "request {request_id}: missing flow pass spans under its root"
+        );
+    }
+    // Parent links form a forest, so the two subtrees are disjoint
+    // unless one request's root nested under the other — the exact
+    // leak the worker-thread span restore prevents.
+    for (name, _, parent) in &events {
+        assert_ne!(
+            (name.as_str(), *parent != 0),
+            ("request", true),
+            "a request root span must never have a parent"
+        );
+    }
+}
+
+/// The `"deterministic"` object of the split telemetry document.
+fn deterministic_section(telemetry: &str) -> &str {
+    let start = telemetry
+        .find("\"deterministic\": ")
+        .unwrap_or_else(|| panic!("no deterministic section in {telemetry}"));
+    let end = telemetry
+        .find(", \"timing\"")
+        .unwrap_or_else(|| panic!("no timing section in {telemetry}"));
+    &telemetry[start..end]
+}
+
+/// `"key":N` out of one trace-event line (0 when absent).
+fn trace_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return 0;
+    };
+    line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// `"key":"value"` out of one trace-event line.
+fn trace_str(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return String::new();
+    };
+    line[start..].chars().take_while(|c| *c != '"').collect()
+}
+
+/// Transitive children of `root` in `(name, id, parent)` event tuples.
+fn descendants_of(root: u64, events: &[(String, u64, u64)]) -> Vec<(String, u64, u64)> {
+    let mut frontier = vec![root];
+    let mut out = Vec::new();
+    while let Some(id) = frontier.pop() {
+        for e in events.iter().filter(|(_, _, parent)| *parent == id) {
+            // Instant events carry id 0 and cannot have children;
+            // re-enqueueing 0 would walk every top-level span forever.
+            if e.1 != 0 {
+                frontier.push(e.1);
+            }
+            out.push(e.clone());
+        }
+    }
+    out
 }
 
 /// Pulls `"key": N` out of a flat JSON document (the stats schema is

@@ -111,40 +111,53 @@ pub fn map_aig_with_cut_db(
     let aig = aig.cleanup();
 
     // Phase 1: cut enumeration — incremental against the database.
-    db.ensure(&aig);
+    {
+        let _s = obs::span!("map/cuts");
+        db.ensure(&aig);
+    }
     let cuts: &CutDb = db;
 
     // Phase 2: NPN-canonical matching — shared immutable class table plus
     // a per-run canonization memo.
-    let mut matcher = Matcher::new(cache);
+    let mut matcher = {
+        let _s = obs::span!("map/match");
+        Matcher::new(cache)
+    };
 
     // Phase 3: objective-driven selection — the arrival/flow DP, plus
     // the delay objective's required-time and area-recovery passes.
     let order: Vec<u32> = (0..aig.len() as u32)
         .filter(|&n| matches!(aig.node(n), Node::And(_, _)))
         .collect();
-    let selection = select_matches(
-        &aig,
-        &order,
-        aig.fanout_counts(),
-        aig.output_lits(),
-        cuts,
-        &mut matcher,
-        library,
-        config,
-    )?;
+    let selection = {
+        let _s = obs::span!("map/select");
+        select_matches(
+            &aig,
+            &order,
+            aig.fanout_counts(),
+            aig.output_lits(),
+            cuts,
+            &mut matcher,
+            library,
+            config,
+        )?
+    };
 
     // Phase 4: cover extraction (which matches are actually used, in
     // topological emission order).
-    let cover = extract_cover(
-        aig.len(),
-        aig.input_nodes(),
-        aig.output_lits(),
-        cuts,
-        &selection.chosen,
-    )?;
+    let cover = {
+        let _s = obs::span!("map/cover");
+        extract_cover(
+            aig.len(),
+            aig.input_nodes(),
+            aig.output_lits(),
+            cuts,
+            &selection.chosen,
+        )?
+    };
 
     // Phase 5: inverter materialization and netlist assembly.
+    let _s = obs::span!("map/materialize");
     let mut netlist = materialize(
         library,
         cache.inverter(),
@@ -152,6 +165,7 @@ pub fn map_aig_with_cut_db(
         aig.input_nodes(),
         aig.output_lits(),
     );
+    drop(_s);
     netlist.set_predicted_delay_s(selection.predicted);
     Ok(netlist)
 }
@@ -208,40 +222,53 @@ pub fn map_choice_aig_with_cache(
     let arena = choice.arena();
 
     // Phase 1: choice-aware cut enumeration (one cut set per class).
-    let cuts = enumerate_cuts_choice(
-        choice,
-        CutConfig {
-            k: config.cut_k,
-            max_cuts: config.max_cuts,
-        },
-    );
+    let cuts = {
+        let _s = obs::span!("map/cuts");
+        enumerate_cuts_choice(
+            choice,
+            CutConfig {
+                k: config.cut_k,
+                max_cuts: config.max_cuts,
+            },
+        )
+    };
 
     // Phase 2: the same shared match cache and per-run memo.
-    let mut matcher = Matcher::new(cache);
+    let mut matcher = {
+        let _s = obs::span!("map/match");
+        Matcher::new(cache)
+    };
 
     // Phase 3: selection over classes, dependencies first.
-    let fanouts = choice_fanouts(choice);
-    let selection = select_matches(
-        arena,
-        choice.class_order(),
-        &fanouts,
-        choice.outputs(),
-        &cuts,
-        &mut matcher,
-        library,
-        config,
-    )?;
+    let selection = {
+        let _s = obs::span!("map/select");
+        let fanouts = choice_fanouts(choice);
+        select_matches(
+            arena,
+            choice.class_order(),
+            &fanouts,
+            choice.outputs(),
+            &cuts,
+            &mut matcher,
+            library,
+            config,
+        )?
+    };
 
     // Phases 4 + 5: unchanged — the cover walks cut leaves, which are
     // class representatives, so the machinery never needs to know which
     // ring member shaped a chosen cut.
-    let cover = extract_cover(
-        arena.len(),
-        arena.input_nodes(),
-        choice.outputs(),
-        &cuts,
-        &selection.chosen,
-    )?;
+    let cover = {
+        let _s = obs::span!("map/cover");
+        extract_cover(
+            arena.len(),
+            arena.input_nodes(),
+            choice.outputs(),
+            &cuts,
+            &selection.chosen,
+        )?
+    };
+    let _s = obs::span!("map/materialize");
     let mut netlist = materialize(
         library,
         cache.inverter(),
@@ -249,6 +276,7 @@ pub fn map_choice_aig_with_cache(
         arena.input_nodes(),
         choice.outputs(),
     );
+    drop(_s);
     netlist.set_predicted_delay_s(selection.predicted);
     Ok(netlist)
 }
@@ -669,6 +697,8 @@ fn recover_area<S: CutSource + ?Sized>(
 ) {
     let costs = ctx.costs;
     for round in 0..ctx.config.recovery_rounds {
+        let mut span = obs::span!("map/recover");
+        span.record("round", round as u64 + 1);
         let exact = round > 0;
         let (mut refs, mut inv_refs) = cover_refs(chosen, ctx.outputs, costs.free_neg);
         let required = required_times(&ctx, chosen, &refs);

@@ -29,6 +29,11 @@ BENCH_scale.json and exits non-zero when:
     flow (the artifact's flow script has more than one step) every
     regenerated row must report profile.cuts_reused > 0 — pass 2..n of
     the script must serve at least some cut sets from the database.
+
+Rows may carry fields this guard does not know about (`spans_top`, the
+per-row top-self-time span attribution, is informational); only the
+fields named above are compared, so new row fields never trip the
+guard.
 """
 
 import json

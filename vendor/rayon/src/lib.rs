@@ -22,15 +22,15 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::Mutex;
 
 /// Hooks for propagating a thread-local task context — a profiling-scope
-/// token, say — from the thread that launches a parallel operation onto
-/// the ephemeral scoped worker threads that execute its tasks. Real
-/// rayon keeps long-lived pool threads a caller can configure once; this
-/// shim spawns workers per operation, so without propagation any
-/// thread-local state the caller relies on would silently reset to its
-/// default on every parallel fan-out.
+/// token or a tracing-span id, say — from the thread that launches a
+/// parallel operation onto the ephemeral scoped worker threads that
+/// execute its tasks. Real rayon keeps long-lived pool threads a caller
+/// can configure once; this shim spawns workers per operation, so
+/// without propagation any thread-local state the caller relies on would
+/// silently reset to its default on every parallel fan-out.
 #[derive(Clone, Copy, Debug)]
 pub struct TaskContextHooks {
     /// Reads the launching thread's context token.
@@ -39,19 +39,29 @@ pub struct TaskContextHooks {
     pub install: fn(u64),
 }
 
-/// Process-wide context hooks (at most one registration wins).
-static CONTEXT_HOOKS: OnceLock<TaskContextHooks> = OnceLock::new();
+/// Process-wide context hooks. Multiple independent subsystems register
+/// one pair each (`aig::profile` for scope counters, `obs` for tracing
+/// spans); every registered pair propagates to every worker.
+static CONTEXT_HOOKS: Mutex<Vec<TaskContextHooks>> = Mutex::new(Vec::new());
 
-/// Registers the context-propagation hooks. The first registration wins;
-/// subsequent calls are ignored (the engine registers exactly one pair,
-/// from `aig::profile`).
+/// Registers a context-propagation hook pair. Each registered pair is
+/// captured once per parallel operation and installed on every worker;
+/// registration order is preserved. Callers must register at most once
+/// per subsystem (hooks cannot be removed).
 pub fn register_task_context_hooks(hooks: TaskContextHooks) {
-    let _ = CONTEXT_HOOKS.set(hooks);
+    CONTEXT_HOOKS.lock().expect("context hooks").push(hooks);
 }
 
-/// Captures the launching thread's context, if hooks are registered.
-fn captured_context() -> Option<(TaskContextHooks, u64)> {
-    CONTEXT_HOOKS.get().map(|h| (*h, (h.capture)()))
+/// Captures the launching thread's context for every registered hook
+/// pair (empty when nothing is registered). One lock acquisition per
+/// parallel-operation launch, not per task.
+fn captured_context() -> Vec<(TaskContextHooks, u64)> {
+    CONTEXT_HOOKS
+        .lock()
+        .expect("context hooks")
+        .iter()
+        .map(|h| (*h, (h.capture)()))
+        .collect()
 }
 
 /// Workers currently spawned by in-flight parallel operations. Nested
@@ -175,8 +185,8 @@ where
     let ctx = captured_context();
     std::thread::scope(|scope| {
         let hb = scope.spawn(move || {
-            if let Some((hooks, token)) = ctx {
-                (hooks.install)(token);
+            for (hooks, token) in &ctx {
+                (hooks.install)(*token);
             }
             b()
         });
@@ -274,8 +284,8 @@ where
         // no-op, so the one closure serves both).
         let ctx = captured_context();
         let worker = || {
-            if let Some((hooks, token)) = ctx {
-                (hooks.install)(token);
+            for (hooks, token) in &ctx {
+                (hooks.install)(*token);
             }
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
